@@ -1,0 +1,515 @@
+// Benchmarks reproducing the paper's evaluation artifacts — Table II
+// (complexity of CPS, COP, DCIP), Table III (CCQA, CPP, ECP, BCP across
+// query languages), and the worked examples and gadget figures — as
+// scaling experiments. The paper proves complexity bounds rather than
+// reporting wall-clock numbers; these benchmarks demonstrate the *shape*
+// of those bounds: exact procedures blow up on hard inputs, the Section 6
+// special cases stay polynomial, and the gadget reductions scale with
+// formula size. cmd/currencybench prints the same data as readable tables;
+// EXPERIMENTS.md records paper-vs-measured per row.
+package currency
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"currency/internal/core"
+	"currency/internal/gen"
+	"currency/internal/paperdb"
+	"currency/internal/query"
+	"currency/internal/reductions"
+	"currency/internal/tractable"
+)
+
+// workload builds a random specification with denial constraints, sized by
+// the number of entities per relation.
+func workload(entities int, constraints int) *Specification {
+	return gen.Random(gen.Config{
+		Seed:            42,
+		Relations:       2,
+		Entities:        entities,
+		TuplesPerEntity: 3,
+		Attrs:           2,
+		Domain:          3,
+		OrderDensity:    0.3,
+		Constraints:     constraints,
+		Copies:          1,
+		CopyDensity:     0.5,
+	})
+}
+
+// consistentWorkload searches seeds for a workload with a non-empty
+// Mod(S): inconsistent specifications short-circuit COP/DCIP/CCQA and
+// would make those rows look trivially fast.
+func consistentWorkload(entities, constraints int) *Specification {
+	for seed := int64(42); ; seed++ {
+		s := gen.Random(gen.Config{
+			Seed: seed, Relations: 2, Entities: entities, TuplesPerEntity: 3,
+			Attrs: 2, Domain: 3, OrderDensity: 0.3, Constraints: constraints,
+			Copies: 1, CopyDensity: 0.5,
+		})
+		r, err := core.NewReasoner(s)
+		if err != nil {
+			panic(err)
+		}
+		if r.Consistent() {
+			return s
+		}
+	}
+}
+
+// noDCWorkload builds the constraint-free analogue (Section 6 scope).
+func noDCWorkload(entities int) *Specification {
+	return gen.Random(gen.Config{
+		Seed:            42,
+		Relations:       2,
+		Entities:        entities,
+		TuplesPerEntity: 3,
+		Attrs:           2,
+		Domain:          3,
+		OrderDensity:    0.3,
+		Constraints:     0,
+		Copies:          1,
+		CopyDensity:     0.5,
+	})
+}
+
+// --- Table II, row CPS -------------------------------------------------
+
+// BenchmarkTableII_CPS_Exact measures the exact consistency check (NP-hard
+// data complexity) on workloads with denial constraints.
+func BenchmarkTableII_CPS_Exact(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := workload(n, 3)
+			for i := 0; i < b.N; i++ {
+				r, err := core.NewReasoner(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.Consistent()
+			}
+		})
+	}
+}
+
+// BenchmarkTableII_CPS_NoDC_PTIME measures Theorem 6.1's fixpoint CPS,
+// which must scale polynomially.
+func BenchmarkTableII_CPS_NoDC_PTIME(b *testing.B) {
+	for _, n := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := noDCWorkload(n)
+			for i := 0; i < b.N; i++ {
+				if _, err := tractable.Consistent(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableII_CPS_HardGadget measures the exact solver on the
+// Theorem 3.1 ∃∀3DNF gadget as the formula grows — the combined-complexity
+// Σp2 hardness made visible.
+func BenchmarkTableII_CPS_HardGadget(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range []int{1, 2, 3} {
+		q := reductions.RandomQBF(rng, []int{m, m}, true, m+1, true)
+		b.Run(fmt.Sprintf("m=n=%d", m), func(b *testing.B) {
+			s, err := reductions.CPSFromE2ADNF(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				r, err := core.NewReasoner(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.Consistent()
+			}
+		})
+	}
+}
+
+// --- Table II, row COP -------------------------------------------------
+
+func BenchmarkTableII_COP_Exact(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := consistentWorkload(n, 3)
+			r, err := core.NewReasoner(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := []OrderRequirement{{Rel: "R0", Attr: "A0", I: 0, J: 1}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.CertainOrder(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTableII_COP_NoDC_PTIME(b *testing.B) {
+	for _, n := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := noDCWorkload(n)
+			req := []tractable.OrderRequirement{{Rel: "R0", Attr: "A0", I: 0, J: 1}}
+			for i := 0; i < b.N; i++ {
+				if _, err := tractable.CertainOrder(s, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table II, row DCIP ------------------------------------------------
+
+func BenchmarkTableII_DCIP_Exact(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := consistentWorkload(n, 3)
+			r, err := core.NewReasoner(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Deterministic("R0"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTableII_DCIP_NoDC_PTIME(b *testing.B) {
+	for _, n := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := noDCWorkload(n)
+			for i := 0; i < b.N; i++ {
+				if _, err := tractable.Deterministic(s, "R0"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table III, row CCQA across query languages ------------------------
+
+// ccqaQueries builds one query per language class over the generated
+// workload schema.
+func ccqaQueries(s *Specification) map[string]*Query {
+	rng := rand.New(rand.NewSource(9))
+	sp := gen.RandomSPQuery(rng, s.Relations[0].Schema, "SP", 3)
+	cq := gen.RandomCQQuery(rng, s, "CQ", 3)
+	// UCQ: the CQ joined with a second disjunct projecting the same head
+	// variable out of R0.
+	second := query.Exists{Vars: []string{"ue", "uy"}, F: query.Atom{
+		Rel: "R0", Terms: []query.Term{query.V("ue"), query.V("j"), query.V("uy")},
+	}}
+	ucq := &Query{Name: "UCQ", Head: []string{"j"}, Body: query.Or{Fs: []query.Formula{cq.Body, second}}}
+	// ∃FO+: disjunction inside the quantifier scope.
+	efo := &Query{Name: "EFO", Head: []string{"x"}, Body: query.Exists{
+		Vars: []string{"e", "y"},
+		F: query.And{Fs: []query.Formula{
+			query.Atom{Rel: "R0", Terms: []query.Term{query.V("e"), query.V("x"), query.V("y")}},
+			query.Or{Fs: []query.Formula{
+				query.Cmp{L: query.V("y"), Op: query.CmpEq, R: query.C(Int(0))},
+				query.Cmp{L: query.V("y"), Op: query.CmpEq, R: query.C(Int(1))},
+			}},
+		}},
+	}}
+	// FO: negation.
+	fo := &Query{Name: "FO", Head: []string{"x"}, Body: query.Exists{
+		Vars: []string{"e", "y"},
+		F: query.And{Fs: []query.Formula{
+			query.Atom{Rel: "R0", Terms: []query.Term{query.V("e"), query.V("x"), query.V("y")}},
+			query.Not{F: query.Exists{
+				Vars: []string{"e2", "z"},
+				F:    query.Atom{Rel: "R1", Terms: []query.Term{query.V("e2"), query.V("x"), query.V("z")}},
+			}},
+		}},
+	}}
+	return map[string]*Query{"SP": sp, "CQ": cq, "UCQ": ucq, "EFO": efo, "FO": fo}
+}
+
+func BenchmarkTableIII_CCQA_Exact(b *testing.B) {
+	s := consistentWorkload(4, 2)
+	for _, lang := range []string{"SP", "CQ", "UCQ", "EFO", "FO"} {
+		q := ccqaQueries(s)[lang]
+		b.Run(lang, func(b *testing.B) {
+			r, err := core.NewReasoner(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := r.CertainAnswers(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableIII_CCQA_SP_NoDC_PTIME measures Proposition 6.3.
+func BenchmarkTableIII_CCQA_SP_NoDC_PTIME(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := noDCWorkload(n)
+			q := gen.RandomSPQuery(rng, s.Relations[0].Schema, "SP", 3)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tractable.CertainAnswersSP(s, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableIII_CCQA_DataHardness scales the Theorem 3.5 ¬3SAT data
+// gadget: the coNP data complexity made visible (2^m completions).
+func BenchmarkTableIII_CCQA_DataHardness(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	for _, m := range []int{2, 4, 6, 8} {
+		psi := reductions.Random3SAT(rng, m, m+2)
+		b.Run(fmt.Sprintf("vars=%d", m), func(b *testing.B) {
+			g, err := reductions.CCQAFrom3SATData(psi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				r, err := core.NewReasoner(g.Spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.IsCertainAnswer(g.Query, g.Tuple); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table III, row CPP -------------------------------------------------
+
+// BenchmarkTableIII_CPP_Exact measures the exact currency-preservation
+// check on the paper's Example 4.1 (EID-matching extension space).
+func BenchmarkTableIII_CPP_Exact(b *testing.B) {
+	s := paperdb.SpecS1()
+	q2 := paperdb.Q2()
+	for i := 0; i < b.N; i++ {
+		r, err := core.NewReasoner(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.CurrencyPreservingMatching(q2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII_CPP_Gadget scales the Theorem 5.1(3) ∀∃3CNF gadget
+// under the conservative extension space (Πp2 data complexity).
+func BenchmarkTableIII_CPP_Gadget(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	for _, n := range []int{1, 2} {
+		q := reductions.RandomQBF(rng, []int{n, 1}, false, n, false)
+		b.Run(fmt.Sprintf("xvars=%d", n), func(b *testing.B) {
+			g, err := reductions.CPPFromA2E3CNF(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				r, err := core.NewReasoner(g.Spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.CurrencyPreservingIn(g.Query, core.ConservativeAtomSpace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableIII_CPP_SP_NoDC_PTIME measures Theorem 6.4's polynomial
+// CPP for SP queries.
+func BenchmarkTableIII_CPP_SP_NoDC_PTIME(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := noDCWorkload(n)
+			q := gen.RandomSPQuery(rng, s.Relations[0].Schema, "SP", 3)
+			for i := 0; i < b.N; i++ {
+				if _, err := tractable.CurrencyPreservingSP(s, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table III, row ECP -------------------------------------------------
+
+// BenchmarkTableIII_ECP measures the O(1) existence answer (Prop 5.2);
+// the consistency check dominates.
+func BenchmarkTableIII_ECP(b *testing.B) {
+	s := paperdb.SpecS1()
+	r, err := core.NewReasoner(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ExtensionExists()
+	}
+}
+
+// --- Table III, row BCP -------------------------------------------------
+
+// BenchmarkTableIII_BCP_Exact sweeps the bound k on Example 4.1.
+func BenchmarkTableIII_BCP_Exact(b *testing.B) {
+	s := paperdb.SpecS1()
+	q2 := paperdb.Q2()
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := core.NewReasoner(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := r.BoundedCopyingMatching(q2, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableIII_BCP_SP_NoDC_PTIME measures Theorem 6.4's polynomial
+// BCP with fixed k.
+func BenchmarkTableIII_BCP_SP_NoDC_PTIME(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := noDCWorkload(n)
+			q := gen.RandomSPQuery(rng, s.Relations[0].Schema, "SP", 3)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tractable.BoundedCopyingSP(s, q, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figures ------------------------------------------------------------
+
+// BenchmarkFigure1_PaperExample answers Q1–Q4 on the Figure 1 database.
+func BenchmarkFigure1_PaperExample(b *testing.B) {
+	s := paperdb.SpecS0()
+	queries := []*Query{paperdb.Q1(), paperdb.Q2(), paperdb.Q3(), paperdb.Q4()}
+	for i := 0; i < b.N; i++ {
+		r, err := core.NewReasoner(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range queries {
+			if _, _, err := r.CertainAnswers(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2_CCQAGadget scales the ∀∃3CNF gadget of Figure 2.
+func BenchmarkFigure2_CCQAGadget(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	for _, m := range []int{1, 2, 3} {
+		q := reductions.RandomQBF(rng, []int{m, m}, false, m+1, false)
+		b.Run(fmt.Sprintf("m=n=%d", m), func(b *testing.B) {
+			g, err := reductions.CCQAFromA2E3CNF(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				r, err := core.NewReasoner(g.Spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.IsCertainAnswer(g.Query, g.Tuple); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure3_CopyNetwork runs the Example 4.1 preservation analysis
+// on the Figure 3 Mgr relation.
+func BenchmarkFigure3_CopyNetwork(b *testing.B) {
+	s := paperdb.SpecS1()
+	q2 := paperdb.Q2()
+	for i := 0; i < b.N; i++ {
+		r, err := core.NewReasoner(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.CurrencyPreservingMatching(q2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5_CPPGadget builds and solves the Figure 5 instances.
+func BenchmarkFigure5_CPPGadget(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	q := reductions.RandomQBF(rng, []int{1, 1}, false, 1, false)
+	g, err := reductions.CPPFromA2E3CNF(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := core.NewReasoner(g.Spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.CurrencyPreservingIn(g.Query, core.ConservativeAtomSpace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBetweennessGadget scales the Theorem 3.1 data-complexity
+// gadget with the number of triples.
+func BenchmarkBetweennessGadget(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	for _, nt := range []int{1, 2, 3} {
+		inst := reductions.BetweennessInstance{N: 4}
+		for k := 0; k < nt; k++ {
+			p := rng.Perm(4)
+			inst.Triples = append(inst.Triples, [3]int{p[0], p[1], p[2]})
+		}
+		b.Run(fmt.Sprintf("triples=%d", nt), func(b *testing.B) {
+			s, err := reductions.CPSFromBetweenness(inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				r, err := core.NewReasoner(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.Consistent()
+			}
+		})
+	}
+}

@@ -1,0 +1,137 @@
+// Command currencyql loads a currency specification file and answers
+// reasoning questions about it from the command line.
+//
+// Usage:
+//
+//	currencyql -spec FILE check                 # CPS: consistency
+//	currencyql -spec FILE current               # enumerate current databases
+//	currencyql -spec FILE deterministic REL     # DCIP for one relation
+//	currencyql -spec FILE certain REL ATTR A B  # COP for one labelled pair
+//	currencyql -spec FILE answer QUERY          # CCQA: certain answers
+//	currencyql -spec FILE possible QUERY        # possible answers
+//	currencyql -spec FILE preserving QUERY      # CPP (EID-matching space)
+//	currencyql -spec FILE show                  # pretty-print the spec
+//
+// The specification file format is documented in the README; see
+// examples/quickstart/spec.cq for the paper's running example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"currency"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("currencyql: ")
+	specPath := flag.String("spec", "", "path to the specification file")
+	limit := flag.Int("limit", 0, "cap on enumerated current databases (0 = all)")
+	flag.Parse()
+	if *specPath == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	file, err := currency.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	reasoner, err := currency.NewReasoner(file.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch cmd {
+	case "show":
+		fmt.Println(currency.Explain(file.Spec))
+		fmt.Print(currency.Format(file.Spec, file.Queries...))
+	case "check":
+		fmt.Println("consistent:", reasoner.Consistent())
+	case "current":
+		dbs, complete := reasoner.CurrentDatabases(*limit)
+		fmt.Printf("distinct current databases: %d (complete enumeration: %v)\n", len(dbs), complete)
+		for i, db := range dbs {
+			fmt.Printf("--- current database %d ---\n", i+1)
+			for _, r := range file.Spec.Relations {
+				if inst, ok := db[r.Schema.Name]; ok {
+					fmt.Print(inst)
+				}
+			}
+		}
+	case "deterministic":
+		if len(args) != 1 {
+			log.Fatal("usage: deterministic REL")
+		}
+		det, err := reasoner.Deterministic(args[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deterministic current instance for %s: %v\n", args[0], det)
+	case "certain":
+		if len(args) != 4 {
+			log.Fatal("usage: certain REL ATTR LABEL_A LABEL_B  (is A ≺ B certain?)")
+		}
+		rel, ok := file.Spec.Relation(args[0])
+		if !ok {
+			log.Fatalf("unknown relation %s", args[0])
+		}
+		ia, ok := rel.LabelIndex(args[2])
+		if !ok {
+			log.Fatalf("unknown tuple label %s", args[2])
+		}
+		ib, ok := rel.LabelIndex(args[3])
+		if !ok {
+			log.Fatalf("unknown tuple label %s", args[3])
+		}
+		certain, err := reasoner.CertainOrder([]currency.OrderRequirement{
+			{Rel: args[0], Attr: args[1], I: ia, J: ib},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s ≺%s %s certain: %v\n", args[2], args[1], args[3], certain)
+	case "answer", "possible", "preserving":
+		if len(args) != 1 {
+			log.Fatalf("usage: %s QUERY", cmd)
+		}
+		q, ok := file.Query(args[0])
+		if !ok {
+			log.Fatalf("unknown query %s (declare it in the spec file)", args[0])
+		}
+		switch cmd {
+		case "answer":
+			res, modEmpty, err := reasoner.CertainAnswers(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if modEmpty {
+				fmt.Println("specification inconsistent: every tuple is vacuously certain")
+				return
+			}
+			fmt.Printf("certain current answers to %s (%s): %v\n", q.Name, currency.Classify(q), res)
+		case "possible":
+			res, err := reasoner.PossibleAnswers(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("possible current answers to %s: %v\n", q.Name, res)
+		case "preserving":
+			ok, err := reasoner.CurrencyPreservingMatching(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("copy functions currency preserving for %s (EID-matching extensions): %v\n", q.Name, ok)
+		}
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,283 @@
+// Package currency is a library for reasoning about the currency
+// (up-to-dateness) of relational data without reliable timestamps,
+// implementing the model and decision procedures of
+//
+//	Wenfei Fan, Floris Geerts, Jef Wijsen:
+//	"Determining the Currency of Data", PODS 2011 / ACM TODS 37(4), 2012.
+//
+// A Specification combines temporal instances (relations whose tuples
+// carry partial currency orders per attribute), denial constraints that
+// derive currency from data semantics ("a higher salary is more current"),
+// and copy functions recording which values were imported from other
+// sources. The library answers the paper's seven decision problems:
+//
+//	Consistent        — CPS:  does a consistent completion exist?
+//	CertainOrder      — COP:  does an order hold in every completion?
+//	Deterministic     — DCIP: is the current instance unique?
+//	CertainAnswers    — CCQA: which answers hold under every completion?
+//	CurrencyPreserving— CPP:  do the copy functions import enough data?
+//	ExtensionExists   — ECP:  can they be extended to do so?
+//	BoundedCopying    — BCP:  with at most k extra imports?
+//
+// Exact procedures match the paper's upper-bound algorithms (and its
+// intractability: they are exponential in the worst case); the PTIME
+// special cases of Section 6 — no denial constraints, and SP queries — are
+// available through the Fast* methods and are selected automatically by
+// Auto* methods when applicable.
+package currency
+
+import (
+	"fmt"
+
+	"currency/internal/copyfn"
+	"currency/internal/core"
+	"currency/internal/dc"
+	"currency/internal/osolve"
+	"currency/internal/parse"
+	"currency/internal/query"
+	"currency/internal/relation"
+	"currency/internal/spec"
+	"currency/internal/tractable"
+)
+
+// Re-exported building blocks. The internal packages carry the full API;
+// these aliases cover everything a downstream user needs to assemble and
+// analyze specifications programmatically.
+type (
+	// Schema is a relation schema with a designated entity-id attribute.
+	Schema = relation.Schema
+	// Tuple is a row of values.
+	Tuple = relation.Tuple
+	// Value is a string or integer attribute value.
+	Value = relation.Value
+	// Instance is a normal relation instance.
+	Instance = relation.Instance
+	// TemporalInstance carries partial currency orders per attribute.
+	TemporalInstance = relation.TemporalInstance
+	// Completion is a temporal instance whose orders are total per entity.
+	Completion = relation.Completion
+	// Constraint is a denial constraint.
+	Constraint = dc.Constraint
+	// CopyFunction records values imported between relations.
+	CopyFunction = copyfn.CopyFunction
+	// Specification is the top-level object S = (instances, constraints,
+	// copy functions).
+	Specification = spec.Spec
+	// Query is a CQ/UCQ/∃FO+/FO query.
+	Query = query.Query
+	// Result is a set of answer tuples.
+	Result = query.Result
+	// CurrentDB maps relation names to current instances.
+	CurrentDB = osolve.CurrentDB
+	// OrderRequirement is one pair of a certain-order check.
+	OrderRequirement = core.OrderRequirement
+	// ExtensionAtom is one elementary copy-function extension.
+	ExtensionAtom = core.ExtensionAtom
+	// File is a parsed specification file with its queries.
+	File = parse.File
+)
+
+// Value constructors.
+var (
+	// String builds a string value.
+	String = relation.S
+	// Int builds an integer value.
+	Int = relation.I
+)
+
+// NewSchema builds a schema whose first attribute is the entity id.
+func NewSchema(name string, attrs ...string) (*Schema, error) {
+	return relation.NewSchema(name, attrs...)
+}
+
+// NewTemporalInstance builds an empty temporal instance of a schema.
+func NewTemporalInstance(schema *Schema) *TemporalInstance {
+	return relation.NewTemporal(schema)
+}
+
+// NewSpecification returns an empty specification.
+func NewSpecification() *Specification { return spec.New() }
+
+// Parse reads a specification file (relations, instances, constraints,
+// copy functions, queries) in the textual format of internal/parse.
+func Parse(src string) (*File, error) { return parse.ParseFile(src) }
+
+// Format renders a specification (and optional queries) in the textual
+// format; the output parses back with Parse.
+func Format(s *Specification, queries ...*Query) string {
+	return parse.Marshal(s, queries...)
+}
+
+// Classify returns the query-language class (SP ⊂ CQ ⊂ UCQ ⊂ ∃FO+ ⊂ FO).
+func Classify(q *Query) string { return query.Classify(q).String() }
+
+// Reasoner answers the paper's decision problems for one specification.
+// Create one with NewReasoner; it is cheap to query repeatedly (the
+// grounded constraint network is reused).
+type Reasoner struct {
+	inner *core.Reasoner
+}
+
+// NewReasoner validates the specification and grounds its constraints and
+// copy-compatibility rules.
+func NewReasoner(s *Specification) (*Reasoner, error) {
+	r, err := core.NewReasoner(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Reasoner{inner: r}, nil
+}
+
+// Spec returns the underlying specification.
+func (r *Reasoner) Spec() *Specification { return r.inner.Spec }
+
+// Consistent decides CPS: whether Mod(S) is non-empty.
+func (r *Reasoner) Consistent() bool { return r.inner.Consistent() }
+
+// CertainOrder decides COP for a set of required order pairs; vacuously
+// true when the specification is inconsistent.
+func (r *Reasoner) CertainOrder(reqs []OrderRequirement) (bool, error) {
+	return r.inner.CertainOrder(reqs)
+}
+
+// Deterministic decides DCIP for one relation.
+func (r *Reasoner) Deterministic(rel string) (bool, error) {
+	return r.inner.Deterministic(rel)
+}
+
+// CurrentDatabases enumerates the distinct possible current databases
+// (limit 0 = all).
+func (r *Reasoner) CurrentDatabases(limit int) ([]CurrentDB, bool) {
+	return r.inner.CurrentDBs(limit)
+}
+
+// CertainAnswers computes the certain current answers to q. The bool
+// reports whether Mod(S) was empty (every tuple vacuously certain).
+func (r *Reasoner) CertainAnswers(q *Query) (*Result, bool, error) {
+	return r.inner.CertainAnswers(q)
+}
+
+// IsCertainAnswer decides CCQA for one tuple.
+func (r *Reasoner) IsCertainAnswer(q *Query, t Tuple) (bool, error) {
+	return r.inner.IsCertainAnswer(q, t)
+}
+
+// PossibleAnswers computes the union of answers over all completions.
+func (r *Reasoner) PossibleAnswers(q *Query) (*Result, error) {
+	return r.inner.PossibleAnswers(q)
+}
+
+// CurrencyPreserving decides CPP over the paper's unrestricted extension
+// space. Doubly exponential in the worst case; see
+// CurrencyPreservingMatching for the practical EID-matching space.
+func (r *Reasoner) CurrencyPreserving(q *Query) (bool, error) {
+	return r.inner.CurrencyPreserving(q)
+}
+
+// CurrencyPreservingMatching decides CPP over EID-matching extensions.
+func (r *Reasoner) CurrencyPreservingMatching(q *Query) (bool, error) {
+	return r.inner.CurrencyPreservingMatching(q)
+}
+
+// ExtensionExists decides ECP: per Proposition 5.2, true exactly when the
+// specification is consistent.
+func (r *Reasoner) ExtensionExists() bool { return r.inner.ExtensionExists() }
+
+// MaximalExtension constructs a currency-preserving extension greedily.
+func (r *Reasoner) MaximalExtension() (*Specification, []ExtensionAtom, error) {
+	return r.inner.MaximalExtension()
+}
+
+// BoundedCopying decides BCP: an extension of at most k imports that is
+// currency preserving for q.
+func (r *Reasoner) BoundedCopying(q *Query, k int) (bool, []ExtensionAtom, error) {
+	return r.inner.BoundedCopying(q, k)
+}
+
+// FastConsistent decides CPS in polynomial time for specifications without
+// denial constraints (Theorem 6.1).
+func FastConsistent(s *Specification) (bool, error) { return tractable.Consistent(s) }
+
+// FastCertainOrder decides COP in polynomial time without denial
+// constraints (Theorem 6.1 / Lemma 6.2).
+func FastCertainOrder(s *Specification, reqs []OrderRequirement) (bool, error) {
+	conv := make([]tractable.OrderRequirement, len(reqs))
+	for i, r := range reqs {
+		conv[i] = tractable.OrderRequirement{Rel: r.Rel, Attr: r.Attr, I: r.I, J: r.J}
+	}
+	return tractable.CertainOrder(s, conv)
+}
+
+// FastDeterministic decides DCIP in polynomial time without denial
+// constraints (Theorem 6.1).
+func FastDeterministic(s *Specification, rel string) (bool, error) {
+	return tractable.Deterministic(s, rel)
+}
+
+// FastCertainAnswersSP decides CCQA in polynomial time for SP queries
+// without denial constraints (Proposition 6.3). The bool reports
+// consistency of the specification.
+func FastCertainAnswersSP(s *Specification, q *Query) (*Result, bool, error) {
+	return tractable.CertainAnswersSP(s, q)
+}
+
+// FastCurrencyPreservingSP decides CPP in polynomial time for SP queries
+// without denial constraints (Theorem 6.4).
+func FastCurrencyPreservingSP(s *Specification, q *Query) (bool, error) {
+	return tractable.CurrencyPreservingSP(s, q)
+}
+
+// FastBoundedCopyingSP decides BCP in polynomial time for SP queries
+// without denial constraints and fixed k (Theorem 6.4).
+func FastBoundedCopyingSP(s *Specification, q *Query, k int) (bool, string, error) {
+	return tractable.BoundedCopyingSP(s, q, k)
+}
+
+// AutoCertainAnswers routes to the PTIME algorithm when the specification
+// has no denial constraints and the query is SP, and to the exact
+// procedure otherwise. The bool reports whether Mod(S) is empty.
+func AutoCertainAnswers(s *Specification, q *Query) (*Result, bool, error) {
+	if len(s.Constraints) == 0 && query.IsSP(q) {
+		res, consistent, err := tractable.CertainAnswersSP(s, q)
+		if err != nil {
+			return nil, false, err
+		}
+		return res, !consistent, nil
+	}
+	r, err := core.NewReasoner(s)
+	if err != nil {
+		return nil, false, err
+	}
+	return r.CertainAnswers(q)
+}
+
+// AutoConsistent routes CPS to the PTIME fixpoint when no denial
+// constraints are present and to the exact solver otherwise.
+func AutoConsistent(s *Specification) (bool, error) {
+	if len(s.Constraints) == 0 {
+		return tractable.Consistent(s)
+	}
+	r, err := core.NewReasoner(s)
+	if err != nil {
+		return false, err
+	}
+	return r.Consistent(), nil
+}
+
+// Eval evaluates a query on explicit normal instances (by relation name),
+// independent of any currency reasoning — the semantics used on current
+// instances.
+func Eval(q *Query, db map[string]*Instance) (*Result, error) {
+	return query.Eval(q, query.DB(db))
+}
+
+// Explain describes a specification briefly: relations, constraint and
+// copy-function counts — a convenience for CLI front ends.
+func Explain(s *Specification) string {
+	tuples := 0
+	for _, r := range s.Relations {
+		tuples += r.Len()
+	}
+	return fmt.Sprintf("%d relations, %d tuples, %d denial constraints, %d copy functions",
+		len(s.Relations), tuples, len(s.Constraints), len(s.Copies))
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"currency/internal/gen"
+	"currency/internal/query"
+	"currency/internal/spec"
+)
+
+// TestCertainAnswersMatchBruteForce differentially tests CCQA end to end:
+// certain answers from the max-selection enumeration must equal the
+// intersection of query answers over brute-force Mod(S), for random CQ
+// and SP queries on random specifications with constraints and copies.
+func TestCertainAnswersMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		cfg := gen.Default(seed)
+		cfg.Relations, cfg.Entities, cfg.TuplesPerEntity, cfg.Attrs = 2, 2, 2, 2
+		cfg.Constraints, cfg.Copies = 2, 1
+		s := gen.Random(cfg)
+		rng := randFor(seed)
+		var q *query.Query
+		if seed%2 == 0 {
+			q = gen.RandomSPQuery(rng, s.Relations[0].Schema, "Q", cfg.Domain)
+		} else {
+			q = gen.RandomCQQuery(rng, s, "Q", cfg.Domain)
+		}
+
+		r, err := NewReasoner(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fast, modEmpty, err := r.CertainAnswers(q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		var acc *query.Result
+		models := 0
+		if err := s.EnumerateModels(func(m spec.Model) bool {
+			models++
+			res, err := query.Eval(q, query.DB(m.CurrentDB()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc == nil {
+				acc = res
+			} else {
+				acc = acc.Intersect(res)
+			}
+			return true
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if modEmpty != (models == 0) {
+			t.Fatalf("seed %d: emptiness disagreement: fast=%v brute=%d models", seed, modEmpty, models)
+		}
+		if modEmpty {
+			continue
+		}
+		if !fast.Equal(acc) {
+			t.Errorf("seed %d: certain answers differ\n  query: %v\n  fast:  %v\n  brute: %v",
+				seed, q, fast, acc)
+		}
+	}
+}
+
+// TestPossibleAnswersMatchBruteForce checks the dual: the union of
+// answers over all completions.
+func TestPossibleAnswersMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		cfg := gen.Default(seed)
+		cfg.Relations, cfg.Entities, cfg.TuplesPerEntity, cfg.Attrs = 1, 2, 3, 2
+		cfg.Constraints, cfg.Copies = 1, 0
+		s := gen.Random(cfg)
+		rng := randFor(seed)
+		q := gen.RandomSPQuery(rng, s.Relations[0].Schema, "Q", cfg.Domain)
+
+		r, err := NewReasoner(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fast, err := r.PossibleAnswers(q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		union := &query.Result{Cols: append([]string(nil), q.Head...)}
+		seen := map[string]bool{}
+		if err := s.EnumerateModels(func(m spec.Model) bool {
+			res, err := query.Eval(q, query.DB(m.CurrentDB()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range res.Rows {
+				if !seen[row.Key()] {
+					seen[row.Key()] = true
+					union.Rows = append(union.Rows, row)
+				}
+			}
+			return true
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !fast.Equal(union) {
+			t.Errorf("seed %d: possible answers differ: fast=%v brute=%v", seed, fast, union)
+		}
+	}
+}
+
+// randFor seeds query generation independently of workload generation.
+func randFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed + 77)) }

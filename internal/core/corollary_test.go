@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"currency/internal/dc"
+	"currency/internal/paperdb"
+	"currency/internal/query"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// TestCertainOrderInstance exercises COP with a full temporal instance Ot
+// (the paper's input shape, Example 3.2).
+func TestCertainOrderInstance(t *testing.T) {
+	r, err := NewReasoner(paperdb.SpecS0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := paperdb.Emp()
+	ot := relation.NewTemporalInstance(emp.Instance)
+	ot.MustAddOrder("salary", 0, 2) // s1 ≺salary s3
+	certain, err := r.CertainOrderInstance(ot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !certain {
+		t.Error("Ot with the forced pair should be certain")
+	}
+	ot2 := relation.NewTemporalInstance(emp.Instance)
+	ot2.MustAddOrder("LN", 1, 2) // s2 ≺LN s3: free, not certain
+	certain, err = r.CertainOrderInstance(ot2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if certain {
+		t.Error("free pair reported certain")
+	}
+}
+
+// TestCorollary37IdentityQuery reproduces Corollary 3.7's insight: with
+// denial constraints present, even identity queries have non-trivial
+// certain answers — the certain answer set of the identity query on a
+// non-deterministic relation omits every unstable tuple.
+func TestCorollary37IdentityQuery(t *testing.T) {
+	// Two tuples for one entity, no constraints forcing an order: the
+	// identity query has NO certain answers (the current tuple differs
+	// across completions), exactly the device used in Corollary 3.7's
+	// reduction from CPS.
+	sc := relation.MustSchema("RN", "eid", "A")
+	dt := relation.NewTemporal(sc)
+	dt.MustAdd(relation.Tuple{relation.S("e"), relation.I(1)})
+	dt.MustAdd(relation.Tuple{relation.S("e"), relation.I(2)})
+	s := spec.New()
+	s.MustAddRelation(dt)
+	r, err := NewReasoner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := &query.Query{
+		Name: "id",
+		Head: []string{"x", "y"},
+		Body: query.Atom{Rel: "RN", Terms: []query.Term{query.V("x"), query.V("y")}},
+	}
+	if !query.IsIdentity(id) {
+		t.Fatal("identity query not recognized")
+	}
+	res, modEmpty, err := r.CertainAnswers(id)
+	if err != nil || modEmpty {
+		t.Fatalf("CertainAnswers: %v", err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("unstable entity must have no certain identity answers, got %v", res)
+	}
+	// Pinning the order with a constraint makes (e, 2) certain.
+	s2 := spec.New()
+	dt2 := dt.Clone()
+	s2.MustAddRelation(dt2)
+	s2.MustAddConstraint(monotoneA())
+	r2, err := NewReasoner(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _, err := r2.CertainAnswers(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.Tuple{relation.S("e"), relation.I(2)}
+	if len(res2.Rows) != 1 || !res2.Rows[0].Equal(want) {
+		t.Errorf("certain identity answers = %v, want {(e,2)}", res2)
+	}
+}
+
+func monotoneA() *dc.Constraint {
+	return &dc.Constraint{
+		Name:     "mono",
+		Relation: "RN",
+		Vars:     []string{"s", "t"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("s", "A"), Op: dc.OpGt, R: dc.AttrOp("t", "A")},
+		},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "A"},
+	}
+}

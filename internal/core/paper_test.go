@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+
+	"currency/internal/copyfn"
+	"currency/internal/paperdb"
+	"currency/internal/query"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// TestPaperExampleConsistency reproduces Example 2.3: S0 is consistent.
+func TestPaperExampleConsistency(t *testing.T) {
+	r, err := NewReasoner(paperdb.SpecS0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent() {
+		t.Fatal("S0 should be consistent (Example 2.3)")
+	}
+}
+
+// TestPaperExampleQueries reproduces Example 1.1 / Example 2.5: the certain
+// current answers to Q1–Q4 w.r.t. S0 are 80k, Dupont, 6 Main St, 6000k.
+func TestPaperExampleQueries(t *testing.T) {
+	r, err := NewReasoner(paperdb.SpecS0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		q    *query.Query
+		want relation.Value
+	}{
+		{paperdb.Q1(), relation.I(80)},
+		{paperdb.Q2(), relation.S("Dupont")},
+		{paperdb.Q3(), relation.S("6 Main St")},
+		{paperdb.Q4(), relation.I(6000)},
+	}
+	for _, c := range cases {
+		res, modEmpty, err := r.CertainAnswers(c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q.Name, err)
+		}
+		if modEmpty {
+			t.Fatalf("%s: Mod(S0) unexpectedly empty", c.q.Name)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0] != c.want {
+			t.Errorf("%s: certain answers = %v, want {%v}", c.q.Name, res, c.want)
+		}
+	}
+}
+
+// TestPaperExampleCertainOrder reproduces Example 3.2: s1 ≺salary s3 is
+// certain, but t3 ≺mgrFN t4 is not.
+func TestPaperExampleCertainOrder(t *testing.T) {
+	r, err := NewReasoner(paperdb.SpecS0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.CertainOrder([]OrderRequirement{{Rel: "Emp", Attr: "salary", I: 0, J: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("s1 ≺salary s3 should be certain (Example 3.2)")
+	}
+	ok, err = r.CertainOrder([]OrderRequirement{{Rel: "Dept", Attr: "mgrFN", I: 2, J: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("t3 ≺mgrFN t4 should not be certain (Example 3.2)")
+	}
+}
+
+// TestPaperExampleDeterministic reproduces Example 3.3: S0 is deterministic
+// for current Emp instances, with LST(Emp) = {s3, s4, s5}.
+func TestPaperExampleDeterministic(t *testing.T) {
+	r, err := NewReasoner(paperdb.SpecS0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := r.Deterministic("Emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Fatal("S0 should be deterministic for current Emp instances (Example 3.3)")
+	}
+	dbs, complete := r.CurrentDBs(0)
+	if !complete || len(dbs) == 0 {
+		t.Fatal("expected complete, non-empty current-database enumeration")
+	}
+	emp := paperdb.Emp()
+	want := relation.NewInstance(emp.Schema)
+	want.MustAdd(emp.Tuples[2]) // s3
+	want.MustAdd(emp.Tuples[3]) // s4
+	want.MustAdd(emp.Tuples[4]) // s5
+	for _, db := range dbs {
+		if !db["Emp"].Equal(want) {
+			t.Fatalf("LST(Emp) = %v, want {s3,s4,s5}", db["Emp"])
+		}
+	}
+}
+
+// TestPaperExampleDeptNondeterministic checks that S0 is not deterministic
+// for Dept: the current mgrFN can be Mary (t3) or Ed (t4).
+func TestPaperExampleDeptNondeterministic(t *testing.T) {
+	r, err := NewReasoner(paperdb.SpecS0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := r.Deterministic("Dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det {
+		t.Error("S0 should not be deterministic for Dept (t3 vs t4 order is open)")
+	}
+}
+
+// TestPaperExampleInconsistentCopy reproduces the second part of
+// Example 2.3: importing budgets with a currency order opposing the one
+// forced by ϕ1/ϕ3/ϕ4 and ρ makes the specification inconsistent.
+func TestPaperExampleInconsistentCopy(t *testing.T) {
+	s := paperdb.SpecS0()
+	// Source D1 holds copies of t1 and t3's budgets with w3 ≺budget w1.
+	sc := relation.MustSchema("D1", "dname", "budget")
+	d1 := relation.NewTemporal(sc)
+	d1.MustAdd(relation.Tuple{relation.S("R&D"), relation.I(6500)}) // w1 = t1's budget
+	d1.MustAdd(relation.Tuple{relation.S("R&D"), relation.I(6000)}) // w3 = t3's budget
+	d1.MustAddOrder("budget", 1, 0)                                 // w3 ≺budget w1
+	s.MustAddRelation(d1)
+	rho1 := copyfn.New("rho1", "Dept", "D1", []string{"budget"}, []string{"budget"})
+	rho1.Set(0, 0) // t1 <- w1
+	rho1.Set(2, 1) // t3 <- w3
+	s.MustAddCopy(rho1)
+
+	r, err := NewReasoner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consistent() {
+		t.Error("specification with contradicting copy orders should be inconsistent (Example 2.3)")
+	}
+}
+
+// TestPaperExample41 reproduces Example 4.1: in S1, ρ (copying only m2) is
+// not currency preserving for Q2, but its extension ρ1 (also copying m3)
+// is.
+func TestPaperExample41(t *testing.T) {
+	s := paperdb.SpecS1()
+	r, err := NewReasoner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent() {
+		t.Fatal("S1 should be consistent")
+	}
+	q2 := paperdb.Q2()
+	res, _, err := r.CertainAnswers(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != relation.S("Dupont") {
+		t.Fatalf("certain answer to Q2 in S1 = %v, want {Dupont}", res)
+	}
+
+	// The EID-matching extension space (importing Mgr tuples for Mary's
+	// Emp entity) suffices to witness non-preservation and keeps the
+	// doubly exponential search small.
+	preserving, err := r.CurrencyPreservingMatching(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preserving {
+		t.Error("ρ should not be currency preserving for Q2 (Example 4.1)")
+	}
+
+	// Build ρ1 = ρ extended by copying m3 into Mary's Emp entity.
+	s1 := s.Clone()
+	changed, err := ApplyAtom(s1, ExtensionAtom{Copy: 0, Source: 2, TargetEID: relation.S("e1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("extension with m3 should change the specification")
+	}
+	r1, err := NewReasoner(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, _, err := r1.CertainAnswers(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Rows) != 1 || res1.Rows[0][0] != relation.S("Smith") {
+		t.Fatalf("certain answer to Q2 after copying m3 = %v, want {Smith}", res1)
+	}
+	preserving1, err := r1.CurrencyPreservingMatching(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !preserving1 {
+		t.Error("ρ1 should be currency preserving for Q2 (Example 4.1)")
+	}
+}
+
+// TestPaperExample24Variant reproduces Example 2.4's variant: if s4 and s5
+// referred to the same person with the given orders, the current tuple
+// combines s5's values with s4's salary.
+func TestPaperExample24Variant(t *testing.T) {
+	sc := relation.MustSchema("Emp", "eid", "FN", "LN", "address", "salary", "status")
+	dt := relation.NewTemporal(sc)
+	dt.MustAdd(relation.Tuple{relation.S("e2"), relation.S("Bob"), relation.S("Luth"), relation.S("8 Cowan St"), relation.I(80), relation.S("married")})
+	dt.MustAdd(relation.Tuple{relation.S("e2"), relation.S("Robert"), relation.S("Luth"), relation.S("8 Drum St"), relation.I(55), relation.S("married")})
+	for _, a := range []string{"FN", "LN", "address", "status"} {
+		dt.MustAddOrder(a, 0, 1) // s4 ≺ s5
+	}
+	dt.MustAddOrder("salary", 1, 0) // s5 ≺salary s4
+
+	s := spec.New()
+	s.MustAddRelation(dt)
+	r, err := NewReasoner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbs, complete := r.CurrentDBs(0)
+	if !complete || len(dbs) != 1 {
+		t.Fatalf("expected exactly one current database, got %d (complete=%v)", len(dbs), complete)
+	}
+	want := relation.Tuple{relation.S("e2"), relation.S("Robert"), relation.S("Luth"), relation.S("8 Drum St"), relation.I(80), relation.S("married")}
+	got := dbs[0]["Emp"]
+	if got.Len() != 1 || !got.Tuples[0].Equal(want) {
+		t.Errorf("current tuple = %v, want %v", got.Tuples[0], want)
+	}
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+
+	"currency/internal/query"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// ExtensionAtom is one elementary way to extend the copy functions of a
+// specification (Section 4): import source tuple Source of copy function
+// Copy into the target relation for an entity that already exists there.
+// Only copy functions covering every non-EID target attribute can be
+// extended, so the new tuple is fully determined.
+type ExtensionAtom struct {
+	Copy      int // index into Spec.Copies
+	Source    int // source tuple index
+	TargetEID relation.Value
+}
+
+// String renders the atom.
+func (a ExtensionAtom) String() string {
+	return fmt.Sprintf("copy[%d] src#%d -> entity %s", a.Copy, a.Source, a.TargetEID)
+}
+
+// ExtensionAtoms enumerates the elementary extensions available in a
+// specification: for every covering copy function, every source tuple may
+// be imported for every existing target entity. Atoms whose application
+// would be a no-op (the identical tuple already exists and is already
+// mapped to that source) are included; Apply filters them.
+func ExtensionAtoms(s *spec.Spec) []ExtensionAtom {
+	var out []ExtensionAtom
+	for ci, cf := range s.Copies {
+		tgt, ok := s.Relation(cf.Target)
+		if !ok {
+			continue
+		}
+		src, ok := s.Relation(cf.Source)
+		if !ok {
+			continue
+		}
+		if !cf.CoversAllAttrs(tgt.Schema) {
+			continue
+		}
+		for _, eid := range tgt.EntityIDs() {
+			for si := range src.Tuples {
+				out = append(out, ExtensionAtom{Copy: ci, Source: si, TargetEID: eid})
+			}
+		}
+	}
+	return out
+}
+
+// MatchingEIDAtoms restricts ExtensionAtoms to atoms whose target entity
+// equals the source tuple's entity id — the practically common case where
+// source and target identify entities the same way.
+func MatchingEIDAtoms(s *spec.Spec) []ExtensionAtom {
+	var out []ExtensionAtom
+	for _, a := range ExtensionAtoms(s) {
+		src, _ := s.Relation(s.Copies[a.Copy].Source)
+		if src.EID(a.Source) == a.TargetEID {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ConservativeAtoms restricts ExtensionAtoms to atoms that do not add new
+// tuples: the imported tuple already exists in the target (for the chosen
+// entity), so the extension only defines the mapping on it, importing
+// currency information without new data. This models the hardness-gadget
+// setting of Theorems 5.1 and 5.3, where fixed denial constraints forbid
+// additional tuples per entity.
+func ConservativeAtoms(s *spec.Spec) []ExtensionAtom {
+	var out []ExtensionAtom
+	for _, a := range ExtensionAtoms(s) {
+		cf := s.Copies[a.Copy]
+		tgt, _ := s.Relation(cf.Target)
+		src, _ := s.Relation(cf.Source)
+		pairs, err := cf.AttrPairs(tgt.Schema, src.Schema)
+		if err != nil {
+			continue
+		}
+		want := make(relation.Tuple, tgt.Schema.Arity())
+		want[tgt.Schema.EIDIndex] = a.TargetEID
+		for _, p := range pairs {
+			want[p[0]] = src.Tuples[a.Source][p[1]]
+		}
+		if tgt.Contains(want) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ConservativeAtomSpace is the AtomSpace of mapping-only extensions.
+var ConservativeAtomSpace AtomSpace = ConservativeAtoms
+
+// ApplyAtom extends the (mutable) specification with one atom, following
+// set semantics for instances:
+//
+//   - if the target already holds an identical tuple that this copy
+//     function maps to the same source, the atom is a no-op;
+//   - if it holds an identical unmapped tuple, the atom defines the
+//     mapping on it (importing currency information without adding data);
+//   - if every identical tuple is mapped elsewhere, or none exists, a new
+//     tuple is appended and mapped.
+//
+// It reports whether the specification changed.
+func ApplyAtom(s *spec.Spec, a ExtensionAtom) (bool, error) {
+	if a.Copy < 0 || a.Copy >= len(s.Copies) {
+		return false, fmt.Errorf("core: extension atom references unknown copy function %d", a.Copy)
+	}
+	cf := s.Copies[a.Copy]
+	tgt, ok := s.Relation(cf.Target)
+	if !ok {
+		return false, fmt.Errorf("core: copy %s targets unknown relation %s", cf.Name, cf.Target)
+	}
+	src, ok := s.Relation(cf.Source)
+	if !ok {
+		return false, fmt.Errorf("core: copy %s reads unknown relation %s", cf.Name, cf.Source)
+	}
+	if !cf.CoversAllAttrs(tgt.Schema) {
+		return false, fmt.Errorf("core: copy %s does not cover all attributes of %s and cannot be extended", cf.Name, cf.Target)
+	}
+	if a.Source < 0 || a.Source >= src.Len() {
+		return false, fmt.Errorf("core: extension atom references out-of-range source tuple %d", a.Source)
+	}
+	eidExists := false
+	for _, eid := range tgt.EntityIDs() {
+		if eid == a.TargetEID {
+			eidExists = true
+			break
+		}
+	}
+	if !eidExists {
+		return false, fmt.Errorf("core: extension atom targets entity %s not present in %s", a.TargetEID, cf.Target)
+	}
+
+	pairs, err := cf.AttrPairs(tgt.Schema, src.Schema)
+	if err != nil {
+		return false, err
+	}
+	newTuple := make(relation.Tuple, tgt.Schema.Arity())
+	newTuple[tgt.Schema.EIDIndex] = a.TargetEID
+	for _, p := range pairs {
+		newTuple[p[0]] = src.Tuples[a.Source][p[1]]
+	}
+
+	// Set semantics: reuse an identical existing tuple when possible.
+	for ti, tu := range tgt.Tuples {
+		if !tu.Equal(newTuple) {
+			continue
+		}
+		if mapped, isMapped := cf.Mapping[ti]; isMapped {
+			if mapped == a.Source {
+				return false, nil // no-op
+			}
+			continue // claimed by another source; look for another slot
+		}
+		cf.Set(ti, a.Source)
+		return true, nil
+	}
+	ti, err := tgt.Add(newTuple)
+	if err != nil {
+		return false, err
+	}
+	cf.Set(ti, a.Source)
+	return true, nil
+}
+
+// ApplyExtension clones the specification and applies the atoms in order,
+// reporting whether anything changed.
+func ApplyExtension(s *spec.Spec, atoms []ExtensionAtom) (*spec.Spec, bool, error) {
+	out := s.Clone()
+	changed := false
+	for _, a := range atoms {
+		ch, err := ApplyAtom(out, a)
+		if err != nil {
+			return nil, false, err
+		}
+		changed = changed || ch
+	}
+	return out, changed, nil
+}
+
+// certainKey canonically encodes a certain-answer set for comparison.
+func certainKey(res *query.Result, modEmpty bool) string {
+	if modEmpty {
+		return "⊤(vacuous)"
+	}
+	res.Sort()
+	key := ""
+	for _, row := range res.Rows {
+		key += row.Key() + ";"
+	}
+	return key
+}
+
+// AtomSpace generates the elementary extensions considered when deciding
+// currency preservation. FullAtomSpace follows the paper's definition
+// exactly (any source tuple may be imported for any existing target
+// entity); MatchingAtomSpace restricts to imports whose source entity id
+// equals the target entity id, the practically common case, which shrinks
+// the doubly exponential search.
+type AtomSpace func(*spec.Spec) []ExtensionAtom
+
+// FullAtomSpace is the unrestricted extension space of Section 4.
+var FullAtomSpace AtomSpace = ExtensionAtoms
+
+// MatchingAtomSpace restricts extensions to EID-matching imports.
+var MatchingAtomSpace AtomSpace = MatchingEIDAtoms
+
+// CurrencyPreserving decides CPP: is the collection of copy functions in S
+// currency preserving for q? Per Section 4 this requires Mod(S) ≠ ∅ and
+// that no consistent extension of the copy functions changes the certain
+// current answers to q. It uses the paper's unrestricted extension space.
+//
+// The search walks the subset lattice of extension atoms with monotone
+// pruning: extending an inconsistent specification can only stay
+// inconsistent, so branches below an inconsistent node are skipped.
+// Worst-case exponential in the number of atoms, matching the problem's
+// Πp3/Πp2 completeness.
+func (r *Reasoner) CurrencyPreserving(q *query.Query) (bool, error) {
+	return r.CurrencyPreservingIn(q, FullAtomSpace)
+}
+
+// CurrencyPreservingMatching is CurrencyPreserving restricted to
+// EID-matching extension atoms; see MatchingAtomSpace.
+func (r *Reasoner) CurrencyPreservingMatching(q *query.Query) (bool, error) {
+	return r.CurrencyPreservingIn(q, MatchingAtomSpace)
+}
+
+// CurrencyPreservingIn decides CPP over a caller-chosen extension space.
+func (r *Reasoner) CurrencyPreservingIn(q *query.Query, space AtomSpace) (bool, error) {
+	return r.currencyPreservingWith(q, space(r.Spec))
+}
+
+func (r *Reasoner) currencyPreservingWith(q *query.Query, atoms []ExtensionAtom) (bool, error) {
+	if !r.Consistent() {
+		return false, nil
+	}
+	baseRes, _, err := r.CertainAnswers(q)
+	if err != nil {
+		return false, err
+	}
+	base := certainKey(baseRes, false)
+
+	// Depth-first over subsets; each node carries the spec extended so far.
+	var walk func(i int, cur *spec.Spec, changed bool) (bool, error)
+	walk = func(i int, cur *spec.Spec, changed bool) (bool, error) {
+		if changed {
+			re, err := NewReasoner(cur)
+			if err != nil {
+				return false, err
+			}
+			if !re.Consistent() {
+				// Monotone pruning: every superset is inconsistent too, and
+				// inconsistent extensions are ignored by the definition.
+				return true, nil
+			}
+			res, _, err := re.CertainAnswers(q)
+			if err != nil {
+				return false, err
+			}
+			if certainKey(res, false) != base {
+				return false, nil
+			}
+		}
+		if i == len(atoms) {
+			return true, nil
+		}
+		// Exclude atom i.
+		ok, err := walk(i+1, cur, false)
+		if err != nil || !ok {
+			return ok, err
+		}
+		// Include atom i.
+		next := cur.Clone()
+		ch, err := ApplyAtom(next, atoms[i])
+		if err != nil {
+			return false, err
+		}
+		if !ch {
+			return true, nil // identical to the exclude branch
+		}
+		return walk(i+1, next, true)
+	}
+	return walk(0, r.Spec, false)
+}
+
+// CurrencyPreservingForAll decides the multi-query generalization of CPP
+// the paper lists as future work (Section 7): the copy functions are
+// currency preserving for a query workload iff no consistent extension
+// changes the certain answers of ANY query in the workload. A single
+// subset-lattice walk serves all queries.
+func (r *Reasoner) CurrencyPreservingForAll(queries []*query.Query, space AtomSpace) (bool, error) {
+	if !r.Consistent() {
+		return false, nil
+	}
+	base := make([]string, len(queries))
+	for i, q := range queries {
+		res, _, err := r.CertainAnswers(q)
+		if err != nil {
+			return false, err
+		}
+		base[i] = certainKey(res, false)
+	}
+	atoms := space(r.Spec)
+	var walk func(i int, cur *spec.Spec, changed bool) (bool, error)
+	walk = func(i int, cur *spec.Spec, changed bool) (bool, error) {
+		if changed {
+			re, err := NewReasoner(cur)
+			if err != nil {
+				return false, err
+			}
+			if !re.Consistent() {
+				return true, nil
+			}
+			for qi, q := range queries {
+				res, _, err := re.CertainAnswers(q)
+				if err != nil {
+					return false, err
+				}
+				if certainKey(res, false) != base[qi] {
+					return false, nil
+				}
+			}
+		}
+		if i == len(atoms) {
+			return true, nil
+		}
+		ok, err := walk(i+1, cur, false)
+		if err != nil || !ok {
+			return ok, err
+		}
+		next := cur.Clone()
+		ch, err := ApplyAtom(next, atoms[i])
+		if err != nil {
+			return false, err
+		}
+		if !ch {
+			return true, nil
+		}
+		return walk(i+1, next, true)
+	}
+	return walk(0, r.Spec, false)
+}
+
+// ExtensionExists decides ECP for a consistent specification: per
+// Proposition 5.2 the answer is always yes — copy functions can always be
+// extended to a currency-preserving collection (possibly by the maximal
+// extension). For an inconsistent specification the answer is no, because
+// no extension can repair inconsistency (extensions only add constraints).
+func (r *Reasoner) ExtensionExists() bool {
+	return r.Consistent()
+}
+
+// MaximalExtension constructs a currency-preserving extension greedily,
+// following the constructive proof of Proposition 5.2: consider extension
+// atoms one by one and keep each whose addition leaves the specification
+// consistent. The result imports as much as consistently possible, so no
+// further extension can change certain answers.
+func (r *Reasoner) MaximalExtension() (*spec.Spec, []ExtensionAtom, error) {
+	if !r.Consistent() {
+		return nil, nil, fmt.Errorf("core: inconsistent specifications have no currency-preserving extension")
+	}
+	cur := r.Spec.Clone()
+	var kept []ExtensionAtom
+	for _, a := range ExtensionAtoms(r.Spec) {
+		trial := cur.Clone()
+		ch, err := ApplyAtom(trial, a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ch {
+			continue
+		}
+		re, err := NewReasoner(trial)
+		if err != nil {
+			return nil, nil, err
+		}
+		if re.Consistent() {
+			cur = trial
+			kept = append(kept, a)
+		}
+	}
+	return cur, kept, nil
+}
+
+// BoundedCopying decides BCP: does some extension importing at most k
+// additional tuples exist that is currency preserving for q? The search
+// enumerates atom subsets of size ≤ k (matching the Σp4/Σp3 upper-bound
+// algorithm: guess a bounded extension, then check CPP). It uses the
+// paper's unrestricted extension space.
+func (r *Reasoner) BoundedCopying(q *query.Query, k int) (bool, []ExtensionAtom, error) {
+	return r.BoundedCopyingIn(q, k, FullAtomSpace)
+}
+
+// BoundedCopyingMatching is BoundedCopying over the EID-matching space.
+func (r *Reasoner) BoundedCopyingMatching(q *query.Query, k int) (bool, []ExtensionAtom, error) {
+	return r.BoundedCopyingIn(q, k, MatchingAtomSpace)
+}
+
+// BoundedCopyingIn decides BCP over a caller-chosen extension space; the
+// inner currency-preservation checks use the same space.
+func (r *Reasoner) BoundedCopyingIn(q *query.Query, k int, space AtomSpace) (bool, []ExtensionAtom, error) {
+	if !r.Consistent() {
+		return false, nil, nil
+	}
+	atoms := space(r.Spec)
+	idx := make([]int, 0, k)
+	var found []ExtensionAtom
+	var rec func(start, remaining int, cur *spec.Spec, changed bool) (bool, error)
+	rec = func(start, remaining int, cur *spec.Spec, changed bool) (bool, error) {
+		if changed {
+			re, err := NewReasoner(cur)
+			if err != nil {
+				return false, err
+			}
+			if re.Consistent() {
+				preserving, err := re.currencyPreservingWith(q, space(cur))
+				if err != nil {
+					return false, err
+				}
+				if preserving {
+					for _, i := range idx {
+						found = append(found, atoms[i])
+					}
+					return true, nil
+				}
+			} else {
+				return false, nil // supersets stay inconsistent
+			}
+		}
+		if remaining == 0 {
+			return false, nil
+		}
+		for i := start; i < len(atoms); i++ {
+			next := cur.Clone()
+			ch, err := ApplyAtom(next, atoms[i])
+			if err != nil {
+				return false, err
+			}
+			if !ch {
+				continue
+			}
+			idx = append(idx, i)
+			ok, err := rec(i+1, remaining-1, next, true)
+			idx = idx[:len(idx)-1]
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	ok, err := rec(0, k, r.Spec, false)
+	if err != nil {
+		return false, nil, err
+	}
+	return ok, found, nil
+}

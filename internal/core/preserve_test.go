@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"currency/internal/paperdb"
+	"currency/internal/query"
+	"currency/internal/relation"
+)
+
+// TestExtensionAtomsSpaces checks the three extension spaces on S1.
+func TestExtensionAtomsSpaces(t *testing.T) {
+	s := paperdb.SpecS1()
+	full := ExtensionAtoms(s)
+	// Mgr has 3 tuples; Emp has 3 entities: 9 full atoms.
+	if len(full) != 9 {
+		t.Errorf("full atoms = %d, want 9", len(full))
+	}
+	matching := MatchingEIDAtoms(s)
+	// Only Mary's entity e1 matches Mgr's EIDs: 3 atoms.
+	if len(matching) != 3 {
+		t.Errorf("matching atoms = %d, want 3", len(matching))
+	}
+	conservative := ConservativeAtoms(s)
+	// Only m2 equals an existing Emp tuple (s3) for e1.
+	if len(conservative) != 1 {
+		t.Errorf("conservative atoms = %d, want 1: %v", len(conservative), conservative)
+	}
+}
+
+// TestApplyAtomSetSemantics checks no-op, mapping-reuse and new-tuple
+// behaviours of ApplyAtom.
+func TestApplyAtomSetSemantics(t *testing.T) {
+	s := paperdb.SpecS1()
+	// m2 == s3 and rhoMgr already maps s3 <- m2: a no-op.
+	changed, err := ApplyAtom(s, ExtensionAtom{Copy: 0, Source: 1, TargetEID: relation.S("e1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("re-importing an already mapped identical tuple must be a no-op")
+	}
+	// m3 is new: appends a tuple.
+	emp, _ := s.Relation("Emp")
+	before := emp.Len()
+	changed, err = ApplyAtom(s, ExtensionAtom{Copy: 0, Source: 2, TargetEID: relation.S("e1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || emp.Len() != before+1 {
+		t.Fatalf("expected a new tuple, len %d -> %d", before, emp.Len())
+	}
+	// The new tuple is mapped and satisfies the copying condition.
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown entity rejected.
+	if _, err := ApplyAtom(s, ExtensionAtom{Copy: 0, Source: 0, TargetEID: relation.S("nope")}); err == nil {
+		t.Error("unknown target entity accepted")
+	}
+	// Out-of-range source rejected.
+	if _, err := ApplyAtom(s, ExtensionAtom{Copy: 0, Source: 99, TargetEID: relation.S("e1")}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+// TestMaximalExtensionIsPreserving verifies Proposition 5.2's
+// construction: the greedy maximal extension is currency preserving for
+// any query (no further extension changes anything).
+func TestMaximalExtensionIsPreserving(t *testing.T) {
+	s := paperdb.SpecS1()
+	r, err := NewReasoner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ExtensionExists() {
+		t.Fatal("ECP must hold for consistent specifications")
+	}
+	maxSpec, kept, err := r.MaximalExtension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) == 0 {
+		t.Fatal("expected the maximal extension to import something")
+	}
+	rMax, err := NewReasoner(maxSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rMax.Consistent() {
+		t.Fatal("maximal extension must stay consistent")
+	}
+	preserving, err := rMax.CurrencyPreserving(paperdb.Q2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !preserving {
+		t.Error("maximal extension must be currency preserving (Prop 5.2)")
+	}
+}
+
+// TestBoundedCopyingWitness reproduces the BCP side of Example 4.1: one
+// import (Mgr's divorced record) yields a preserving extension.
+func TestBoundedCopyingWitness(t *testing.T) {
+	s := paperdb.SpecS1()
+	r, err := NewReasoner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, atoms, err := r.BoundedCopyingMatching(paperdb.Q2(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("BCP(k=1) should hold for Example 4.1")
+	}
+	if len(atoms) != 1 || atoms[0].Source != 2 {
+		t.Errorf("witness = %v, want the m3 import", atoms)
+	}
+	// k = 0 means no extension at all — and ρ itself is not preserving,
+	// so BCP(0) must fail.
+	ok, _, err = r.BoundedCopyingMatching(paperdb.Q2(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("BCP(k=0) must fail when ρ is not preserving")
+	}
+}
+
+// TestCurrencyPreservingForAll checks the multi-query generalization:
+// ρ1 preserves Q2 alone, but adding Q1 (salary) keeps it preserving,
+// while the unextended ρ fails the workload because of Q2.
+func TestCurrencyPreservingForAll(t *testing.T) {
+	s := paperdb.SpecS1()
+	r, err := NewReasoner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload := []*query.Query{paperdb.Q1(), paperdb.Q2()}
+	ok, err := r.CurrencyPreservingForAll(workload, MatchingAtomSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("ρ must fail the workload (Q2 is not preserved)")
+	}
+	s1 := s.Clone()
+	if _, err := ApplyAtom(s1, ExtensionAtom{Copy: 0, Source: 2, TargetEID: relation.S("e1")}); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewReasoner(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = r1.CurrencyPreservingForAll(workload, MatchingAtomSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("ρ1 must preserve the whole workload")
+	}
+}
+
+// TestCPPInconsistentSpec checks the definitional corner: inconsistent
+// specifications are never currency preserving.
+func TestCPPInconsistentSpec(t *testing.T) {
+	s := paperdb.SpecS1()
+	emp, _ := s.Relation("Emp")
+	// Contradict ϕ1 directly: make the lower salary certainly newer.
+	emp.MustAddOrder("salary", 2, 0) // s3 (80) ≺ s1 (50): ϕ1 forces the opposite
+	r, err := NewReasoner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consistent() {
+		t.Fatal("spec should be inconsistent")
+	}
+	ok, err := r.CurrencyPreservingMatching(paperdb.Q2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("inconsistent specifications are not currency preserving")
+	}
+	if r.ExtensionExists() {
+		t.Error("ECP must fail on inconsistent specifications")
+	}
+	if _, _, err := r.MaximalExtension(); err == nil {
+		t.Error("MaximalExtension must refuse inconsistent specifications")
+	}
+}

@@ -1,0 +1,188 @@
+// Package core implements the decision problems of the paper:
+//
+//	CPS   — consistency of specifications           (Theorem 3.1)
+//	COP   — certain ordering                        (Theorem 3.4)
+//	DCIP  — deterministic current instance          (Theorem 3.4)
+//	CCQA  — certain current query answering         (Theorem 3.5)
+//	CPP   — currency preservation of copy functions (Theorem 5.1)
+//	ECP   — existence of preserving extensions      (Proposition 5.2)
+//	BCP   — bounded copying                         (Theorem 5.3)
+//
+// The procedures are exact implementations of the upper-bound algorithms in
+// the proofs; their worst-case cost matches the problems' complexity (most
+// are intractable in general — see internal/tractable for the polynomial
+// special cases of Section 6).
+package core
+
+import (
+	"fmt"
+
+	"currency/internal/osolve"
+	"currency/internal/query"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// Reasoner bundles a specification with its solver and answers the
+// reasoning problems of Sections 3–5.
+type Reasoner struct {
+	Spec   *spec.Spec
+	Solver *osolve.Solver
+}
+
+// NewReasoner validates the specification and grounds its constraints.
+func NewReasoner(s *spec.Spec) (*Reasoner, error) {
+	sv, err := osolve.New(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Reasoner{Spec: s, Solver: sv}, nil
+}
+
+// Consistent decides CPS: is Mod(S) non-empty?
+func (r *Reasoner) Consistent() bool { return r.Solver.Consistent() }
+
+// OrderRequirement is one pair of a currency order Ot: tuple I of relation
+// Rel must precede tuple J in attribute Attr.
+type OrderRequirement struct {
+	Rel  string
+	Attr string
+	I, J int
+}
+
+// CertainOrder decides COP: does every consistent completion contain all
+// the required pairs? Vacuously true when Mod(S) is empty.
+func (r *Reasoner) CertainOrder(reqs []OrderRequirement) (bool, error) {
+	for _, req := range reqs {
+		ok, err := r.Solver.CertainPair(req.Rel, req.Attr, req.I, req.J)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// CertainOrderInstance decides COP for a currency order given as a
+// temporal instance Ot over the same tuples as relation rel in S.
+func (r *Reasoner) CertainOrderInstance(ot *relation.TemporalInstance) (bool, error) {
+	var reqs []OrderRequirement
+	for _, ai := range ot.Schema.NonEIDIndexes() {
+		ps := ot.Orders[ai]
+		if ps == nil {
+			continue
+		}
+		for _, p := range ps.Pairs() {
+			reqs = append(reqs, OrderRequirement{
+				Rel:  ot.Schema.Name,
+				Attr: ot.Schema.Attrs[ai],
+				I:    p.A,
+				J:    p.B,
+			})
+		}
+	}
+	return r.CertainOrder(reqs)
+}
+
+// Deterministic decides DCIP for one relation: does LST of the relation
+// agree across all consistent completions? Vacuously true when Mod(S) is
+// empty.
+func (r *Reasoner) Deterministic(rel string) (bool, error) {
+	if _, ok := r.Spec.Relation(rel); !ok {
+		return false, fmt.Errorf("core: unknown relation %s", rel)
+	}
+	return r.Solver.DeterministicCurrent(rel), nil
+}
+
+// DeterministicAll decides DCIP for every relation of the specification.
+func (r *Reasoner) DeterministicAll() bool {
+	for _, rel := range r.Spec.Relations {
+		if !r.Solver.DeterministicCurrent(rel.Schema.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// CurrentDBs enumerates the distinct possible current databases
+// {LST(Dc) : Dc ∈ Mod(S)}. limit > 0 caps the enumeration; the bool
+// reports exhaustiveness.
+func (r *Reasoner) CurrentDBs(limit int) ([]osolve.CurrentDB, bool) {
+	return r.Solver.EnumerateCurrentDBs(limit)
+}
+
+// CertainAnswers computes the certain current answers to q w.r.t. S: the
+// intersection of Q(LST(Dc)) over all consistent completions. The second
+// return value reports whether Mod(S) is empty, in which case every tuple
+// is vacuously a certain answer and the returned result is nil.
+//
+// Only the relations mentioned by the query are enumerated: distinct
+// current databases projected onto those relations are exactly the inputs
+// the query can distinguish.
+func (r *Reasoner) CertainAnswers(q *query.Query) (*query.Result, bool, error) {
+	dbs, complete := r.Solver.EnumerateCurrentDBs(0, q.Relations()...)
+	if !complete {
+		return nil, false, fmt.Errorf("core: current-database enumeration was truncated")
+	}
+	if len(dbs) == 0 {
+		return nil, true, nil
+	}
+	var acc *query.Result
+	for _, db := range dbs {
+		res, err := query.Eval(q, query.DB(db))
+		if err != nil {
+			return nil, false, err
+		}
+		if acc == nil {
+			acc = res
+		} else {
+			acc = acc.Intersect(res)
+		}
+		if len(acc.Rows) == 0 {
+			break
+		}
+	}
+	return acc, false, nil
+}
+
+// IsCertainAnswer decides CCQA: is t in Q(LST(Dc)) for every consistent
+// completion Dc? Vacuously true when Mod(S) is empty.
+func (r *Reasoner) IsCertainAnswer(q *query.Query, t relation.Tuple) (bool, error) {
+	res, modEmpty, err := r.CertainAnswers(q)
+	if err != nil {
+		return false, err
+	}
+	if modEmpty {
+		return true, nil
+	}
+	return res.Contains(t), nil
+}
+
+// PossibleAnswers computes the union of Q(LST(Dc)) over all consistent
+// completions — the "possible current answers", a useful companion to
+// certain answers for diagnostics.
+func (r *Reasoner) PossibleAnswers(q *query.Query) (*query.Result, error) {
+	dbs, complete := r.Solver.EnumerateCurrentDBs(0, q.Relations()...)
+	if !complete {
+		return nil, fmt.Errorf("core: current-database enumeration was truncated")
+	}
+	acc := &query.Result{Cols: append([]string(nil), q.Head...)}
+	seen := make(map[string]bool)
+	for _, db := range dbs {
+		res, err := query.Eval(q, query.DB(db))
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			k := row.Key()
+			if !seen[k] {
+				seen[k] = true
+				acc.Rows = append(acc.Rows, row)
+			}
+		}
+	}
+	acc.Sort()
+	return acc, nil
+}

@@ -1,0 +1,226 @@
+// Package dc implements denial constraints for data currency, as defined in
+// Section 2 of the paper: universally quantified sentences
+//
+//	∀t1,...,tk : R( ⋀_j t1[EID]=tj[EID] ∧ ψ  →  tu ≺_Ai tv )
+//
+// where ψ is a conjunction of currency-order atoms (tj ≺_Al th), value
+// comparisons between tuple attributes, and comparisons against constants.
+// Constraints are interpreted over completions of temporal instances.
+package dc
+
+import (
+	"fmt"
+	"strings"
+
+	"currency/internal/relation"
+)
+
+// Op is a comparison operator on values.
+type Op uint8
+
+const (
+	OpEq Op = iota // =
+	OpNe           // !=
+	OpLt           // <
+	OpLe           // <=
+	OpGt           // >
+	OpGe           // >=
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Eval applies the operator to two values. Ordering comparisons between
+// values of different kinds are false (ill-typed data never satisfies a
+// built-in ordering predicate); equality follows Value equality.
+func (o Op) Eval(a, b relation.Value) bool {
+	switch o {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	c := a.Compare(b)
+	switch o {
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// Operand is one side of a value comparison: either a constant, or a
+// tuple-variable attribute reference t[A].
+type Operand struct {
+	IsConst bool
+	Const   relation.Value
+	Var     string // tuple variable name
+	Attr    string // attribute name
+}
+
+// ConstOp returns a constant operand.
+func ConstOp(v relation.Value) Operand { return Operand{IsConst: true, Const: v} }
+
+// AttrOp returns a t[A] operand.
+func AttrOp(tupleVar, attr string) Operand { return Operand{Var: tupleVar, Attr: attr} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.IsConst {
+		return o.Const.String()
+	}
+	return o.Var + "." + o.Attr
+}
+
+// Comparison is a value predicate L op R in the constraint body.
+type Comparison struct {
+	L  Operand
+	Op Op
+	R  Operand
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// OrderAtom is a currency-order atom U ≺_Attr V between tuple variables.
+type OrderAtom struct {
+	U, V string // tuple variables: U less current than V
+	Attr string
+}
+
+// String renders the atom as U <Attr V.
+func (a OrderAtom) String() string {
+	return fmt.Sprintf("%s <%s %s", a.U, a.Attr, a.V)
+}
+
+// Constraint is a denial constraint on a single relation. The implicit
+// same-EID condition of the paper (t1[EID] = tj[EID] for all j) is always
+// enforced during grounding and satisfaction checking. A constraint whose
+// Head has U == V expresses falsity of the body (the paper's "t1 ≺_V t1"
+// device): no completion may satisfy the body.
+type Constraint struct {
+	Name     string
+	Relation string
+	Vars     []string // tuple variables t1..tk, in quantifier order
+	Cmps     []Comparison
+	Orders   []OrderAtom // order atoms in the body ψ
+	Head     OrderAtom
+}
+
+// Validate checks variable and attribute references against the schema.
+func (c *Constraint) Validate(schema *relation.Schema) error {
+	if c.Relation != schema.Name {
+		return fmt.Errorf("dc: constraint %s targets %s, got schema %s", c.Name, c.Relation, schema.Name)
+	}
+	if len(c.Vars) == 0 {
+		return fmt.Errorf("dc: constraint %s has no tuple variables", c.Name)
+	}
+	declared := make(map[string]bool, len(c.Vars))
+	for _, v := range c.Vars {
+		if v == "" {
+			return fmt.Errorf("dc: constraint %s has an empty variable name", c.Name)
+		}
+		if declared[v] {
+			return fmt.Errorf("dc: constraint %s declares variable %s twice", c.Name, v)
+		}
+		declared[v] = true
+	}
+	checkVar := func(v string) error {
+		if !declared[v] {
+			return fmt.Errorf("dc: constraint %s uses undeclared variable %s", c.Name, v)
+		}
+		return nil
+	}
+	checkAttr := func(a string) error {
+		idx, ok := schema.AttrIndex(a)
+		if !ok {
+			return fmt.Errorf("dc: constraint %s references unknown attribute %s.%s", c.Name, schema.Name, a)
+		}
+		_ = idx
+		return nil
+	}
+	checkOrderAttr := func(a string) error {
+		idx, ok := schema.AttrIndex(a)
+		if !ok {
+			return fmt.Errorf("dc: constraint %s orders unknown attribute %s.%s", c.Name, schema.Name, a)
+		}
+		if idx == schema.EIDIndex {
+			return fmt.Errorf("dc: constraint %s orders the EID attribute of %s", c.Name, schema.Name)
+		}
+		return nil
+	}
+	for _, cmp := range c.Cmps {
+		for _, op := range []Operand{cmp.L, cmp.R} {
+			if op.IsConst {
+				continue
+			}
+			if err := checkVar(op.Var); err != nil {
+				return err
+			}
+			if err := checkAttr(op.Attr); err != nil {
+				return err
+			}
+		}
+	}
+	for _, oa := range c.Orders {
+		if err := checkVar(oa.U); err != nil {
+			return err
+		}
+		if err := checkVar(oa.V); err != nil {
+			return err
+		}
+		if err := checkOrderAttr(oa.Attr); err != nil {
+			return err
+		}
+	}
+	if err := checkVar(c.Head.U); err != nil {
+		return err
+	}
+	if err := checkVar(c.Head.V); err != nil {
+		return err
+	}
+	return checkOrderAttr(c.Head.Attr)
+}
+
+// String renders the constraint in the library's textual syntax.
+func (c *Constraint) String() string {
+	var body []string
+	for _, cmp := range c.Cmps {
+		body = append(body, cmp.String())
+	}
+	for _, oa := range c.Orders {
+		body = append(body, oa.String())
+	}
+	b := strings.Join(body, " and ")
+	if b == "" {
+		b = "true"
+	}
+	return fmt.Sprintf("constraint %s on %s forall %s: %s -> %s",
+		c.Name, c.Relation, strings.Join(c.Vars, ", "), b, c.Head)
+}

@@ -1,0 +1,211 @@
+package dc
+
+import (
+	"testing"
+
+	"currency/internal/relation"
+)
+
+func emp(t *testing.T) *relation.TemporalInstance {
+	t.Helper()
+	sc := relation.MustSchema("Emp", "eid", "salary", "status")
+	dt := relation.NewTemporal(sc)
+	dt.MustAdd(relation.Tuple{relation.S("e1"), relation.I(50), relation.S("single")})
+	dt.MustAdd(relation.Tuple{relation.S("e1"), relation.I(80), relation.S("married")})
+	dt.MustAdd(relation.Tuple{relation.S("e2"), relation.I(70), relation.S("married")})
+	return dt
+}
+
+func monotone() *Constraint {
+	return &Constraint{
+		Name:     "mono",
+		Relation: "Emp",
+		Vars:     []string{"s", "t"},
+		Cmps:     []Comparison{{L: AttrOp("s", "salary"), Op: OpGt, R: AttrOp("t", "salary")}},
+		Head:     OrderAtom{U: "t", V: "s", Attr: "salary"},
+	}
+}
+
+func TestOpEval(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b relation.Value
+		want bool
+	}{
+		{OpEq, relation.I(1), relation.I(1), true},
+		{OpEq, relation.I(1), relation.S("1"), false},
+		{OpNe, relation.I(1), relation.S("1"), true},
+		{OpLt, relation.I(1), relation.I(2), true},
+		{OpLt, relation.S("a"), relation.S("b"), true},
+		{OpLt, relation.I(1), relation.S("b"), false}, // cross-kind ordering is false
+		{OpGe, relation.I(2), relation.I(2), true},
+		{OpGt, relation.S("b"), relation.S("a"), true},
+		{OpLe, relation.I(3), relation.I(2), false},
+	}
+	for i, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("case %d: %v %v %v = %v, want %v", i, c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	dt := emp(t)
+	good := monotone()
+	if err := good.Validate(dt.Schema); err != nil {
+		t.Error(err)
+	}
+	bad := monotone()
+	bad.Vars = nil
+	if err := bad.Validate(dt.Schema); err == nil {
+		t.Error("constraint without variables accepted")
+	}
+	bad = monotone()
+	bad.Head = OrderAtom{U: "t", V: "s", Attr: "eid"}
+	if err := bad.Validate(dt.Schema); err == nil {
+		t.Error("order on EID accepted")
+	}
+	bad = monotone()
+	bad.Head = OrderAtom{U: "t", V: "x", Attr: "salary"}
+	if err := bad.Validate(dt.Schema); err == nil {
+		t.Error("undeclared head variable accepted")
+	}
+	bad = monotone()
+	bad.Cmps = []Comparison{{L: AttrOp("s", "nope"), Op: OpEq, R: ConstOp(relation.I(1))}}
+	if err := bad.Validate(dt.Schema); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	bad = monotone()
+	bad.Vars = []string{"s", "s"}
+	if err := bad.Validate(dt.Schema); err == nil {
+		t.Error("duplicate variable accepted")
+	}
+}
+
+func TestGroundMonotone(t *testing.T) {
+	dt := emp(t)
+	rules, err := Ground(monotone(), dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the e1 pair (80 > 50) qualifies: rule with empty body forcing
+	// tuple0 ≺salary tuple1. e2 is a singleton.
+	if len(rules) != 1 {
+		t.Fatalf("rules = %+v", rules)
+	}
+	r := rules[0]
+	if len(r.Body) != 0 || r.HeadFalse || r.Head.I != 0 || r.Head.J != 1 {
+		t.Errorf("rule = %+v", r)
+	}
+	si, _ := dt.Schema.AttrIndex("salary")
+	if r.Head.Attr != si {
+		t.Errorf("head attr = %d, want %d", r.Head.Attr, si)
+	}
+}
+
+func TestGroundOrderBody(t *testing.T) {
+	dt := emp(t)
+	c := &Constraint{
+		Name:     "corr",
+		Relation: "Emp",
+		Vars:     []string{"s", "t"},
+		Orders:   []OrderAtom{{U: "t", V: "s", Attr: "salary"}},
+		Head:     OrderAtom{U: "t", V: "s", Attr: "status"},
+	}
+	rules, err := Ground(c, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e1 contributes two rules (s,t) = (0,1) and (1,0); same-tuple
+	// assignments are dropped because the body is unsatisfiable.
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules, want 2: %+v", len(rules), rules)
+	}
+	for _, r := range rules {
+		if len(r.Body) != 1 {
+			t.Errorf("body = %+v", r.Body)
+		}
+	}
+}
+
+func TestGroundHeadFalse(t *testing.T) {
+	dt := emp(t)
+	c := &Constraint{
+		Name:     "deny",
+		Relation: "Emp",
+		Vars:     []string{"s", "t"},
+		Cmps: []Comparison{
+			{L: AttrOp("s", "status"), Op: OpEq, R: ConstOp(relation.S("married"))},
+			{L: AttrOp("t", "status"), Op: OpEq, R: ConstOp(relation.S("single"))},
+		},
+		Orders: []OrderAtom{{U: "s", V: "t", Attr: "salary"}},
+		// Head s ≺ s encodes falsity of the body.
+		Head: OrderAtom{U: "s", V: "s", Attr: "salary"},
+	}
+	rules, err := Ground(c, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || !rules[0].HeadFalse {
+		t.Fatalf("rules = %+v", rules)
+	}
+}
+
+func TestGroundConstConstShortCircuit(t *testing.T) {
+	dt := emp(t)
+	c := monotone()
+	c.Cmps = append(c.Cmps, Comparison{L: ConstOp(relation.I(1)), Op: OpEq, R: ConstOp(relation.I(2))})
+	rules, err := Ground(c, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Errorf("false constant comparison should kill all rules, got %d", len(rules))
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	dt := emp(t)
+	comp := relation.NewCompletion(dt)
+	si, _ := dt.Schema.AttrIndex("salary")
+	sti, _ := dt.Schema.AttrIndex("status")
+	comp.SetChain(si, []int{0, 1})
+	comp.SetChain(sti, []int{0, 1})
+
+	ok, err := Satisfied(monotone(), comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("completion respecting monotonicity rejected")
+	}
+	comp.SetChain(si, []int{1, 0}) // higher salary now older: violates
+	ok, err = Satisfied(monotone(), comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("violating completion accepted")
+	}
+	ok, err = AllSatisfied([]*Constraint{monotone()}, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("AllSatisfied accepted a violating completion")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	s := monotone().String()
+	if s == "" {
+		t.Error("empty rendering")
+	}
+	empty := &Constraint{
+		Name: "noBody", Relation: "Emp", Vars: []string{"s", "t"},
+		Head: OrderAtom{U: "t", V: "s", Attr: "salary"},
+	}
+	if got := empty.String(); got == "" {
+		t.Error("empty rendering for bodyless constraint")
+	}
+}

@@ -1,0 +1,185 @@
+package dc
+
+import (
+	"fmt"
+
+	"currency/internal/relation"
+)
+
+// GroundAtom is an instantiated order atom: tuple I ≺ tuple J on the
+// attribute at index Attr, within one relation instance.
+type GroundAtom struct {
+	Attr int
+	I, J int
+}
+
+// GroundRule is the instantiation of a denial constraint at a concrete
+// tuple assignment whose value predicates already hold: the remaining
+// order atoms in the body imply the head. HeadFalse marks rules whose head
+// is the paper's contradiction device tu ≺ tu: the body must not hold in
+// any completion.
+type GroundRule struct {
+	Body      []GroundAtom
+	Head      GroundAtom
+	HeadFalse bool
+	// Origin names the constraint that produced the rule, for diagnostics.
+	Origin string
+}
+
+// resolve evaluates an operand under a variable assignment.
+func resolve(o Operand, inst *relation.Instance, varIdx map[string]int, asg []int) relation.Value {
+	if o.IsConst {
+		return o.Const
+	}
+	ti := asg[varIdx[o.Var]]
+	ai, _ := inst.Schema.AttrIndex(o.Attr)
+	return inst.Tuples[ti][ai]
+}
+
+// Ground instantiates the constraint over every assignment of its tuple
+// variables to same-entity tuples of inst, keeping only assignments whose
+// value comparisons hold, and returns the resulting order-implication
+// rules. Rules with an unsatisfiable body (an order atom i ≺ i) are
+// dropped; rules with a trivially true head (after deduplication the head
+// already appears in the body) are dropped.
+//
+// Value predicates are checked as soon as all of their variables are
+// assigned, pruning the assignment tree early. Naive grounding is
+// O(Σ_e |I_e|^k) for k tuple variables; with selective predicates — as in
+// the hardness-reduction gadgets of internal/reductions, whose constraints
+// carry many variables each pinned by equalities — the effective cost
+// collapses to the number of surviving rules.
+func Ground(c *Constraint, inst *relation.TemporalInstance) ([]GroundRule, error) {
+	if err := c.Validate(inst.Schema); err != nil {
+		return nil, err
+	}
+	varIdx := make(map[string]int, len(c.Vars))
+	for i, v := range c.Vars {
+		varIdx[v] = i
+	}
+	attrIdx := func(a string) int {
+		i, _ := inst.Schema.AttrIndex(a)
+		return i
+	}
+
+	// Bucket each comparison by the latest variable position it mentions,
+	// so it can be checked as soon as that variable is assigned.
+	cmpLevel := func(cmp Comparison) int {
+		level := -1
+		for _, op := range []Operand{cmp.L, cmp.R} {
+			if !op.IsConst {
+				if p := varIdx[op.Var]; p > level {
+					level = p
+				}
+			}
+		}
+		return level
+	}
+	cmpsAt := make([][]Comparison, len(c.Vars))
+	for _, cmp := range c.Cmps {
+		lv := cmpLevel(cmp)
+		if lv < 0 {
+			// Constant-constant comparison: decide the whole constraint now.
+			if !cmp.Op.Eval(cmp.L.Const, cmp.R.Const) {
+				return nil, nil
+			}
+			continue
+		}
+		cmpsAt[lv] = append(cmpsAt[lv], cmp)
+	}
+
+	var rules []GroundRule
+	asg := make([]int, len(c.Vars))
+	groups := inst.Entities()
+
+	var rec func(pos int, members []int) error
+	rec = func(pos int, members []int) error {
+		if pos == len(c.Vars) {
+			rule := GroundRule{Origin: c.Name}
+			for _, oa := range c.Orders {
+				i, j := asg[varIdx[oa.U]], asg[varIdx[oa.V]]
+				if i == j {
+					return nil // irreflexive: body unsatisfiable
+				}
+				rule.Body = append(rule.Body, GroundAtom{Attr: attrIdx(oa.Attr), I: i, J: j})
+			}
+			hi, hj := asg[varIdx[c.Head.U]], asg[varIdx[c.Head.V]]
+			if hi == hj {
+				rule.HeadFalse = true
+			} else {
+				rule.Head = GroundAtom{Attr: attrIdx(c.Head.Attr), I: hi, J: hj}
+				for _, b := range rule.Body {
+					if b == rule.Head {
+						return nil // head in body: trivially satisfied
+					}
+				}
+			}
+			rules = append(rules, rule)
+			return nil
+		}
+	next:
+		for _, ti := range members {
+			asg[pos] = ti
+			for _, cmp := range cmpsAt[pos] {
+				l := resolve(cmp.L, inst.Instance, varIdx, asg)
+				r := resolve(cmp.R, inst.Instance, varIdx, asg)
+				if !cmp.Op.Eval(l, r) {
+					continue next
+				}
+			}
+			if err := rec(pos+1, members); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, g := range groups {
+		if err := rec(0, g.Members); err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}
+
+// Satisfied reports whether a completion satisfies the constraint: for
+// every same-entity assignment whose body holds under the completion's
+// orders, the head order holds too.
+func Satisfied(c *Constraint, comp *relation.Completion) (bool, error) {
+	rules, err := Ground(c, comp.Base)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range rules {
+		bodyHolds := true
+		for _, b := range r.Body {
+			if !comp.Less(b.Attr, b.I, b.J) {
+				bodyHolds = false
+				break
+			}
+		}
+		if !bodyHolds {
+			continue
+		}
+		if r.HeadFalse {
+			return false, nil
+		}
+		if !comp.Less(r.Head.Attr, r.Head.I, r.Head.J) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// AllSatisfied reports whether a completion satisfies every constraint.
+func AllSatisfied(cs []*Constraint, comp *relation.Completion) (bool, error) {
+	for _, c := range cs {
+		ok, err := Satisfied(c, comp)
+		if err != nil {
+			return false, fmt.Errorf("dc: checking %s: %w", c.Name, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,190 @@
+// Package discovery implements the profiling substrate the paper points
+// at: copy functions "can be automatically discovered" (citing Dong et
+// al.) and denial constraints "can also be automatically discovered, along
+// the same lines as data dependency profiling" (citing Fan et al.). It
+// mines candidate copy functions from value overlap between relations and
+// candidate currency constraints (monotone attributes, value-transition
+// rules) from instances with known entity groups.
+package discovery
+
+import (
+	"sort"
+
+	"currency/internal/copyfn"
+	"currency/internal/dc"
+	"currency/internal/relation"
+)
+
+// CopyCandidate is a discovered copy relationship: target tuples whose
+// values on the attribute lists coincide with some source tuple.
+type CopyCandidate struct {
+	Fn *copyfn.CopyFunction
+	// Support is the fraction of target tuples that found a source match.
+	Support float64
+}
+
+// DiscoverCopies proposes copy functions from target to source over the
+// given correlated attribute lists: each target tuple is mapped to the
+// first source tuple agreeing on every correlated attribute. Candidates
+// below minSupport are dropped.
+func DiscoverCopies(name string, target, source *relation.TemporalInstance,
+	targetAttrs, sourceAttrs []string, minSupport float64) (*CopyCandidate, bool) {
+	cf := copyfn.New(name, target.Schema.Name, source.Schema.Name, targetAttrs, sourceAttrs)
+	pairs, err := cf.AttrPairs(target.Schema, source.Schema)
+	if err != nil {
+		return nil, false
+	}
+	// Index source tuples by their correlated-value key.
+	type key string
+	idx := make(map[key]int)
+	for si := source.Len() - 1; si >= 0; si-- {
+		var b []byte
+		for _, p := range pairs {
+			b = append(b, source.Tuples[si][p[1]].String()...)
+			b = append(b, 0)
+		}
+		idx[key(b)] = si
+	}
+	matched := 0
+	for ti := 0; ti < target.Len(); ti++ {
+		var b []byte
+		for _, p := range pairs {
+			b = append(b, target.Tuples[ti][p[0]].String()...)
+			b = append(b, 0)
+		}
+		if si, ok := idx[key(b)]; ok {
+			cf.Set(ti, si)
+			matched++
+		}
+	}
+	if target.Len() == 0 {
+		return nil, false
+	}
+	support := float64(matched) / float64(target.Len())
+	if support < minSupport {
+		return nil, false
+	}
+	return &CopyCandidate{Fn: cf, Support: support}, true
+}
+
+// ConstraintCandidate is a mined denial constraint with its evidence.
+type ConstraintCandidate struct {
+	Constraint *dc.Constraint
+	// Evidence counts the entity-tuple pairs supporting the rule.
+	Evidence int
+}
+
+// DiscoverMonotone proposes ϕ1-style constraints ("greater value ⇒ more
+// current") for integer attributes, using revealed partial orders as
+// evidence: an attribute qualifies when no revealed order pair contradicts
+// monotonicity and at least minEvidence pairs support it.
+func DiscoverMonotone(inst *relation.TemporalInstance, minEvidence int) []ConstraintCandidate {
+	var out []ConstraintCandidate
+	for _, ai := range inst.Schema.NonEIDIndexes() {
+		ps := inst.Orders[ai]
+		if ps == nil {
+			continue
+		}
+		closed := ps.TransitiveClosure()
+		support, contradiction, intOnly := 0, 0, true
+		for _, p := range closed.Pairs() {
+			a, b := inst.Tuples[p.A][ai], inst.Tuples[p.B][ai]
+			if a.Kind != relation.KindInt || b.Kind != relation.KindInt {
+				intOnly = false
+				break
+			}
+			switch {
+			case a.Int < b.Int:
+				support++
+			case a.Int > b.Int:
+				contradiction++
+			}
+		}
+		if intOnly && contradiction == 0 && support >= minEvidence {
+			attr := inst.Schema.Attrs[ai]
+			out = append(out, ConstraintCandidate{
+				Constraint: &dc.Constraint{
+					Name:     "mono_" + attr,
+					Relation: inst.Schema.Name,
+					Vars:     []string{"s", "t"},
+					Cmps: []dc.Comparison{
+						{L: dc.AttrOp("s", attr), Op: dc.OpGt, R: dc.AttrOp("t", attr)},
+					},
+					Head: dc.OrderAtom{U: "t", V: "s", Attr: attr},
+				},
+				Evidence: support,
+			})
+		}
+	}
+	return out
+}
+
+// Transition is an observed value transition a → b on an attribute.
+type Transition struct {
+	Attr string
+	From relation.Value
+	To   relation.Value
+}
+
+// DiscoverTransitions proposes ϕ2-style constraints for categorical
+// attributes: if revealed orders always move value a to value b (never b
+// to a), emit the rule "status a is less current than status b". Useful
+// for lifecycle attributes (single → married → divorced).
+func DiscoverTransitions(inst *relation.TemporalInstance, minEvidence int) []ConstraintCandidate {
+	type edge struct {
+		attr int
+		from relation.Value
+		to   relation.Value
+	}
+	counts := make(map[edge]int)
+	for _, ai := range inst.Schema.NonEIDIndexes() {
+		ps := inst.Orders[ai]
+		if ps == nil {
+			continue
+		}
+		for _, p := range ps.TransitiveClosure().Pairs() {
+			a, b := inst.Tuples[p.A][ai], inst.Tuples[p.B][ai]
+			if a.Kind != relation.KindString || b.Kind != relation.KindString || a == b {
+				continue
+			}
+			counts[edge{ai, a, b}]++
+		}
+	}
+	var edges []edge
+	for e := range counts {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].attr != edges[j].attr {
+			return edges[i].attr < edges[j].attr
+		}
+		if edges[i].from != edges[j].from {
+			return edges[i].from.Less(edges[j].from)
+		}
+		return edges[i].to.Less(edges[j].to)
+	})
+	var out []ConstraintCandidate
+	for _, e := range edges {
+		if counts[e] < minEvidence {
+			continue
+		}
+		if counts[edge{e.attr, e.to, e.from}] > 0 {
+			continue // contradictory evidence
+		}
+		attr := inst.Schema.Attrs[e.attr]
+		out = append(out, ConstraintCandidate{
+			Constraint: &dc.Constraint{
+				Name:     "trans_" + attr + "_" + e.from.Display() + "_" + e.to.Display(),
+				Relation: inst.Schema.Name,
+				Vars:     []string{"s", "t"},
+				Cmps: []dc.Comparison{
+					{L: dc.AttrOp("s", attr), Op: dc.OpEq, R: dc.ConstOp(e.to)},
+					{L: dc.AttrOp("t", attr), Op: dc.OpEq, R: dc.ConstOp(e.from)},
+				},
+				Head: dc.OrderAtom{U: "t", V: "s", Attr: attr},
+			},
+			Evidence: counts[e],
+		})
+	}
+	return out
+}

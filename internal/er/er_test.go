@@ -1,0 +1,148 @@
+package er
+
+import (
+	"testing"
+	"testing/quick"
+
+	"currency/internal/relation"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"  Mary   Smith ": "mary smith",
+		"MARY-SMITH":      "mary smith",
+		"m.a.r.y":         "m a r y",
+		"":                "",
+		"Bob":             "bob",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "ab", 1},
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Symmetry and triangle inequality, property-checked.
+	sym := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(sym, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	tri := func(a, b, c string) bool {
+		if len(a) > 8 || len(b) > 8 || len(c) > 8 {
+			return true
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarities(t *testing.T) {
+	if s := EditSimilarity("mary", "mary"); s != 1 {
+		t.Errorf("EditSimilarity equal = %v", s)
+	}
+	if s := EditSimilarity("mary", "zzzz"); s != 0 {
+		t.Errorf("EditSimilarity disjoint = %v", s)
+	}
+	if s := JaccardQGrams("mary", "mary"); s != 1 {
+		t.Errorf("Jaccard equal = %v", s)
+	}
+	if s := JaccardQGrams("mary smith", "marysmith"); s <= 0.3 {
+		t.Errorf("Jaccard near-match too low: %v", s)
+	}
+	if got := QGrams("ab", 3); len(got) != 4 {
+		t.Errorf("QGrams = %v", got)
+	}
+}
+
+func TestResolveClusters(t *testing.T) {
+	sc := relation.MustSchema("C", "eid", "name", "city")
+	d := relation.NewInstance(sc)
+	add := func(name, city string) {
+		d.MustAdd(relation.Tuple{relation.S("?"), relation.S(name), relation.S(city)})
+	}
+	add("Mary Smith", "Troy")   // 0
+	add("Mary  Smith", "Ghent") // 1: same person, extra space
+	add("MarySmith", "Troy")    // 2: same person, missing space
+	add("Bob Luth", "Mons")     // 3
+	add("Bob Luht", "Mons")     // 4: typo of 3
+	add("Wei Chen", "Leeds")    // 5
+
+	resolved, clusters, err := Resolve(d, Config{KeyAttrs: []string{"name"}, Threshold: 0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters[0] != clusters[1] || clusters[1] != clusters[2] {
+		t.Errorf("Mary cluster split: %v", clusters)
+	}
+	if clusters[3] != clusters[4] {
+		t.Errorf("Bob cluster split: %v", clusters)
+	}
+	if clusters[0] == clusters[3] || clusters[0] == clusters[5] || clusters[3] == clusters[5] {
+		t.Errorf("distinct people merged: %v", clusters)
+	}
+	// EIDs rewritten consistently.
+	if resolved.EID(0) != resolved.EID(2) || resolved.EID(0) == resolved.EID(3) {
+		t.Errorf("EIDs: %v %v %v", resolved.EID(0), resolved.EID(2), resolved.EID(3))
+	}
+	// Blocking mode agrees here (all variants share a first letter).
+	_, blocked, err := Resolve(d, Config{KeyAttrs: []string{"name"}, Threshold: 0.55, BlockAttr: "name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clusters {
+		for j := range clusters {
+			if (clusters[i] == clusters[j]) != (blocked[i] == blocked[j]) {
+				t.Errorf("blocking changed clustering at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	sc := relation.MustSchema("C", "eid", "name")
+	d := relation.NewInstance(sc)
+	if _, _, err := Resolve(d, Config{}); err == nil {
+		t.Error("missing key attributes accepted")
+	}
+	if _, _, err := Resolve(d, Config{KeyAttrs: []string{"nope"}}); err == nil {
+		t.Error("unknown key attribute accepted")
+	}
+	if _, _, err := Resolve(d, Config{KeyAttrs: []string{"name"}, BlockAttr: "nope"}); err == nil {
+		t.Error("unknown blocking attribute accepted")
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	pred := [][2]int{{0, 1}, {2, 3}}
+	gold := [][2]int{{0, 1}, {4, 5}}
+	p, r := PrecisionRecall(pred, gold)
+	if p != 0.5 || r != 0.5 {
+		t.Errorf("P=%v R=%v, want 0.5/0.5", p, r)
+	}
+	p, r = PrecisionRecall(nil, nil)
+	if p != 1 || r != 1 {
+		t.Errorf("empty case P=%v R=%v", p, r)
+	}
+	if got := Pairs([]int{0, 0, 1}); len(got) != 1 || got[0] != [2]int{0, 1} {
+		t.Errorf("Pairs = %v", got)
+	}
+}

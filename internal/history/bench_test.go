@@ -1,0 +1,41 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDecayRecovery sweeps the reveal rate of the stale-data
+// simulator and reports how expensive currency recovery is at scale —
+// the Section 1 motivation scenario ("2% of records go stale per month")
+// turned into a measurable experiment.
+func BenchmarkDecayRecovery(b *testing.B) {
+	for _, reveal := range []float64{0.1, 0.3, 0.6} {
+		b.Run(fmt.Sprintf("reveal=%.1f", reveal), func(b *testing.B) {
+			db := Generate(Config{
+				Seed: 11, Entities: 100, Versions: 4,
+				MonotoneAttrs: 2, DriftAttrs: 2, RevealOrder: reveal,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.MeasureRecovery(true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerate measures the simulator itself.
+func BenchmarkGenerate(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Generate(Config{
+					Seed: int64(i), Entities: n, Versions: 4,
+					MonotoneAttrs: 2, DriftAttrs: 2, RevealOrder: 0.3,
+				})
+			}
+		})
+	}
+}

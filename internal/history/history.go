@@ -1,0 +1,264 @@
+// Package history is the stale-data simulator substrate. The paper's
+// motivation (Section 1) is databases whose records decay — multiple
+// values per entity, all once correct, with no reliable timestamps. This
+// package generates entity attribute histories WITH hidden ground-truth
+// timestamps, projects them to timestamp-free temporal instances (as a
+// real dirty database would look), derives denial constraints and partial
+// orders from the ground truth, and measures how much of the true currency
+// order the reasoning machinery recovers.
+package history
+
+import (
+	"fmt"
+	"math/rand"
+
+	"currency/internal/dc"
+	"currency/internal/order"
+	"currency/internal/relation"
+	"currency/internal/spec"
+	"currency/internal/tractable"
+)
+
+// Config controls history generation.
+type Config struct {
+	Seed     int64
+	Entities int
+	// Versions is the number of historical versions per entity.
+	Versions int
+	// MonotoneAttrs are integer attributes that only grow over time
+	// (salary-like); their value order reveals their currency order.
+	MonotoneAttrs int
+	// DriftAttrs are integer attributes that change arbitrarily; their
+	// currency order is invisible in the values.
+	DriftAttrs int
+	// RevealOrder is the probability that a true order pair is revealed
+	// as an explicit partial order (e.g. from a partially trusted audit
+	// log).
+	RevealOrder float64
+	// Domain bounds drift attribute values.
+	Domain int
+}
+
+// Database is a generated history: the observable temporal instance plus
+// the hidden ground truth.
+type Database struct {
+	Inst *relation.TemporalInstance
+	// TrueOrder[e] lists the entity's tuple indices in true chronological
+	// order (oldest first).
+	TrueOrder map[relation.Value][]int
+	Config    Config
+}
+
+// Generate builds a history database. The relation schema is
+// H(eid, M0..Mk-1, D0..Dj-1) with monotone and drift attributes.
+func Generate(cfg Config) *Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Domain == 0 {
+		cfg.Domain = 10
+	}
+	attrs := []string{"eid"}
+	for i := 0; i < cfg.MonotoneAttrs; i++ {
+		attrs = append(attrs, fmt.Sprintf("M%d", i))
+	}
+	for i := 0; i < cfg.DriftAttrs; i++ {
+		attrs = append(attrs, fmt.Sprintf("D%d", i))
+	}
+	sc := relation.MustSchema("H", attrs...)
+	dt := relation.NewTemporal(sc)
+	db := &Database{Inst: dt, TrueOrder: make(map[relation.Value][]int), Config: cfg}
+
+	for e := 0; e < cfg.Entities; e++ {
+		eid := relation.S(fmt.Sprintf("e%d", e))
+		mono := make([]int64, cfg.MonotoneAttrs)
+		for i := range mono {
+			mono[i] = int64(rng.Intn(cfg.Domain))
+		}
+		var chron []int
+		for v := 0; v < cfg.Versions; v++ {
+			t := make(relation.Tuple, sc.Arity())
+			t[0] = eid
+			for i := 0; i < cfg.MonotoneAttrs; i++ {
+				// Monotone attributes grow by a non-negative step; steps of
+				// zero create the value ties that keep reasoning nontrivial.
+				mono[i] += int64(rng.Intn(3))
+				t[1+i] = relation.I(mono[i])
+			}
+			for i := 0; i < cfg.DriftAttrs; i++ {
+				t[1+cfg.MonotoneAttrs+i] = relation.I(int64(rng.Intn(cfg.Domain)))
+			}
+			ti := dt.MustAdd(t)
+			chron = append(chron, ti)
+		}
+		db.TrueOrder[eid] = chron
+		// Reveal some true pairs as explicit partial orders on every
+		// attribute (an audit log fragment).
+		for _, ai := range sc.NonEIDIndexes() {
+			for x := 0; x < len(chron); x++ {
+				for y := x + 1; y < len(chron); y++ {
+					if rng.Float64() < cfg.RevealOrder {
+						if err := dt.AddOrderIdx(ai, chron[x], chron[y]); err != nil {
+							panic(err)
+						}
+					}
+				}
+			}
+		}
+	}
+	return db
+}
+
+// Spec wraps the observable instance into a specification, optionally with
+// the monotonicity denial constraints that the generator guarantees hold
+// ("salary never decreases" — the ϕ1 pattern of Example 2.1).
+func (db *Database) Spec(withConstraints bool) *spec.Spec {
+	s := spec.New()
+	s.MustAddRelation(db.Inst)
+	if withConstraints {
+		for i := 0; i < db.Config.MonotoneAttrs; i++ {
+			attr := fmt.Sprintf("M%d", i)
+			s.MustAddConstraint(MonotoneConstraint("H", attr))
+		}
+	}
+	return s
+}
+
+// MonotoneConstraint builds the ϕ1-style rule: a strictly greater value of
+// attr is a more current value of attr.
+func MonotoneConstraint(rel, attr string) *dc.Constraint {
+	return &dc.Constraint{
+		Name:     "mono_" + attr,
+		Relation: rel,
+		Vars:     []string{"s", "t"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("s", attr), Op: dc.OpGt, R: dc.AttrOp("t", attr)},
+		},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: attr},
+	}
+}
+
+// TrueOrderPairs returns the ground-truth currency order of the given
+// attribute as a pair set.
+func (db *Database) TrueOrderPairs() *order.PairSet {
+	ps := order.NewPairSet()
+	for _, chron := range db.TrueOrder {
+		for x := 0; x < len(chron); x++ {
+			for y := x + 1; y < len(chron); y++ {
+				ps.Add(chron[x], chron[y])
+			}
+		}
+	}
+	return ps
+}
+
+// Recovery measures how much of the true currency order the certain-order
+// machinery recovers (recall), per attribute, plus the precision of
+// recovered pairs (which should be 1.0: certain orders are sound because
+// the generator's constraints hold on the true timeline).
+type Recovery struct {
+	Attr      string
+	Recall    float64
+	Precision float64
+	// TrueCurrentRecovered is the fraction of entities whose true most
+	// current value equals the unique possible current value.
+	TrueCurrentRecovered float64
+}
+
+// MeasureRecovery computes recovery metrics using the PTIME fixpoint when
+// the specification has no constraints, and exact certain orders via the
+// fixpoint-free path otherwise. It requires a constraint-free or
+// monotone-constraint spec built by Spec.
+func (db *Database) MeasureRecovery(withConstraints bool) ([]Recovery, error) {
+	s := db.Spec(withConstraints)
+	sc := db.Inst.Schema
+	truth := db.TrueOrderPairs()
+
+	// Certain pairs: for constraint-free specs use the PTIME fixpoint; with
+	// constraints, compute sound certain pairs by closing the revealed
+	// orders under the monotone rules (greater value ⇒ more current).
+	certain := make([]*order.PairSet, sc.Arity())
+	if !withConstraints {
+		po, err := tractable.POInfinity(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, ai := range sc.NonEIDIndexes() {
+			certain[ai] = po.Sets["H"][ai]
+		}
+	} else {
+		for _, ai := range sc.NonEIDIndexes() {
+			ps := db.Inst.Orders[ai].Clone()
+			if ai >= 1 && ai <= db.Config.MonotoneAttrs {
+				for _, chron := range db.TrueOrder {
+					for _, i := range chron {
+						for _, j := range chron {
+							vi := db.Inst.Tuples[i][ai].Int
+							vj := db.Inst.Tuples[j][ai].Int
+							if vi < vj {
+								ps.Add(i, j)
+							}
+						}
+					}
+				}
+			}
+			certain[ai] = ps.TransitiveClosure()
+		}
+	}
+
+	var out []Recovery
+	for _, ai := range sc.NonEIDIndexes() {
+		rec := Recovery{Attr: sc.Attrs[ai]}
+		total, hit := 0, 0
+		for _, p := range truth.Pairs() {
+			total++
+			if certain[ai].Has(p.A, p.B) {
+				hit++
+			}
+		}
+		correct, claimed := 0, 0
+		for _, p := range certain[ai].Pairs() {
+			claimed++
+			if truth.Has(p.A, p.B) {
+				correct++
+			}
+		}
+		if total > 0 {
+			rec.Recall = float64(hit) / float64(total)
+		} else {
+			rec.Recall = 1
+		}
+		if claimed > 0 {
+			rec.Precision = float64(correct) / float64(claimed)
+		} else {
+			rec.Precision = 1
+		}
+		// Current-value recovery.
+		entities, recovered := 0, 0
+		for _, chron := range db.TrueOrder {
+			entities++
+			last := chron[len(chron)-1]
+			trueVal := db.Inst.Tuples[last][ai]
+			unique := true
+			for _, i := range chron {
+				isSink := true
+				for _, j := range chron {
+					if i != j && certain[ai].Has(i, j) {
+						isSink = false
+						break
+					}
+				}
+				if isSink && db.Inst.Tuples[i][ai] != trueVal {
+					unique = false
+					break
+				}
+			}
+			if unique {
+				recovered++
+			}
+		}
+		if entities > 0 {
+			rec.TrueCurrentRecovered = float64(recovered) / float64(entities)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,275 @@
+// Package order provides strict-partial-order machinery over integer nodes:
+// pair sets, transitive closure, cycle detection, and linear-extension
+// enumeration. Currency orders in the paper are strict partial orders per
+// attribute over the tuples of an entity; this package supplies the shared
+// algorithmic substrate.
+package order
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pair is an ordered pair (A ≺ B): A is less current, B is more current.
+type Pair struct {
+	A, B int
+}
+
+// PairSet is a set of ordered pairs representing a binary relation over
+// integer nodes. The zero value is not ready; use NewPairSet.
+type PairSet struct {
+	pairs map[Pair]struct{}
+	succ  map[int][]int // adjacency, lazily maintained on Add
+}
+
+// NewPairSet returns an empty pair set.
+func NewPairSet() *PairSet {
+	return &PairSet{pairs: make(map[Pair]struct{}), succ: make(map[int][]int)}
+}
+
+// Add inserts the pair (a ≺ b). Adding an existing pair is a no-op.
+// Reflexive pairs (a == b) are inserted as given; use HasCycle or
+// IsStrictPartialOrder to detect them as violations.
+func (ps *PairSet) Add(a, b int) {
+	p := Pair{a, b}
+	if _, ok := ps.pairs[p]; ok {
+		return
+	}
+	ps.pairs[p] = struct{}{}
+	ps.succ[a] = append(ps.succ[a], b)
+}
+
+// Has reports whether (a ≺ b) is in the set.
+func (ps *PairSet) Has(a, b int) bool {
+	_, ok := ps.pairs[Pair{a, b}]
+	return ok
+}
+
+// Len returns the number of pairs.
+func (ps *PairSet) Len() int { return len(ps.pairs) }
+
+// Succ returns the direct successors of node a (b with a ≺ b).
+func (ps *PairSet) Succ(a int) []int { return ps.succ[a] }
+
+// Pairs returns all pairs sorted by (A, B) for deterministic iteration.
+func (ps *PairSet) Pairs() []Pair {
+	out := make([]Pair, 0, len(ps.pairs))
+	for p := range ps.pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Clone returns a deep copy.
+func (ps *PairSet) Clone() *PairSet {
+	out := NewPairSet()
+	for p := range ps.pairs {
+		out.Add(p.A, p.B)
+	}
+	return out
+}
+
+// AddAll inserts every pair of other into ps.
+func (ps *PairSet) AddAll(other *PairSet) {
+	for p := range other.pairs {
+		ps.Add(p.A, p.B)
+	}
+}
+
+// ContainedIn reports whether every pair of ps occurs in other.
+func (ps *PairSet) ContainedIn(other *PairSet) bool {
+	for p := range ps.pairs {
+		if !other.Has(p.A, p.B) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (ps *PairSet) Equal(other *PairSet) bool {
+	return ps.Len() == other.Len() && ps.ContainedIn(other)
+}
+
+// Nodes returns all nodes mentioned by some pair, sorted ascending.
+func (ps *PairSet) Nodes() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for p := range ps.pairs {
+		if !seen[p.A] {
+			seen[p.A] = true
+			out = append(out, p.A)
+		}
+		if !seen[p.B] {
+			seen[p.B] = true
+			out = append(out, p.B)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Restrict returns the subset of pairs whose both endpoints lie in nodes.
+func (ps *PairSet) Restrict(nodes []int) *PairSet {
+	in := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		in[n] = true
+	}
+	out := NewPairSet()
+	for p := range ps.pairs {
+		if in[p.A] && in[p.B] {
+			out.Add(p.A, p.B)
+		}
+	}
+	return out
+}
+
+// TransitiveClosure returns the transitive closure of the relation. The
+// closure of a relation with a directed cycle contains reflexive pairs;
+// callers detect inconsistency via HasCycle on the result.
+func (ps *PairSet) TransitiveClosure() *PairSet {
+	out := ps.Clone()
+	// Repeated BFS from each source node; pair sets in this library are
+	// small (per-entity groups), so simplicity wins over Warshall indexing.
+	for _, src := range ps.Nodes() {
+		reach := make(map[int]bool)
+		stack := append([]int(nil), out.succ[src]...)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if reach[n] {
+				continue
+			}
+			reach[n] = true
+			stack = append(stack, out.succ[n]...)
+		}
+		for n := range reach {
+			out.Add(src, n)
+		}
+	}
+	return out
+}
+
+// HasCycle reports whether the relation's transitive closure contains a
+// reflexive pair, i.e., whether the underlying directed graph has a cycle
+// (including self-loops).
+func (ps *PairSet) HasCycle() bool {
+	// Colour-based DFS cycle detection.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[int]int)
+	var visit func(n int) bool
+	visit = func(n int) bool {
+		colour[n] = grey
+		for _, m := range ps.succ[n] {
+			switch colour[m] {
+			case grey:
+				return true
+			case white:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		colour[n] = black
+		return false
+	}
+	for _, n := range ps.Nodes() {
+		if colour[n] == white {
+			if visit(n) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsStrictPartialOrderOn verifies that the relation, restricted to nodes,
+// is irreflexive and acyclic (and hence extends to a strict partial order
+// by transitive closure). It returns a descriptive error otherwise.
+func (ps *PairSet) IsStrictPartialOrderOn(nodes []int) error {
+	sub := ps.Restrict(nodes)
+	for p := range sub.pairs {
+		if p.A == p.B {
+			return fmt.Errorf("order: reflexive pair %d ≺ %d", p.A, p.B)
+		}
+	}
+	if sub.HasCycle() {
+		return fmt.Errorf("order: relation contains a cycle")
+	}
+	return nil
+}
+
+// LinearExtensions enumerates every linear extension of the relation
+// restricted to nodes, i.e., every permutation of nodes compatible with the
+// given pairs, least-current first. It returns nil if the restriction is
+// cyclic. The callback receives each extension; returning false stops the
+// enumeration early. The slice passed to the callback is reused; callers
+// must copy it if they retain it.
+func (ps *PairSet) LinearExtensions(nodes []int, yield func(ext []int) bool) {
+	n := len(nodes)
+	pos := make(map[int]int, n)
+	for i, node := range nodes {
+		pos[node] = i
+	}
+	// indegree within the restriction
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for p := range ps.pairs {
+		ai, aok := pos[p.A]
+		bi, bok := pos[p.B]
+		if !aok || !bok {
+			continue
+		}
+		succ[ai] = append(succ[ai], bi)
+		indeg[bi]++
+	}
+	ext := make([]int, 0, n)
+	used := make([]bool, n)
+	var rec func() bool
+	rec = func() bool {
+		if len(ext) == n {
+			return yield(ext)
+		}
+		for i := 0; i < n; i++ {
+			if used[i] || indeg[i] != 0 {
+				continue
+			}
+			used[i] = true
+			for _, j := range succ[i] {
+				indeg[j]--
+			}
+			ext = append(ext, nodes[i])
+			if !rec() {
+				return false
+			}
+			ext = ext[:len(ext)-1]
+			for _, j := range succ[i] {
+				indeg[j]++
+			}
+			used[i] = false
+		}
+		return true
+	}
+	rec()
+}
+
+// CountLinearExtensions counts the linear extensions of the relation
+// restricted to nodes (0 if the restriction is cyclic).
+func (ps *PairSet) CountLinearExtensions(nodes []int) int {
+	count := 0
+	ps.LinearExtensions(nodes, func([]int) bool {
+		count++
+		return true
+	})
+	return count
+}

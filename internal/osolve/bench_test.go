@@ -1,0 +1,77 @@
+package osolve
+
+import (
+	"fmt"
+	"testing"
+
+	"currency/internal/gen"
+)
+
+// solverWorkload scales the number of entities with a fixed constraint
+// load; used by the per-operation microbenchmarks.
+func solverWorkload(entities int) gen.Config {
+	return gen.Config{
+		Seed: 7, Relations: 2, Entities: entities, TuplesPerEntity: 3,
+		Attrs: 2, Domain: 3, OrderDensity: 0.3, Constraints: 3, Copies: 1, CopyDensity: 0.5,
+	}
+}
+
+func BenchmarkSolverBuild(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := gen.Random(solverWorkload(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := New(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolverConsistent(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := gen.Random(solverWorkload(n))
+			sv, err := New(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sv.SatWith(nil)
+			}
+		})
+	}
+}
+
+func BenchmarkSolverCertainPair(b *testing.B) {
+	s := gen.Random(solverWorkload(16))
+	sv, err := New(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateCurrentDBs(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := gen.Random(solverWorkload(n))
+			sv, err := New(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sv.EnumerateCurrentDBs(0)
+			}
+		})
+	}
+}

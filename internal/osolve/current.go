@@ -1,0 +1,219 @@
+package osolve
+
+import (
+	"sort"
+	"strings"
+
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// CurrentDB is a set of current instances, one per relation, keyed by
+// relation name: the LST(Dc) of some consistent completion.
+type CurrentDB map[string]*relation.Instance
+
+// Key canonically encodes the current database for deduplication.
+func (db CurrentDB) Key() string {
+	names := make([]string, 0, len(db))
+	for n := range db {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = db[n].Key()
+	}
+	return strings.Join(parts, "&")
+}
+
+// maxAssumptions returns the literals forcing member position m to be the
+// greatest element of block bi.
+func (sv *Solver) maxAssumptions(bi, m int) []Lit {
+	b := sv.blocks[bi]
+	out := make([]Lit, 0, len(b.Members)-1)
+	for p := range b.Members {
+		if p != m {
+			out = append(out, Lit{Block: bi, I: p, J: m})
+		}
+	}
+	return out
+}
+
+// PossibleMaxTuples returns the tuple indices that are the most current
+// tuple of block bi in at least one consistent completion.
+func (sv *Solver) PossibleMaxTuples(bi int) []int {
+	b := sv.blocks[bi]
+	var out []int
+	for m, ti := range b.Members {
+		if sv.SatWith(sv.maxAssumptions(bi, m)) {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// EnumerateCurrentDBs enumerates the distinct current databases
+// { LST(Dc) : Dc ∈ Mod(S) } by searching over feasible max selections:
+// each consistent completion induces a most-current tuple per block, and
+// each satisfiable forcing of per-block maxima extends to a completion.
+// Results are deduplicated at the value level (two completions whose
+// current instances agree are one result).
+//
+// When rels is non-empty, enumeration and deduplication are restricted to
+// the named relations: the result is the set of distinct current databases
+// projected onto those relations (sound and complete for query answering,
+// since queries only read the relations they mention). Each returned
+// CurrentDB then contains only the named relations.
+//
+// limit > 0 caps the number of distinct results; the second return value
+// reports whether the enumeration was exhaustive (always true when limit
+// was not reached). An inconsistent specification yields no results.
+func (sv *Solver) EnumerateCurrentDBs(limit int, rels ...string) ([]CurrentDB, bool) {
+	st0 := sv.stateWith(nil)
+	if st0 == nil {
+		return nil, true
+	}
+	include := func(rel string) bool { return true }
+	if len(rels) > 0 {
+		set := make(map[string]bool, len(rels))
+		for _, r := range rels {
+			set[r] = true
+		}
+		include = func(rel string) bool { return set[rel] }
+	}
+	// Blocks worth branching on: in an included relation, and with at
+	// least two distinct attribute values among members (a uniform block
+	// contributes the same current value whatever its completion).
+	var branch []int
+	for bi, b := range sv.blocks {
+		if !include(b.Key.Rel) {
+			continue
+		}
+		r := sv.relOf[b.Key.Rel]
+		uniform := true
+		first := r.Tuples[b.Members[0]][b.Key.Attr]
+		for _, ti := range b.Members[1:] {
+			if r.Tuples[ti][b.Key.Attr] != first {
+				uniform = false
+				break
+			}
+		}
+		if !uniform {
+			branch = append(branch, bi)
+		}
+	}
+
+	seen := make(map[string]CurrentDB)
+	complete := true
+
+	project := func(db CurrentDB) CurrentDB {
+		if len(rels) == 0 {
+			return db
+		}
+		out := make(CurrentDB, len(rels))
+		for name, inst := range db {
+			if include(name) {
+				out[name] = inst
+			}
+		}
+		return out
+	}
+
+	var rec func(d int, st *state) bool
+	rec = func(d int, st *state) bool {
+		if limit > 0 && len(seen) >= limit {
+			complete = false
+			return false
+		}
+		if d == len(branch) {
+			mark := st.mark()
+			if sv.search(st) {
+				db := project(CurrentDB(sv.modelFrom(st).CurrentDB()))
+				seen[db.Key()] = db
+				sv.undoTo(st, mark)
+			}
+			return true
+		}
+		bi := branch[d]
+		b := sv.blocks[bi]
+		n := len(b.Members)
+		row := st.m[bi]
+		// Members carrying the same attribute value yield identical
+		// current values, but feasibility can differ per member, so every
+		// member is tried; deduplication happens on the final key.
+		for m := 0; m < n; m++ {
+			// Skip members already known to be dominated: if some p has
+			// m ≺ p, m cannot be the maximum.
+			dominated := false
+			for p := 0; p < n; p++ {
+				if p != m && row[m*n+p] == less {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			mark := st.mark()
+			if !sv.propagate(st, sv.maxAssumptions(bi, m)) {
+				sv.undoTo(st, mark)
+				continue
+			}
+			cont := rec(d+1, st)
+			sv.undoTo(st, mark)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, st0)
+
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]CurrentDB, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out, complete
+}
+
+// DeterministicCurrent reports whether relation rel has the same current
+// instance in every consistent completion (the DCIP decision for one
+// relation): every block of the relation must have all of its possible
+// maxima agree on the attribute value. Vacuously true for inconsistent
+// specifications.
+func (sv *Solver) DeterministicCurrent(rel string) bool {
+	if !sv.Consistent() {
+		return true
+	}
+	r := sv.relOf[rel]
+	for bi, b := range sv.blocks {
+		if b.Key.Rel != rel {
+			continue
+		}
+		var val relation.Value
+		first := true
+		for m, ti := range b.Members {
+			if !sv.SatWith(sv.maxAssumptions(bi, m)) {
+				continue
+			}
+			v := r.Tuples[ti][b.Key.Attr]
+			if first {
+				val, first = v, false
+			} else if v != val {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// OneModel returns an arbitrary consistent completion, or ok=false when
+// the specification is inconsistent.
+func (sv *Solver) OneModel() (spec.Model, bool) {
+	return sv.SolveWith(nil)
+}

@@ -1,0 +1,291 @@
+// Package paperdb builds the running example of the paper: the company
+// database of Figure 1 (relations Emp and Dept), the Mgr relation of
+// Figure 3, the denial constraints of Example 2.1, the copy functions of
+// Examples 2.2 and 4.1, and the queries Q1–Q4 of Example 1.1. Tests,
+// examples and benchmarks all reproduce the paper's worked answers from
+// these fixtures.
+package paperdb
+
+import (
+	"currency/internal/copyfn"
+	"currency/internal/dc"
+	"currency/internal/query"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// Tuple labels match the paper: s1..s5 in Emp, t1..t4 in Dept, m1..m3 for
+// Mgr's s'1..s'3.
+
+// Emp returns the Emp relation of Figure 1. Entity e1 is Mary (s1, s2,
+// s3); s4 (Bob Luth) and s5 (Robert Luth) are distinct entities, matching
+// Example 2.3 where LST(Emp) = {s3, s4, s5}.
+func Emp() *relation.TemporalInstance {
+	sc := relation.MustSchema("Emp", "eid", "FN", "LN", "address", "salary", "status")
+	dt := relation.NewTemporal(sc)
+	add := func(label string, vals ...relation.Value) {
+		if _, err := dt.AddLabeled(label, relation.Tuple(vals)); err != nil {
+			panic(err)
+		}
+	}
+	add("s1", relation.S("e1"), relation.S("Mary"), relation.S("Smith"), relation.S("2 Small St"), relation.I(50), relation.S("single"))
+	add("s2", relation.S("e1"), relation.S("Mary"), relation.S("Dupont"), relation.S("10 Elm Ave"), relation.I(50), relation.S("married"))
+	add("s3", relation.S("e1"), relation.S("Mary"), relation.S("Dupont"), relation.S("6 Main St"), relation.I(80), relation.S("married"))
+	add("s4", relation.S("e2"), relation.S("Bob"), relation.S("Luth"), relation.S("8 Cowan St"), relation.I(80), relation.S("married"))
+	add("s5", relation.S("e3"), relation.S("Robert"), relation.S("Luth"), relation.S("8 Drum St"), relation.I(55), relation.S("married"))
+	return dt
+}
+
+// Dept returns the Dept relation of Figure 1; dname is the EID attribute
+// (Example 2.3).
+func Dept() *relation.TemporalInstance {
+	sc := relation.MustSchema("Dept", "dname", "mgrFN", "mgrLN", "mgrAddr", "budget")
+	dt := relation.NewTemporal(sc)
+	add := func(label string, vals ...relation.Value) {
+		if _, err := dt.AddLabeled(label, relation.Tuple(vals)); err != nil {
+			panic(err)
+		}
+	}
+	add("t1", relation.S("R&D"), relation.S("Mary"), relation.S("Smith"), relation.S("2 Small St"), relation.I(6500))
+	add("t2", relation.S("R&D"), relation.S("Mary"), relation.S("Smith"), relation.S("2 Small St"), relation.I(7000))
+	add("t3", relation.S("R&D"), relation.S("Mary"), relation.S("Dupont"), relation.S("6 Main St"), relation.I(6000))
+	add("t4", relation.S("R&D"), relation.S("Ed"), relation.S("Luth"), relation.S("8 Cowan St"), relation.I(6000))
+	return dt
+}
+
+// Mgr returns the Mgr relation of Figure 3; all three tuples refer to Mary
+// (entity e1).
+func Mgr() *relation.TemporalInstance {
+	sc := relation.MustSchema("Mgr", "eid", "FN", "LN", "address", "salary", "status")
+	dt := relation.NewTemporal(sc)
+	add := func(label string, vals ...relation.Value) {
+		if _, err := dt.AddLabeled(label, relation.Tuple(vals)); err != nil {
+			panic(err)
+		}
+	}
+	add("m1", relation.S("e1"), relation.S("Mary"), relation.S("Dupont"), relation.S("6 Main St"), relation.I(60), relation.S("married"))
+	add("m2", relation.S("e1"), relation.S("Mary"), relation.S("Dupont"), relation.S("6 Main St"), relation.I(80), relation.S("married"))
+	add("m3", relation.S("e1"), relation.S("Mary"), relation.S("Smith"), relation.S("2 Small St"), relation.I(80), relation.S("divorced"))
+	return dt
+}
+
+// Phi1 is ϕ1 of Example 2.1: higher salary is more current salary.
+func Phi1() *dc.Constraint {
+	return &dc.Constraint{
+		Name:     "phi1",
+		Relation: "Emp",
+		Vars:     []string{"s", "t"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("s", "salary"), Op: dc.OpGt, R: dc.AttrOp("t", "salary")},
+		},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "salary"},
+	}
+}
+
+// Phi2 is ϕ2: married is a more current status than single, and tuples
+// with the more current status carry the more current last name.
+func Phi2() *dc.Constraint {
+	return &dc.Constraint{
+		Name:     "phi2",
+		Relation: "Emp",
+		Vars:     []string{"s", "t"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("s", "status"), Op: dc.OpEq, R: dc.ConstOp(relation.S("married"))},
+			{L: dc.AttrOp("t", "status"), Op: dc.OpEq, R: dc.ConstOp(relation.S("single"))},
+		},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "LN"},
+	}
+}
+
+// Phi2Status encodes Example 1.1(2)(a)'s status-transition rule on the
+// status attribute itself: marital status changes single → married, so a
+// married tuple carries a more current status than a single one. Example
+// 2.1's ϕ2 as printed orders only LN; Example 3.3's claim that
+// LST(Emp) = {s3, s4, s5} in every completion additionally requires this
+// rule, otherwise the current status of Mary could be "single".
+func Phi2Status() *dc.Constraint {
+	return &dc.Constraint{
+		Name:     "phi2s",
+		Relation: "Emp",
+		Vars:     []string{"s", "t"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("s", "status"), Op: dc.OpEq, R: dc.ConstOp(relation.S("married"))},
+			{L: dc.AttrOp("t", "status"), Op: dc.OpEq, R: dc.ConstOp(relation.S("single"))},
+		},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "status"},
+	}
+}
+
+// Phi3 is ϕ3: a more current salary implies a more current address.
+func Phi3() *dc.Constraint {
+	return &dc.Constraint{
+		Name:     "phi3",
+		Relation: "Emp",
+		Vars:     []string{"s", "t"},
+		Orders:   []dc.OrderAtom{{U: "t", V: "s", Attr: "salary"}},
+		Head:     dc.OrderAtom{U: "t", V: "s", Attr: "address"},
+	}
+}
+
+// Phi4 is ϕ4: a more current manager address implies a more current budget.
+func Phi4() *dc.Constraint {
+	return &dc.Constraint{
+		Name:     "phi4",
+		Relation: "Dept",
+		Vars:     []string{"s", "t"},
+		Orders:   []dc.OrderAtom{{U: "t", V: "s", Attr: "mgrAddr"}},
+		Head:     dc.OrderAtom{U: "t", V: "s", Attr: "budget"},
+	}
+}
+
+// Phi5 is ϕ5 of Example 4.1 on Mgr: divorced is a more current status than
+// married, and carries the more current last name.
+func Phi5() *dc.Constraint {
+	return &dc.Constraint{
+		Name:     "phi5",
+		Relation: "Mgr",
+		Vars:     []string{"s", "t"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("s", "status"), Op: dc.OpEq, R: dc.ConstOp(relation.S("divorced"))},
+			{L: dc.AttrOp("t", "status"), Op: dc.OpEq, R: dc.ConstOp(relation.S("married"))},
+		},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "LN"},
+	}
+}
+
+// Phi6 is the Emp analogue of ϕ5, reflecting Example 1.1's statement that
+// marital status evolves single → married → divorced. Example 4.1's claim
+// that extending ρ with Mgr's divorced record makes "Smith" the certain
+// current last name relies on this rule holding on Emp as well.
+func Phi6() *dc.Constraint {
+	return &dc.Constraint{
+		Name:     "phi6",
+		Relation: "Emp",
+		Vars:     []string{"s", "t"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("s", "status"), Op: dc.OpEq, R: dc.ConstOp(relation.S("divorced"))},
+			{L: dc.AttrOp("t", "status"), Op: dc.OpEq, R: dc.ConstOp(relation.S("married"))},
+		},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "LN"},
+	}
+}
+
+// Rho returns the copy function ρ of Example 2.2: Dept[mgrAddr] ⇐
+// Emp[address] with ρ(t1)=s1, ρ(t2)=s1, ρ(t3)=s3, ρ(t4)=s4.
+func Rho() *copyfn.CopyFunction {
+	cf := copyfn.New("rho", "Dept", "Emp", []string{"mgrAddr"}, []string{"address"})
+	cf.Set(0, 0) // t1 <- s1
+	cf.Set(1, 0) // t2 <- s1
+	cf.Set(2, 2) // t3 <- s3
+	cf.Set(3, 3) // t4 <- s4
+	return cf
+}
+
+// SpecS0 builds the specification S0 of Example 2.3: Emp and Dept of
+// Figure 1, constraints ϕ1–ϕ4, copy function ρ, and no initial currency
+// orders.
+func SpecS0() *spec.Spec {
+	s := spec.New()
+	s.MustAddRelation(Emp())
+	s.MustAddRelation(Dept())
+	s.MustAddConstraint(Phi1())
+	s.MustAddConstraint(Phi2())
+	s.MustAddConstraint(Phi2Status())
+	s.MustAddConstraint(Phi3())
+	s.MustAddConstraint(Phi4())
+	s.MustAddCopy(Rho())
+	return s
+}
+
+// RhoMgr returns the copy function of Example 4.1: Emp[FN,LN,address,
+// salary,status] ⇐ Mgr[...] with ρ(s3)=s'2 (m2).
+func RhoMgr() *copyfn.CopyFunction {
+	attrs := []string{"FN", "LN", "address", "salary", "status"}
+	cf := copyfn.New("rhoMgr", "Emp", "Mgr", attrs, attrs)
+	cf.Set(2, 1) // s3 <- m2
+	return cf
+}
+
+// SpecS1 builds the specification S1 of Example 4.1: Emp (Figure 1) and
+// Mgr (Figure 3), constraints ϕ1–ϕ3 and ϕ6 on Emp, ϕ5 on Mgr, and the copy
+// function RhoMgr.
+func SpecS1() *spec.Spec {
+	s := spec.New()
+	s.MustAddRelation(Emp())
+	s.MustAddRelation(Mgr())
+	s.MustAddConstraint(Phi1())
+	s.MustAddConstraint(Phi2())
+	s.MustAddConstraint(Phi3())
+	s.MustAddConstraint(Phi6())
+	s.MustAddConstraint(Phi5())
+	s.MustAddCopy(RhoMgr())
+	return s
+}
+
+// Q1 is Example 1.1's query "find Mary's current salary" as an SP query.
+func Q1() *query.Query {
+	return &query.Query{
+		Name: "Q1",
+		Head: []string{"sal"},
+		Body: query.Exists{
+			Vars: []string{"e", "fn", "ln", "a", "st"},
+			F: query.And{Fs: []query.Formula{
+				query.Atom{Rel: "Emp", Terms: []query.Term{
+					query.V("e"), query.V("fn"), query.V("ln"), query.V("a"), query.V("sal"), query.V("st"),
+				}},
+				query.Cmp{L: query.V("fn"), Op: query.CmpEq, R: query.C(relation.S("Mary"))},
+			}},
+		},
+	}
+}
+
+// Q2 finds Mary's current last name.
+func Q2() *query.Query {
+	return &query.Query{
+		Name: "Q2",
+		Head: []string{"ln"},
+		Body: query.Exists{
+			Vars: []string{"e", "fn", "a", "sal", "st"},
+			F: query.And{Fs: []query.Formula{
+				query.Atom{Rel: "Emp", Terms: []query.Term{
+					query.V("e"), query.V("fn"), query.V("ln"), query.V("a"), query.V("sal"), query.V("st"),
+				}},
+				query.Cmp{L: query.V("fn"), Op: query.CmpEq, R: query.C(relation.S("Mary"))},
+			}},
+		},
+	}
+}
+
+// Q3 finds Mary's current address.
+func Q3() *query.Query {
+	return &query.Query{
+		Name: "Q3",
+		Head: []string{"a"},
+		Body: query.Exists{
+			Vars: []string{"e", "fn", "ln", "sal", "st"},
+			F: query.And{Fs: []query.Formula{
+				query.Atom{Rel: "Emp", Terms: []query.Term{
+					query.V("e"), query.V("fn"), query.V("ln"), query.V("a"), query.V("sal"), query.V("st"),
+				}},
+				query.Cmp{L: query.V("fn"), Op: query.CmpEq, R: query.C(relation.S("Mary"))},
+			}},
+		},
+	}
+}
+
+// Q4 finds the current budget of department R&D.
+func Q4() *query.Query {
+	return &query.Query{
+		Name: "Q4",
+		Head: []string{"b"},
+		Body: query.Exists{
+			Vars: []string{"d", "mfn", "mln", "ma"},
+			F: query.And{Fs: []query.Formula{
+				query.Atom{Rel: "Dept", Terms: []query.Term{
+					query.V("d"), query.V("mfn"), query.V("mln"), query.V("ma"), query.V("b"),
+				}},
+				query.Cmp{L: query.V("d"), Op: query.CmpEq, R: query.C(relation.S("R&D"))},
+			}},
+		},
+	}
+}

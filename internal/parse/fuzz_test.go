@@ -1,0 +1,99 @@
+package parse
+
+import (
+	"math/rand"
+	"testing"
+
+	"currency/internal/gen"
+	"currency/internal/tractable"
+)
+
+// TestRandomSpecRoundTrip property-tests the textual format on generated
+// workloads: Marshal output must reparse, and the reparsed specification
+// must behave identically — same consistency verdict and same certain
+// orders (compared through the PTIME fixpoint for constraint-free specs,
+// and spot-checked through certain answers otherwise).
+func TestRandomSpecRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		cfg := gen.Default(seed)
+		cfg.Relations = 1 + int(seed%3)
+		cfg.Copies = int(seed % 2)
+		cfg.Constraints = 0 // fixpoint comparison needs the no-DC regime
+		cfg.TuplesPerEntity = 2 + int(seed%2)
+		s := gen.Random(cfg)
+
+		rng := rand.New(rand.NewSource(seed))
+		q := gen.RandomSPQuery(rng, s.Relations[0].Schema, "Q", cfg.Domain)
+		text := Marshal(s, q)
+		f, err := ParseFile(text)
+		if err != nil {
+			t.Fatalf("seed %d: reparse failed: %v\n%s", seed, err, text)
+		}
+		q2, ok := f.Query("Q")
+		if !ok {
+			t.Fatalf("seed %d: query lost in round trip", seed)
+		}
+
+		po1, err := tractable.POInfinity(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		po2, err := tractable.POInfinity(f.Spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if po1.Consistent != po2.Consistent {
+			t.Fatalf("seed %d: consistency changed across round trip", seed)
+		}
+		if !po1.Consistent {
+			continue
+		}
+		for _, r := range s.Relations {
+			for _, ai := range r.Schema.NonEIDIndexes() {
+				a := po1.Sets[r.Schema.Name][ai]
+				b := po2.Sets[r.Schema.Name][ai]
+				if !a.Equal(b) {
+					t.Fatalf("seed %d: PO∞ changed across round trip on %s.%s",
+						seed, r.Schema.Name, r.Schema.Attrs[ai])
+				}
+			}
+		}
+		r1, c1, err := tractable.CertainAnswersSP(s, q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r2, c2, err := tractable.CertainAnswersSP(f.Spec, q2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if c1 != c2 || !r1.Equal(r2) {
+			t.Fatalf("seed %d: certain answers changed across round trip:\n  %v\n  %v", seed, r1, r2)
+		}
+	}
+}
+
+// TestRandomSpecWithConstraintsRoundTrip round-trips specifications with
+// denial constraints and compares marshalled forms after a second trip
+// (Marshal ∘ Parse ∘ Marshal is a fixpoint).
+func TestRandomSpecWithConstraintsRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		cfg := gen.Default(seed)
+		cfg.Constraints = 1 + int(seed%3)
+		s := gen.Random(cfg)
+		text := Marshal(s)
+		f, err := ParseFile(text)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, text)
+		}
+		text2 := Marshal(f.Spec)
+		f2, err := ParseFile(text2)
+		if err != nil {
+			t.Fatalf("seed %d second trip: %v", seed, err)
+		}
+		text3 := Marshal(f2.Spec)
+		if text2 != text3 {
+			t.Fatalf("seed %d: Marshal∘Parse is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s",
+				seed, text2, text3)
+		}
+	}
+}

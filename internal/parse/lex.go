@@ -1,0 +1,204 @@
+// Package parse implements the textual format for currency specifications
+// and queries: relation schemas, temporal instances with labelled tuples
+// and partial currency orders, denial constraints, copy functions, and
+// CQ/UCQ/∃FO+/FO queries. The format round-trips: Marshal output parses
+// back to an equivalent specification.
+//
+// Example:
+//
+//	relation Emp(eid, FN, LN, address, salary, status)
+//
+//	instance Emp {
+//	  s1: ("e1", "Mary", "Smith", "2 Small St", 50, "single")
+//	  s2: ("e1", "Mary", "Dupont", "10 Elm Ave", 50, "married")
+//	  order salary: s1 < s2
+//	}
+//
+//	constraint phi1 on Emp forall s, t:
+//	  s.salary > t.salary -> t <salary s
+//
+//	copy rho to Dept(mgrAddr) from Emp(address) { t1 <- s1 }
+//
+//	query Q1(sal) := exists e, fn, ln, a, st.
+//	  Emp(e, fn, ln, a, sal, st) and fn = "Mary"
+package parse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokPunct // single punctuation or operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	i    int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return strconv.Quote(t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	col    int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.tokens = append(lx.tokens, tok)
+		if tok.kind == tokEOF {
+			return lx.tokens, nil
+		}
+	}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance()
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '&' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.advance()
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	case unicode.IsDigit(rune(c)) || (c == '-' && lx.pos+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos+1]))):
+		start := lx.pos
+		lx.advance()
+		for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.peekByte())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("parse: line %d: bad integer %q", line, text)
+		}
+		return token{kind: tokInt, text: text, i: v, line: line, col: col}, nil
+	case c == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, fmt.Errorf("parse: line %d: unterminated string", line)
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if lx.pos >= len(lx.src) {
+					return token{}, fmt.Errorf("parse: line %d: unterminated escape", line)
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"', '\\':
+					b.WriteByte(esc)
+				default:
+					return token{}, fmt.Errorf("parse: line %d: bad escape \\%c", line, esc)
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+	default:
+		// Multi-character operators first.
+		two := ""
+		if lx.pos+1 < len(lx.src) {
+			two = lx.src[lx.pos : lx.pos+2]
+		}
+		switch two {
+		case "->", "<=", ">=", "!=", ":=", "<-":
+			lx.advance()
+			lx.advance()
+			return token{kind: tokPunct, text: two, line: line, col: col}, nil
+		}
+		lx.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	}
+}

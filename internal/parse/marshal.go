@@ -1,0 +1,139 @@
+package parse
+
+import (
+	"fmt"
+	"strings"
+
+	"currency/internal/dc"
+	"currency/internal/query"
+	"currency/internal/spec"
+)
+
+// Marshal renders a specification (and optional queries) in the textual
+// format accepted by ParseFile. Tuples without labels receive generated
+// ones (r0, r1, ...) so that orders and copy mappings stay expressible.
+func Marshal(s *spec.Spec, queries ...*query.Query) string {
+	var b strings.Builder
+	label := make(map[string][]string) // relation -> tuple labels
+
+	for _, r := range s.Relations {
+		fmt.Fprintf(&b, "relation %s(%s)\n", r.Schema.Name, strings.Join(r.Schema.Attrs, ", "))
+	}
+	b.WriteString("\n")
+
+	for _, r := range s.Relations {
+		fmt.Fprintf(&b, "instance %s {\n", r.Schema.Name)
+		labels := make([]string, r.Len())
+		used := make(map[string]bool)
+		for i := range r.Tuples {
+			l := ""
+			if i < len(r.Labels) {
+				l = r.Labels[i]
+			}
+			if l == "" || used[l] {
+				l = fmt.Sprintf("r%d", i)
+			}
+			used[l] = true
+			labels[i] = l
+		}
+		label[r.Schema.Name] = labels
+		for i, t := range r.Tuples {
+			parts := make([]string, len(t))
+			for j, v := range t {
+				parts[j] = v.String()
+			}
+			fmt.Fprintf(&b, "  %s: (%s)\n", labels[i], strings.Join(parts, ", "))
+		}
+		for _, ai := range r.Schema.NonEIDIndexes() {
+			ps := r.Orders[ai]
+			if ps == nil || ps.Len() == 0 {
+				continue
+			}
+			var pairs []string
+			for _, p := range ps.Pairs() {
+				pairs = append(pairs, fmt.Sprintf("%s < %s", labels[p.A], labels[p.B]))
+			}
+			fmt.Fprintf(&b, "  order %s: %s\n", r.Schema.Attrs[ai], strings.Join(pairs, ", "))
+		}
+		b.WriteString("}\n\n")
+	}
+
+	for _, c := range s.Constraints {
+		b.WriteString(marshalConstraint(c))
+		b.WriteString("\n\n")
+	}
+
+	for _, cf := range s.Copies {
+		var ms []string
+		for _, p := range cf.Pairs() {
+			ms = append(ms, fmt.Sprintf("%s <- %s", label[cf.Target][p[0]], label[cf.Source][p[1]]))
+		}
+		fmt.Fprintf(&b, "copy %s to %s(%s) from %s(%s) { %s }\n\n",
+			cf.Name, cf.Target, strings.Join(cf.TargetAttrs, ", "),
+			cf.Source, strings.Join(cf.SourceAttrs, ", "), strings.Join(ms, ", "))
+	}
+
+	for _, q := range queries {
+		fmt.Fprintf(&b, "query %s(%s) := %s\n\n", q.Name, strings.Join(q.Head, ", "), marshalFormula(q.Body))
+	}
+	return b.String()
+}
+
+func marshalConstraint(c *dc.Constraint) string {
+	var body []string
+	for _, cmp := range c.Cmps {
+		body = append(body, fmt.Sprintf("%s %s %s", marshalOperand(cmp.L), cmp.Op, marshalOperand(cmp.R)))
+	}
+	for _, oa := range c.Orders {
+		body = append(body, fmt.Sprintf("%s <%s %s", oa.U, oa.Attr, oa.V))
+	}
+	bodyStr := strings.Join(body, " and ")
+	if bodyStr == "" {
+		bodyStr = "true"
+	}
+	head := fmt.Sprintf("%s <%s %s", c.Head.U, c.Head.Attr, c.Head.V)
+	if c.Head.U == c.Head.V {
+		head = "false"
+	}
+	return fmt.Sprintf("constraint %s on %s forall %s:\n  %s -> %s",
+		c.Name, c.Relation, strings.Join(c.Vars, ", "), bodyStr, head)
+}
+
+func marshalOperand(o dc.Operand) string {
+	if o.IsConst {
+		return o.Const.String()
+	}
+	return o.Var + "." + o.Attr
+}
+
+func marshalFormula(f query.Formula) string {
+	switch g := f.(type) {
+	case query.Atom:
+		parts := make([]string, len(g.Terms))
+		for i, t := range g.Terms {
+			parts[i] = t.String()
+		}
+		return fmt.Sprintf("%s(%s)", g.Rel, strings.Join(parts, ", "))
+	case query.Cmp:
+		return fmt.Sprintf("%s %s %s", g.L, g.Op, g.R)
+	case query.And:
+		parts := make([]string, len(g.Fs))
+		for i, h := range g.Fs {
+			parts[i] = marshalFormula(h)
+		}
+		return "(" + strings.Join(parts, " and ") + ")"
+	case query.Or:
+		parts := make([]string, len(g.Fs))
+		for i, h := range g.Fs {
+			parts[i] = marshalFormula(h)
+		}
+		return "(" + strings.Join(parts, " or ") + ")"
+	case query.Not:
+		return "not " + marshalFormula(g.F)
+	case query.Exists:
+		return fmt.Sprintf("exists %s. %s", strings.Join(g.Vars, ", "), marshalFormula(g.F))
+	case query.Forall:
+		return fmt.Sprintf("forall %s. %s", strings.Join(g.Vars, ", "), marshalFormula(g.F))
+	}
+	return "?"
+}

@@ -1,0 +1,196 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"currency/internal/core"
+	"currency/internal/paperdb"
+	"currency/internal/query"
+	"currency/internal/relation"
+)
+
+// paperSpecText is the paper's running example (Figure 1, Example 2.1,
+// Example 2.2, Example 1.1's Q1) in the textual format.
+const paperSpecText = `
+# The company database of Figure 1.
+relation Emp(eid, FN, LN, address, salary, status)
+relation Dept(dname, mgrFN, mgrLN, mgrAddr, budget)
+
+instance Emp {
+  s1: ("e1", "Mary", "Smith", "2 Small St", 50, "single")
+  s2: ("e1", "Mary", "Dupont", "10 Elm Ave", 50, "married")
+  s3: ("e1", "Mary", "Dupont", "6 Main St", 80, "married")
+  s4: ("e2", "Bob", "Luth", "8 Cowan St", 80, "married")
+  s5: ("e3", "Robert", "Luth", "8 Drum St", 55, "married")
+}
+
+instance Dept {
+  t1: ("R&D", "Mary", "Smith", "2 Small St", 6500)
+  t2: ("R&D", "Mary", "Smith", "2 Small St", 7000)
+  t3: ("R&D", "Mary", "Dupont", "6 Main St", 6000)
+  t4: ("R&D", "Ed", "Luth", "8 Cowan St", 6000)
+}
+
+constraint phi1 on Emp forall s, t:
+  s.salary > t.salary -> t <salary s
+
+constraint phi2 on Emp forall s, t:
+  s.status = "married" and t.status = "single" -> t <LN s
+
+constraint phi2s on Emp forall s, t:
+  s.status = "married" and t.status = "single" -> t <status s
+
+constraint phi3 on Emp forall s, t:
+  t <salary s -> t <address s
+
+constraint phi4 on Dept forall s, t:
+  t <mgrAddr s -> t <budget s
+
+copy rho to Dept(mgrAddr) from Emp(address) { t1 <- s1, t2 <- s1, t3 <- s3, t4 <- s4 }
+
+query Q1(sal) := exists e, fn, ln, a, st.
+  (Emp(e, fn, ln, a, sal, st) and fn = "Mary")
+
+query Q4(b) := exists d, mfn, mln, ma.
+  (Dept(d, mfn, mln, ma, b) and d = "R&D")
+`
+
+// TestParsePaperSpec parses the running example and reproduces the
+// paper's certain answers through the parsed specification.
+func TestParsePaperSpec(t *testing.T) {
+	f, err := ParseFile(paperSpecText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Spec.Relations) != 2 || len(f.Spec.Constraints) != 5 || len(f.Spec.Copies) != 1 {
+		t.Fatalf("unexpected shape: %d relations, %d constraints, %d copies",
+			len(f.Spec.Relations), len(f.Spec.Constraints), len(f.Spec.Copies))
+	}
+	r, err := core.NewReasoner(f.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, ok := f.Query("Q1")
+	if !ok {
+		t.Fatal("missing query Q1")
+	}
+	res, _, err := r.CertainAnswers(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != relation.I(80) {
+		t.Errorf("Q1 = %v, want {80}", res)
+	}
+	q4, ok := f.Query("Q4")
+	if !ok {
+		t.Fatal("missing query Q4")
+	}
+	res4, _, err := r.CertainAnswers(q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res4.Rows) != 1 || res4.Rows[0][0] != relation.I(6000) {
+		t.Errorf("Q4 = %v, want {6000}", res4)
+	}
+}
+
+// TestMarshalRoundTrip checks that Marshal output reparses to a
+// specification with identical behaviour on the paper example.
+func TestMarshalRoundTrip(t *testing.T) {
+	s := paperdb.SpecS0()
+	text := Marshal(s, paperdb.Q1(), paperdb.Q2(), paperdb.Q3(), paperdb.Q4())
+	f, err := ParseFile(text)
+	if err != nil {
+		t.Fatalf("reparsing Marshal output: %v\n--- text ---\n%s", err, text)
+	}
+	r1, err := core.NewReasoner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.NewReasoner(f.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Q1", "Q2", "Q3", "Q4"} {
+		q, ok := f.Query(name)
+		if !ok {
+			t.Fatalf("round-trip lost query %s", name)
+		}
+		want, _, err := r1.CertainAnswers(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := r2.CertainAnswers(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Errorf("%s: round-trip answers differ: %v vs %v", name, want, got)
+		}
+	}
+}
+
+// TestParseFOQuery exercises not/forall/or parsing.
+func TestParseFOQuery(t *testing.T) {
+	src := `
+relation R(eid, A)
+instance R { a: ("e1", 1) b: ("e1", 2) }
+query Q(x) := exists e. (R(e, x) and not x = 1)
+query QB() := forall x. (not exists e. R(e, x) or x >= 1)
+`
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := f.Query("Q")
+	if query.Classify(q) != query.LangFO {
+		t.Errorf("Q should classify as FO, got %v", query.Classify(q))
+	}
+	inst, _ := f.Spec.Relation("R")
+	res, err := query.Eval(q, query.DB{"R": inst.Instance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != relation.I(2) {
+		t.Errorf("Q = %v, want {2}", res)
+	}
+}
+
+// TestParseErrors checks that malformed inputs produce errors, not panics.
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`relation`,
+		`relation R(eid) instance R { (1, 2) }`,
+		`relation R(eid, A) instance R { a: ("e", 1) order B: a < a }`,
+		`relation R(eid, A) constraint c on R forall s: s.B = 1 -> s <A s`,
+		`relation R(eid, A) copy c to R(A) from S(A) { }`,
+		`query Q(x) := R(x)`,
+		`relation R(eid, A) instance R { a: ("e", 1 }`,
+		`relation R(eid, A) query Q(x) := exists y. R(y, x) and`,
+	}
+	for i, src := range cases {
+		if _, err := ParseFile(src); err == nil {
+			t.Errorf("case %d: expected an error for %q", i, strings.TrimSpace(src))
+		}
+	}
+}
+
+// TestLexerComments checks comment and whitespace handling.
+func TestLexerComments(t *testing.T) {
+	src := `
+# hash comment
+relation R(eid, A) // line comment
+instance R {
+  a: ("e1", -5)   # trailing comment
+}
+`
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := f.Spec.Relation("R")
+	if inst.Len() != 1 || inst.Tuples[0][1] != relation.I(-5) {
+		t.Errorf("unexpected instance: %v", inst)
+	}
+}

@@ -1,0 +1,203 @@
+package parse
+
+import (
+	"currency/internal/query"
+)
+
+// parseQuery handles: query NAME ( v {, v} ) := formula
+func (p *parser) parseQuery() error {
+	p.next() // query
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	var head []string
+	if !p.at(tokPunct, ")") {
+		head, err = p.identList()
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if err := p.expectPunct(":="); err != nil {
+		return err
+	}
+	body, err := p.parseFormula()
+	if err != nil {
+		return err
+	}
+	p.file.Queries = append(p.file.Queries, &query.Query{Name: name, Head: head, Body: body})
+	return nil
+}
+
+// Formula grammar (lowest precedence first):
+//
+//	formula := disj
+//	disj    := conj { "or" conj }
+//	conj    := unary { "and" unary }
+//	unary   := "not" unary
+//	         | "exists" vars "." unary
+//	         | "forall" vars "." unary
+//	         | "(" formula ")"
+//	         | atom-or-comparison
+func (p *parser) parseFormula() (query.Formula, error) {
+	return p.parseDisj()
+}
+
+func (p *parser) parseDisj() (query.Formula, error) {
+	f, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	fs := []query.Formula{f}
+	for p.atKeyword("or") {
+		p.next()
+		g, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, g)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return query.Or{Fs: fs}, nil
+}
+
+func (p *parser) parseConj() (query.Formula, error) {
+	f, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []query.Formula{f}
+	for p.atKeyword("and") {
+		p.next()
+		g, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, g)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return query.And{Fs: fs}, nil
+}
+
+func (p *parser) parseUnary() (query.Formula, error) {
+	switch {
+	case p.atKeyword("not"):
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return query.Not{F: f}, nil
+	case p.atKeyword("exists"), p.atKeyword("forall"):
+		kw := p.next().text
+		vars, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("."); err != nil {
+			return nil, err
+		}
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if kw == "exists" {
+			return query.Exists{Vars: vars, F: f}, nil
+		}
+		return query.Forall{Vars: vars, F: f}, nil
+	case p.at(tokPunct, "("):
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		return p.parseAtomOrCmp()
+	}
+}
+
+// parseAtomOrCmp distinguishes R(t, ...) from term OP term.
+func (p *parser) parseAtomOrCmp() (query.Formula, error) {
+	// Relation atom: IDENT "(" — and the identifier names a schema.
+	if p.cur().kind == tokIdent && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+		if _, isRel := p.schemas[p.cur().text]; isRel {
+			rel, _ := p.expectIdent()
+			p.next() // (
+			var terms []query.Term
+			for {
+				t, err := p.parseTerm()
+				if err != nil {
+					return nil, err
+				}
+				terms = append(terms, t)
+				if p.at(tokPunct, ",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return query.Atom{Rel: rel, Terms: terms}, nil
+		}
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.cur()
+	if opTok.kind != tokPunct {
+		return nil, p.errf("expected comparison operator, got %s", opTok)
+	}
+	var op query.CmpOp
+	switch opTok.text {
+	case "=":
+		op = query.CmpEq
+	case "!=":
+		op = query.CmpNe
+	case "<":
+		op = query.CmpLt
+	case "<=":
+		op = query.CmpLe
+	case ">":
+		op = query.CmpGt
+	case ">=":
+		op = query.CmpGe
+	default:
+		return nil, p.errf("expected comparison operator, got %s", opTok)
+	}
+	p.next()
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return query.Cmp{L: l, Op: op, R: r}, nil
+}
+
+func (p *parser) parseTerm() (query.Term, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		p.next()
+		return query.V(t.text), nil
+	}
+	v, err := p.value()
+	if err != nil {
+		return query.Term{}, err
+	}
+	return query.C(v), nil
+}

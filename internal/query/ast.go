@@ -1,0 +1,275 @@
+// Package query implements the query languages of the paper — CQ, UCQ,
+// ∃FO+, FO, and SP — over normal relation instances, with active-domain
+// semantics. Queries never refer to currency orders; they are evaluated on
+// current instances (Section 2, "certain current answers").
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"currency/internal/relation"
+)
+
+// Term is a variable or constant appearing in a formula.
+type Term struct {
+	IsConst bool
+	Const   relation.Value
+	Var     string
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v relation.Value) Term { return Term{IsConst: true, Const: v} }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsConst {
+		return t.Const.String()
+	}
+	return t.Var
+}
+
+// Formula is a first-order formula over relation atoms, (in)equalities and
+// comparisons, closed under and/or/not and quantification.
+type Formula interface {
+	fmt.Stringer
+	freeVars(out map[string]bool)
+}
+
+// Atom is a relation atom R(t1, ..., tn); terms align positionally with
+// the schema of relation Rel.
+type Atom struct {
+	Rel   string
+	Terms []Term
+}
+
+// Cmp is a comparison between terms: = != < <= > >=. Named operators match
+// package dc's semantics (ordering across kinds is false; equality is
+// value equality).
+type Cmp struct {
+	L  Term
+	Op CmpOp
+	R  Term
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[o]
+}
+
+func (o CmpOp) eval(a, b relation.Value) bool {
+	switch o {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	c := a.Compare(b)
+	switch o {
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// And is conjunction over one or more subformulas.
+type And struct{ Fs []Formula }
+
+// Or is disjunction over one or more subformulas.
+type Or struct{ Fs []Formula }
+
+// Not is negation.
+type Not struct{ F Formula }
+
+// Exists is existential quantification over one or more variables.
+type Exists struct {
+	Vars []string
+	F    Formula
+}
+
+// Forall is universal quantification over one or more variables.
+type Forall struct {
+	Vars []string
+	F    Formula
+}
+
+func (a Atom) freeVars(out map[string]bool) {
+	for _, t := range a.Terms {
+		if !t.IsConst {
+			out[t.Var] = true
+		}
+	}
+}
+func (c Cmp) freeVars(out map[string]bool) {
+	if !c.L.IsConst {
+		out[c.L.Var] = true
+	}
+	if !c.R.IsConst {
+		out[c.R.Var] = true
+	}
+}
+func (f And) freeVars(out map[string]bool) {
+	for _, g := range f.Fs {
+		g.freeVars(out)
+	}
+}
+func (f Or) freeVars(out map[string]bool) {
+	for _, g := range f.Fs {
+		g.freeVars(out)
+	}
+}
+func (f Not) freeVars(out map[string]bool) { f.F.freeVars(out) }
+func (f Exists) freeVars(out map[string]bool) {
+	inner := make(map[string]bool)
+	f.F.freeVars(inner)
+	for _, v := range f.Vars {
+		delete(inner, v)
+	}
+	for v := range inner {
+		out[v] = true
+	}
+}
+func (f Forall) freeVars(out map[string]bool) {
+	inner := make(map[string]bool)
+	f.F.freeVars(inner)
+	for _, v := range f.Vars {
+		delete(inner, v)
+	}
+	for v := range inner {
+		out[v] = true
+	}
+}
+
+// String renderings.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Rel, strings.Join(parts, ", "))
+}
+func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+func (f And) String() string { return "(" + joinFormulas(f.Fs, " and ") + ")" }
+func (f Or) String() string  { return "(" + joinFormulas(f.Fs, " or ") + ")" }
+func (f Not) String() string { return "not " + f.F.String() }
+func (f Exists) String() string {
+	return fmt.Sprintf("exists %s. %s", strings.Join(f.Vars, ", "), f.F)
+}
+func (f Forall) String() string {
+	return fmt.Sprintf("forall %s. %s", strings.Join(f.Vars, ", "), f.F)
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// Query is a named query with a head variable list and a body formula whose
+// free variables are exactly the head variables.
+type Query struct {
+	Name string
+	Head []string
+	Body Formula
+}
+
+// FreeVars returns the body's free variables, sorted.
+func (q *Query) FreeVars() []string {
+	m := make(map[string]bool)
+	q.Body.freeVars(m)
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks that the free variables of the body are exactly the head
+// variables and that head variables are distinct.
+func (q *Query) Validate() error {
+	seen := make(map[string]bool, len(q.Head))
+	for _, v := range q.Head {
+		if seen[v] {
+			return fmt.Errorf("query %s: duplicate head variable %s", q.Name, v)
+		}
+		seen[v] = true
+	}
+	free := q.FreeVars()
+	if len(free) != len(q.Head) {
+		return fmt.Errorf("query %s: head variables %v do not match free variables %v", q.Name, q.Head, free)
+	}
+	for _, v := range free {
+		if !seen[v] {
+			return fmt.Errorf("query %s: body free variable %s missing from head", q.Name, v)
+		}
+	}
+	return nil
+}
+
+// String renders the query in the library's textual syntax.
+func (q *Query) String() string {
+	return fmt.Sprintf("query %s(%s) := %s", q.Name, strings.Join(q.Head, ", "), q.Body)
+}
+
+// Relations returns the names of the relations mentioned by the query's
+// atoms, sorted and deduplicated.
+func (q *Query) Relations() []string {
+	set := make(map[string]bool)
+	var walk func(f Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Atom:
+			set[g.Rel] = true
+		case And:
+			for _, h := range g.Fs {
+				walk(h)
+			}
+		case Or:
+			for _, h := range g.Fs {
+				walk(h)
+			}
+		case Not:
+			walk(g.F)
+		case Exists:
+			walk(g.F)
+		case Forall:
+			walk(g.F)
+		}
+	}
+	walk(q.Body)
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

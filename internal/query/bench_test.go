@@ -1,0 +1,89 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"currency/internal/relation"
+)
+
+// benchDB builds a two-relation database with n tuples each.
+func benchDB(n int) DB {
+	emp := relation.NewInstance(relation.MustSchema("Emp", "eid", "name", "dept"))
+	dept := relation.NewInstance(relation.MustSchema("Dept", "dname", "budget"))
+	for i := 0; i < n; i++ {
+		emp.MustAdd(relation.Tuple{
+			relation.S(fmt.Sprintf("e%d", i)),
+			relation.S(fmt.Sprintf("n%d", i%7)),
+			relation.S(fmt.Sprintf("d%d", i%5)),
+		})
+	}
+	for i := 0; i < 5; i++ {
+		dept.MustAdd(relation.Tuple{relation.S(fmt.Sprintf("d%d", i)), relation.I(int64(1000 * i))})
+	}
+	return DB{"Emp": emp, "Dept": dept}
+}
+
+func BenchmarkEvalSP(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			db := benchDB(n)
+			q := &Query{
+				Name: "sp", Head: []string{"n"},
+				Body: Exists{Vars: []string{"e", "d"}, F: And{Fs: []Formula{
+					Atom{Rel: "Emp", Terms: []Term{V("e"), V("n"), V("d")}},
+					Cmp{L: V("d"), Op: CmpEq, R: C(relation.S("d1"))},
+				}}},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Eval(q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEvalJoin(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			db := benchDB(n)
+			q := &Query{
+				Name: "join", Head: []string{"n", "bu"},
+				Body: Exists{Vars: []string{"e", "d"}, F: And{Fs: []Formula{
+					Atom{Rel: "Emp", Terms: []Term{V("e"), V("n"), V("d")}},
+					Atom{Rel: "Dept", Terms: []Term{V("d"), V("bu")}},
+				}}},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Eval(q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEvalFO(b *testing.B) {
+	// FO with negation pays the active-domain price; keep sizes modest.
+	for _, n := range []int{10, 50} {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			db := benchDB(n)
+			q := &Query{
+				Name: "fo", Head: []string{"d"},
+				Body: And{Fs: []Formula{
+					Exists{Vars: []string{"bu"}, F: Atom{Rel: "Dept", Terms: []Term{V("d"), V("bu")}}},
+					Not{F: Exists{Vars: []string{"e", "nn"}, F: Atom{Rel: "Emp", Terms: []Term{V("e"), V("nn"), V("d")}}}},
+				}},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Eval(q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

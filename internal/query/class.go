@@ -1,0 +1,236 @@
+package query
+
+// Lang identifies the query-language class of a query, following the
+// hierarchy studied in the paper: SP ⊂ CQ ⊂ UCQ ⊂ ∃FO+ ⊂ FO.
+type Lang uint8
+
+// Language classes.
+const (
+	// LangSP: selection-projection queries over a single relation atom in
+	// which no variable repeats and the selection is a conjunction of
+	// equality atoms (Section 3, "SP queries").
+	LangSP Lang = iota
+	// LangCQ: conjunctive queries (atoms, equality, ∧, ∃).
+	LangCQ
+	// LangUCQ: unions of conjunctive queries.
+	LangUCQ
+	// LangEFOPlus: positive existential FO (adds unrestricted ∨).
+	LangEFOPlus
+	// LangFO: full first-order logic (adds ¬ and ∀).
+	LangFO
+)
+
+// String names the class.
+func (l Lang) String() string {
+	return [...]string{"SP", "CQ", "UCQ", "∃FO+", "FO"}[l]
+}
+
+// isCQFormula reports whether f uses only Atom, equality Cmp, And, Exists.
+func isCQFormula(f Formula) bool {
+	switch g := f.(type) {
+	case Atom:
+		return true
+	case Cmp:
+		return g.Op == CmpEq
+	case And:
+		for _, h := range g.Fs {
+			if !isCQFormula(h) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return isCQFormula(g.F)
+	}
+	return false
+}
+
+// isPositiveExistential reports whether f avoids Not and Forall.
+func isPositiveExistential(f Formula) bool {
+	switch g := f.(type) {
+	case Atom, Cmp:
+		return true
+	case And:
+		for _, h := range g.Fs {
+			if !isPositiveExistential(h) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, h := range g.Fs {
+			if !isPositiveExistential(h) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return isPositiveExistential(g.F)
+	}
+	return false
+}
+
+// isUCQ reports whether f is a union of conjunctive queries: either a CQ,
+// or a top-level Or (possibly under a top-level Exists) of CQs.
+func isUCQ(f Formula) bool {
+	if isCQFormula(f) {
+		return true
+	}
+	switch g := f.(type) {
+	case Or:
+		for _, h := range g.Fs {
+			if !isUCQ(h) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return isUCQ(g.F)
+	}
+	return false
+}
+
+// Classify returns the smallest language class containing the query.
+func Classify(q *Query) Lang {
+	if IsSP(q) {
+		return LangSP
+	}
+	if isCQFormula(q.Body) {
+		return LangCQ
+	}
+	if isUCQ(q.Body) {
+		return LangUCQ
+	}
+	if isPositiveExistential(q.Body) {
+		return LangEFOPlus
+	}
+	return LangFO
+}
+
+// SPShape is the decomposition of an SP query: a single relation atom with
+// pairwise-distinct variables, a conjunction of equality selections, and a
+// projection onto the head.
+type SPShape struct {
+	Rel string
+	// AtomVars maps each attribute position of the atom to its variable.
+	AtomVars []string
+	// VarEq lists selections var = var (positions into AtomVars).
+	VarEq [][2]int
+	// ConstEq lists selections var = constant (position, constant term).
+	ConstEq []struct {
+		Pos   int
+		Const Term
+	}
+	// HeadPos maps each head variable to its attribute position.
+	HeadPos []int
+}
+
+// AsSP decomposes the query as an SP query, or ok=false if it is not one.
+// SP queries have the form Q(x⃗) = ∃e,y⃗ (R(e, x⃗, y⃗) ∧ ψ) with ψ a
+// conjunction of equality atoms and no repeated variables in the atom.
+func AsSP(q *Query) (SPShape, bool) {
+	body := q.Body
+	// Strip one layer of Exists (possibly absent if all atom vars are head vars).
+	if ex, ok := body.(Exists); ok {
+		body = ex.F
+	}
+	var atom *Atom
+	var cmps []Cmp
+	var collect func(f Formula) bool
+	collect = func(f Formula) bool {
+		switch g := f.(type) {
+		case Atom:
+			if atom != nil {
+				return false // joins are not SP
+			}
+			a := g
+			atom = &a
+			return true
+		case Cmp:
+			if g.Op != CmpEq {
+				return false
+			}
+			cmps = append(cmps, g)
+			return true
+		case And:
+			for _, h := range g.Fs {
+				if !collect(h) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	if !collect(body) || atom == nil {
+		return SPShape{}, false
+	}
+	shape := SPShape{Rel: atom.Rel}
+	pos := make(map[string]int, len(atom.Terms))
+	for i, t := range atom.Terms {
+		if t.IsConst {
+			return SPShape{}, false // constants in the atom are expressed via ψ
+		}
+		if _, dup := pos[t.Var]; dup {
+			return SPShape{}, false // repeated variable = implicit selection join
+		}
+		pos[t.Var] = i
+		shape.AtomVars = append(shape.AtomVars, t.Var)
+	}
+	for _, c := range cmps {
+		switch {
+		case !c.L.IsConst && !c.R.IsConst:
+			li, lok := pos[c.L.Var]
+			ri, rok := pos[c.R.Var]
+			if !lok || !rok {
+				return SPShape{}, false
+			}
+			shape.VarEq = append(shape.VarEq, [2]int{li, ri})
+		case !c.L.IsConst && c.R.IsConst:
+			li, lok := pos[c.L.Var]
+			if !lok {
+				return SPShape{}, false
+			}
+			shape.ConstEq = append(shape.ConstEq, struct {
+				Pos   int
+				Const Term
+			}{li, c.R})
+		case c.L.IsConst && !c.R.IsConst:
+			ri, rok := pos[c.R.Var]
+			if !rok {
+				return SPShape{}, false
+			}
+			shape.ConstEq = append(shape.ConstEq, struct {
+				Pos   int
+				Const Term
+			}{ri, c.L})
+		default:
+			return SPShape{}, false
+		}
+	}
+	for _, hv := range q.Head {
+		p, ok := pos[hv]
+		if !ok {
+			return SPShape{}, false
+		}
+		shape.HeadPos = append(shape.HeadPos, p)
+	}
+	return shape, true
+}
+
+// IsSP reports whether the query is an SP query.
+func IsSP(q *Query) bool {
+	_, ok := AsSP(q)
+	return ok
+}
+
+// IsIdentity reports whether the query is an identity query: an SP query
+// whose selection is a tautology and whose head projects every attribute.
+func IsIdentity(q *Query) bool {
+	shape, ok := AsSP(q)
+	if !ok {
+		return false
+	}
+	return len(shape.VarEq) == 0 && len(shape.ConstEq) == 0 &&
+		len(shape.HeadPos) == len(shape.AtomVars)
+}

@@ -1,0 +1,189 @@
+package reductions
+
+import (
+	"fmt"
+
+	"currency/internal/dc"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// BetweennessInstance is an instance of the Betweenness problem: does a
+// bijection π: elements → 1..n exist such that for every triple (a, b, c),
+// either π(a) < π(b) < π(c) or π(c) < π(b) < π(a)?
+type BetweennessInstance struct {
+	N       int      // elements 0..N-1
+	Triples [][3]int // (a, b, c) constraints
+}
+
+// Solvable decides the instance by brute force over permutations; the
+// oracle for differential tests (use only for small N).
+func (b BetweennessInstance) Solvable() bool {
+	perm := make([]int, b.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	pos := make([]int, b.N)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == b.N {
+			for i, p := range perm {
+				pos[p] = i
+			}
+			for _, t := range b.Triples {
+				a, m, c := pos[t[0]], pos[t[1]], pos[t[2]]
+				if !(a < m && m < c) && !(c < m && m < a) {
+					return false
+				}
+			}
+			return true
+		}
+		for i := k; i < b.N; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if rec(k + 1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// CPSFromBetweenness builds the Theorem 3.1 data-complexity gadget: a
+// specification over the fixed schema R(EID, TID, A, P, O) with fixed
+// denial constraints σ1–σ5 and no copy functions, consistent iff the
+// Betweenness instance is solvable. Each triple contributes six tuples —
+// two candidate orderings distinguished by the O attribute — plus one
+// separator tuple t#; completions choose, per triple, which ordering is
+// placed after t#.
+func CPSFromBetweenness(b BetweennessInstance) (*spec.Spec, error) {
+	if b.N == 0 || len(b.Triples) == 0 {
+		return nil, fmt.Errorf("reductions: empty Betweenness instance")
+	}
+	sc := relation.MustSchema("R", "eid", "TID", "A", "P", "O")
+	dt := relation.NewTemporal(sc)
+	g := relation.S("g")
+	hash := relation.S("#")
+	el := func(e int) relation.Value { return relation.S(fmt.Sprintf("a%d", e)) }
+
+	for k, t := range b.Triples {
+		tid := relation.I(int64(k + 1))
+		// Ordering 1: a < b < c.
+		dt.MustAdd(relation.Tuple{g, tid, el(t[0]), relation.I(1), relation.I(1)})
+		dt.MustAdd(relation.Tuple{g, tid, el(t[1]), relation.I(2), relation.I(1)})
+		dt.MustAdd(relation.Tuple{g, tid, el(t[2]), relation.I(3), relation.I(1)})
+		// Ordering 2: c < b < a.
+		dt.MustAdd(relation.Tuple{g, tid, el(t[0]), relation.I(3), relation.I(2)})
+		dt.MustAdd(relation.Tuple{g, tid, el(t[1]), relation.I(2), relation.I(2)})
+		dt.MustAdd(relation.Tuple{g, tid, el(t[2]), relation.I(1), relation.I(2)})
+	}
+	dt.MustAdd(relation.Tuple{g, hash, hash, hash, hash})
+
+	s := spec.New()
+	if err := s.AddRelation(dt); err != nil {
+		return nil, err
+	}
+
+	sharpCmp := func(v string) dc.Comparison {
+		return dc.Comparison{L: dc.AttrOp(v, "A"), Op: dc.OpEq, R: dc.ConstOp(hash)}
+	}
+	deny := dc.OrderAtom{U: "t1", V: "t1", Attr: "A"}
+	add := func(c *dc.Constraint) error { return s.AddConstraint(c) }
+
+	// σ1: tuples of the same triple and ordering are not split by t#.
+	if err := add(&dc.Constraint{
+		Name: "sigma1", Relation: "R",
+		Vars: []string{"t1", "t2", "s"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("t1", "TID"), Op: dc.OpEq, R: dc.AttrOp("t2", "TID")},
+			{L: dc.AttrOp("t1", "O"), Op: dc.OpEq, R: dc.AttrOp("t2", "O")},
+			{L: dc.AttrOp("t1", "TID"), Op: dc.OpNe, R: dc.ConstOp(hash)},
+			sharpCmp("s"),
+		},
+		Orders: []dc.OrderAtom{
+			{U: "t1", V: "s", Attr: "A"},
+			{U: "s", V: "t2", Attr: "A"},
+		},
+		Head: deny,
+	}); err != nil {
+		return nil, err
+	}
+	// σ2: two orderings of the same triple are not both after t#.
+	if err := add(&dc.Constraint{
+		Name: "sigma2", Relation: "R",
+		Vars: []string{"t1", "t2", "s"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("t1", "TID"), Op: dc.OpEq, R: dc.AttrOp("t2", "TID")},
+			{L: dc.AttrOp("t1", "O"), Op: dc.OpNe, R: dc.AttrOp("t2", "O")},
+			{L: dc.AttrOp("t1", "TID"), Op: dc.OpNe, R: dc.ConstOp(hash)},
+			sharpCmp("s"),
+		},
+		Orders: []dc.OrderAtom{
+			{U: "s", V: "t1", Attr: "A"},
+			{U: "s", V: "t2", Attr: "A"},
+		},
+		Head: deny,
+	}); err != nil {
+		return nil, err
+	}
+	// σ3: nor both before t#.
+	if err := add(&dc.Constraint{
+		Name: "sigma3", Relation: "R",
+		Vars: []string{"t1", "t2", "s"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("t1", "TID"), Op: dc.OpEq, R: dc.AttrOp("t2", "TID")},
+			{L: dc.AttrOp("t1", "O"), Op: dc.OpNe, R: dc.AttrOp("t2", "O")},
+			{L: dc.AttrOp("t1", "TID"), Op: dc.OpNe, R: dc.ConstOp(hash)},
+			sharpCmp("s"),
+		},
+		Orders: []dc.OrderAtom{
+			{U: "t1", V: "s", Attr: "A"},
+			{U: "t2", V: "s", Attr: "A"},
+		},
+		Head: deny,
+	}); err != nil {
+		return nil, err
+	}
+	// σ4: the selected ordering respects positions.
+	if err := add(&dc.Constraint{
+		Name: "sigma4", Relation: "R",
+		Vars: []string{"t1", "t2", "s"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("t1", "TID"), Op: dc.OpEq, R: dc.AttrOp("t2", "TID")},
+			{L: dc.AttrOp("t1", "O"), Op: dc.OpEq, R: dc.AttrOp("t2", "O")},
+			{L: dc.AttrOp("t1", "P"), Op: dc.OpLt, R: dc.AttrOp("t2", "P")},
+			sharpCmp("s"),
+		},
+		Orders: []dc.OrderAtom{
+			{U: "s", V: "t1", Attr: "A"},
+			{U: "s", V: "t2", Attr: "A"},
+		},
+		Head: dc.OrderAtom{U: "t1", V: "t2", Attr: "A"},
+	}); err != nil {
+		return nil, err
+	}
+	// σ5: selected tuples with equal elements are consecutive — no tuple
+	// with a different element sits between two equal-element tuples.
+	if err := add(&dc.Constraint{
+		Name: "sigma5", Relation: "R",
+		Vars: []string{"t1", "t2", "t3", "s"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("t1", "A"), Op: dc.OpEq, R: dc.AttrOp("t2", "A")},
+			{L: dc.AttrOp("t1", "A"), Op: dc.OpNe, R: dc.AttrOp("t3", "A")},
+			{L: dc.AttrOp("t3", "A"), Op: dc.OpNe, R: dc.ConstOp(hash)},
+			sharpCmp("s"),
+		},
+		Orders: []dc.OrderAtom{
+			{U: "s", V: "t1", Attr: "A"},
+			{U: "s", V: "t2", Attr: "A"},
+			{U: "s", V: "t3", Attr: "A"},
+			{U: "t1", V: "t3", Attr: "A"},
+			{U: "t3", V: "t2", Attr: "A"},
+		},
+		Head: deny,
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

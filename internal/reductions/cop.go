@@ -1,0 +1,155 @@
+package reductions
+
+import (
+	"fmt"
+
+	"currency/internal/dc"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// COPGadget is the output of COPFrom3SAT: the specification, the currency
+// order Ot to check (t ≺ t# on every attribute for every tuple t), and
+// bookkeeping for tests.
+type COPGadget struct {
+	Spec *spec.Spec
+	// Reqs is Ot as explicit pair requirements: every literal tuple
+	// precedes t# on every attribute.
+	Reqs [][4]interface{} // (rel, attr, i, j) — see Requirements
+	// Sharp is the index of t#.
+	Sharp int
+}
+
+// Requirements returns Ot as (rel, attr, i, j) requirement tuples.
+func (g *COPGadget) Requirements() []struct {
+	Rel  string
+	Attr string
+	I, J int
+} {
+	var out []struct {
+		Rel  string
+		Attr string
+		I, J int
+	}
+	for _, r := range g.Reqs {
+		out = append(out, struct {
+			Rel  string
+			Attr string
+			I, J int
+		}{r[0].(string), r[1].(string), r[2].(int), r[3].(int)})
+	}
+	return out
+}
+
+// COPFrom3SAT builds the Theorem 3.4 data-complexity gadget: from a 3CNF
+// formula ψ it constructs a consistent specification S over the fixed
+// schema RC(EID, C, L, S, V) — one tuple per clause literal plus a
+// separator tuple t# — and the currency order Ot requiring t# to be the
+// most current tuple in every attribute. Ot is certain (holds in every
+// consistent completion) iff ψ is unsatisfiable; a satisfying assignment
+// yields a completion placing its true literals after t#.
+func COPFrom3SAT(psi QBF) (*COPGadget, error) {
+	if len(psi.Blocks) != 1 || !psi.Blocks[0].Exists || psi.DNF {
+		return nil, fmt.Errorf("reductions: COPFrom3SAT needs a plain 3CNF formula, got %s", psi)
+	}
+	sc := relation.MustSchema("RC", "eid", "C", "L", "S", "V")
+	dt := relation.NewTemporal(sc)
+	g := relation.S("g")
+	hash := relation.S("#")
+	plus, minus := relation.S("+"), relation.S("-")
+
+	for j, cl := range psi.Clauses {
+		for p := 0; p < 3; p++ {
+			sign := plus
+			if cl[p].Neg {
+				sign = minus
+			}
+			dt.MustAdd(relation.Tuple{
+				g, relation.I(int64(j + 1)), relation.I(int64(p + 1)), sign,
+				relation.S(fmt.Sprintf("v%d", cl[p].Var)),
+			})
+		}
+	}
+	sharp := dt.MustAdd(relation.Tuple{g, hash, hash, hash, hash})
+
+	s := spec.New()
+	if err := s.AddRelation(dt); err != nil {
+		return nil, err
+	}
+
+	attrs := []string{"C", "L", "S", "V"}
+	// (a) Synchronized attributes: more current in one attribute implies
+	// more current in all.
+	for _, a := range attrs {
+		for _, b := range attrs {
+			if a == b {
+				continue
+			}
+			if err := s.AddConstraint(&dc.Constraint{
+				Name:     fmt.Sprintf("sync_%s_%s", a, b),
+				Relation: "RC",
+				Vars:     []string{"t", "u"},
+				Orders:   []dc.OrderAtom{{U: "t", V: "u", Attr: a}},
+				Head:     dc.OrderAtom{U: "t", V: "u", Attr: b},
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// (b) If any tuple is more current than t#, every clause contributes a
+	// tuple more current than t#: deny a tuple after t# together with a
+	// clause whose three literal tuples all precede t#.
+	if err := s.AddConstraint(&dc.Constraint{
+		Name:     "witness_per_clause",
+		Relation: "RC",
+		Vars:     []string{"s", "t", "u1", "u2", "u3"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("s", "C"), Op: dc.OpEq, R: dc.ConstOp(hash)},
+			{L: dc.AttrOp("u1", "L"), Op: dc.OpEq, R: dc.ConstOp(relation.I(1))},
+			{L: dc.AttrOp("u2", "L"), Op: dc.OpEq, R: dc.ConstOp(relation.I(2))},
+			{L: dc.AttrOp("u3", "L"), Op: dc.OpEq, R: dc.ConstOp(relation.I(3))},
+			{L: dc.AttrOp("u1", "C"), Op: dc.OpEq, R: dc.AttrOp("u2", "C")},
+			{L: dc.AttrOp("u2", "C"), Op: dc.OpEq, R: dc.AttrOp("u3", "C")},
+		},
+		Orders: []dc.OrderAtom{
+			{U: "s", V: "t", Attr: "C"},
+			{U: "u1", V: "s", Attr: "C"},
+			{U: "u2", V: "s", Attr: "C"},
+			{U: "u3", V: "s", Attr: "C"},
+		},
+		Head: dc.OrderAtom{U: "s", V: "s", Attr: "C"},
+	}); err != nil {
+		return nil, err
+	}
+	// (c) No contradictory literals after t#: a positive and a negative
+	// occurrence of the same variable cannot both be more current than t#.
+	if err := s.AddConstraint(&dc.Constraint{
+		Name:     "consistent_signs",
+		Relation: "RC",
+		Vars:     []string{"s", "t", "u"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("s", "C"), Op: dc.OpEq, R: dc.ConstOp(hash)},
+			{L: dc.AttrOp("t", "V"), Op: dc.OpEq, R: dc.AttrOp("u", "V")},
+			{L: dc.AttrOp("t", "S"), Op: dc.OpEq, R: dc.ConstOp(plus)},
+			{L: dc.AttrOp("u", "S"), Op: dc.OpEq, R: dc.ConstOp(minus)},
+		},
+		Orders: []dc.OrderAtom{
+			{U: "s", V: "t", Attr: "C"},
+			{U: "s", V: "u", Attr: "C"},
+		},
+		Head: dc.OrderAtom{U: "s", V: "s", Attr: "C"},
+	}); err != nil {
+		return nil, err
+	}
+
+	gdg := &COPGadget{Spec: s, Sharp: sharp}
+	for i := 0; i < dt.Len(); i++ {
+		if i == sharp {
+			continue
+		}
+		for _, a := range attrs {
+			gdg.Reqs = append(gdg.Reqs, [4]interface{}{"RC", a, i, sharp})
+		}
+	}
+	return gdg, nil
+}

@@ -1,0 +1,150 @@
+package reductions
+
+import (
+	"fmt"
+
+	"currency/internal/copyfn"
+	"currency/internal/query"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// CPPGadget bundles the Theorem 5.1(3) data-complexity reduction output:
+// the specification with its (initially empty) copy functions and the
+// Boolean CQ query whose currency preservation encodes the formula.
+type CPPGadget struct {
+	Spec  *spec.Spec
+	Query *query.Query
+}
+
+// CPPFromA2E3CNF builds the Theorem 5.1(3) gadget (Figure 5): given
+// ϕ = ∀X ∃Y ψ with ψ in 3CNF, it constructs target relations RXY (one
+// entity per variable with value tuples 0 and 1), RCl (the negated
+// clauses) and RbC ({c, d} for one entity), plus source relations RpX
+// (two oppositely ordered tuple pairs per X variable) and Rpb (d ≺ c),
+// with empty copy functions ρ1: RXY ⇐ RpX and ρ2: RbC ⇐ Rpb. The copy
+// functions are currency preserving for the gadget query iff ϕ is true.
+//
+// Extensions of ρ1 pin truth values of X variables by importing the
+// currency orders of RpX; extensions of ρ2 pin the current RbC value to c,
+// which the query requires. The gadget is faithful under the conservative
+// extension space (mapping-only extensions — the paper enforces the same
+// restriction with fixed denial constraints limiting every entity to its
+// two tuples).
+func CPPFromA2E3CNF(q QBF) (*CPPGadget, error) {
+	if len(q.Blocks) != 2 || q.Blocks[0].Exists || !q.Blocks[1].Exists || q.DNF {
+		return nil, fmt.Errorf("reductions: CPPFromA2E3CNF needs ∀∃ prefix with a 3CNF matrix, got %s", q)
+	}
+	xs, ys := q.Blocks[0].Vars, q.Blocks[1].Vars
+	if len(xs) == 0 || len(ys) == 0 || len(q.Clauses) == 0 {
+		return nil, fmt.Errorf("reductions: CPPFromA2E3CNF needs non-empty X, Y and matrix")
+	}
+	s := spec.New()
+	varName := func(v int) relation.Value { return relation.S(fmt.Sprintf("z%d", v)) }
+
+	// Target RXY: one entity per variable (X and Y), tuples (z, 0), (z, 1).
+	scXY := relation.MustSchema("RXY", "eid", "X", "V")
+	ixy := relation.NewTemporal(scXY)
+	for _, v := range append(append([]int(nil), xs...), ys...) {
+		eid := relation.S(fmt.Sprintf("e%d", v))
+		ixy.MustAdd(relation.Tuple{eid, varName(v), relation.I(0)})
+		ixy.MustAdd(relation.Tuple{eid, varName(v), relation.I(1)})
+	}
+	if err := s.AddRelation(ixy); err != nil {
+		return nil, err
+	}
+
+	// Target RCl: the negation of each clause — for clause j and position
+	// p, the falsifying value of its literal, output column c.
+	scCl := relation.MustSchema("RCl", "eid", "CID", "POS", "X", "V", "C")
+	icl := relation.NewTemporal(scCl)
+	for j, cl := range q.Clauses {
+		for p := 0; p < 3; p++ {
+			falsifying := int64(0)
+			if cl[p].Neg {
+				falsifying = 1
+			}
+			icl.MustAdd(relation.Tuple{
+				relation.S(fmt.Sprintf("cl%d_%d", j, p)),
+				relation.I(int64(j + 1)), relation.I(int64(p + 1)),
+				varName(cl[p].Var), relation.I(falsifying), relation.S("c"),
+			})
+		}
+	}
+	if err := s.AddRelation(icl); err != nil {
+		return nil, err
+	}
+
+	// Target RbC: entity b with values c and d; no initial order.
+	scB := relation.MustSchema("RbC", "eid", "C")
+	ibc := relation.NewTemporal(scB)
+	ibc.MustAdd(relation.Tuple{relation.S("b"), relation.S("c")})
+	ibc.MustAdd(relation.Tuple{relation.S("b"), relation.S("d")})
+	if err := s.AddRelation(ibc); err != nil {
+		return nil, err
+	}
+
+	// Source RpX: per X variable, two entities with opposite certain
+	// orders — copying from one pins the variable true, from the other
+	// false.
+	scPX := relation.MustSchema("RpX", "eid", "X", "V")
+	ipx := relation.NewTemporal(scPX)
+	for _, v := range xs {
+		upEID := relation.S(fmt.Sprintf("p%d", v))
+		lo := ipx.MustAdd(relation.Tuple{upEID, varName(v), relation.I(0)})
+		hi := ipx.MustAdd(relation.Tuple{upEID, varName(v), relation.I(1)})
+		ipx.Orders[2].Add(lo, hi) // 0 ≺V 1: latest value is 1
+		downEID := relation.S(fmt.Sprintf("q%d", v))
+		lo2 := ipx.MustAdd(relation.Tuple{downEID, varName(v), relation.I(0)})
+		hi2 := ipx.MustAdd(relation.Tuple{downEID, varName(v), relation.I(1)})
+		ipx.Orders[2].Add(hi2, lo2) // 1 ≺V 0: latest value is 0
+	}
+	if err := s.AddRelation(ipx); err != nil {
+		return nil, err
+	}
+
+	// Source Rpb: d ≺C c.
+	scPB := relation.MustSchema("Rpb", "eid", "C")
+	ipb := relation.NewTemporal(scPB)
+	cIdx := ipb.MustAdd(relation.Tuple{relation.S("b"), relation.S("c")})
+	dIdx := ipb.MustAdd(relation.Tuple{relation.S("b"), relation.S("d")})
+	ipb.Orders[1].Add(dIdx, cIdx)
+	if err := s.AddRelation(ipb); err != nil {
+		return nil, err
+	}
+
+	rho1 := copyfn.New("rho1", "RXY", "RpX", []string{"X", "V"}, []string{"X", "V"})
+	if err := s.AddCopy(rho1); err != nil {
+		return nil, err
+	}
+	rho2 := copyfn.New("rho2", "RbC", "Rpb", []string{"C"}, []string{"C"})
+	if err := s.AddCopy(rho2); err != nil {
+		return nil, err
+	}
+
+	// Boolean query: some clause has all three literals falsified by the
+	// current values, and the current RbC value is c.
+	qq := &query.Query{
+		Name: "Qcpp",
+		Head: nil,
+		Body: query.Exists{
+			Vars: []string{"j", "z1", "z2", "z3", "v1", "v2", "v3", "e1", "e2", "e3", "exy1", "exy2", "exy3", "eb", "w"},
+			F: query.And{Fs: []query.Formula{
+				query.Atom{Rel: "RXY", Terms: []query.Term{query.V("exy1"), query.V("z1"), query.V("v1")}},
+				query.Atom{Rel: "RXY", Terms: []query.Term{query.V("exy2"), query.V("z2"), query.V("v2")}},
+				query.Atom{Rel: "RXY", Terms: []query.Term{query.V("exy3"), query.V("z3"), query.V("v3")}},
+				query.Atom{Rel: "RCl", Terms: []query.Term{
+					query.V("e1"), query.V("j"), query.C(relation.I(1)), query.V("z1"), query.V("v1"), query.V("w"),
+				}},
+				query.Atom{Rel: "RCl", Terms: []query.Term{
+					query.V("e2"), query.V("j"), query.C(relation.I(2)), query.V("z2"), query.V("v2"), query.V("w"),
+				}},
+				query.Atom{Rel: "RCl", Terms: []query.Term{
+					query.V("e3"), query.V("j"), query.C(relation.I(3)), query.V("z3"), query.V("v3"), query.V("w"),
+				}},
+				query.Atom{Rel: "RbC", Terms: []query.Term{query.V("eb"), query.V("w")}},
+			}},
+		},
+	}
+	return &CPPGadget{Spec: s, Query: qq}, nil
+}

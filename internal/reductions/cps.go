@@ -1,0 +1,152 @@
+package reductions
+
+import (
+	"fmt"
+
+	"currency/internal/dc"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// CPSFromE2ADNF builds the Theorem 3.1 gadget: given ϕ = ∃X ∀Y ψ with ψ in
+// 3DNF, it constructs a specification S over the single relation
+// RV(EID, V, v, A1, A2, A3, B) with one denial constraint and no copy
+// functions such that Mod(S) ≠ ∅ iff ϕ is true.
+//
+// The instance holds, for every variable, two tuples carrying v = 1 and
+// v = 0; a completion's orientation of the existential pairs encodes a
+// truth assignment μX (the more current v value is the chosen one), the
+// universal tuples enumerate both values, and eight "gate" tuples encode
+// disjunction. The constraint denies every completion under which some μY
+// falsifies all DNF terms, so consistent completions are exactly the
+// witnesses of ∃X ∀Y ψ.
+func CPSFromE2ADNF(q QBF) (*spec.Spec, error) {
+	if len(q.Blocks) != 2 || !q.Blocks[0].Exists || q.Blocks[1].Exists || !q.DNF {
+		return nil, fmt.Errorf("reductions: CPSFromE2ADNF needs ∃∀ prefix with a 3DNF matrix, got %s", q)
+	}
+	xs, ys := q.Blocks[0].Vars, q.Blocks[1].Vars
+	if len(xs) == 0 || len(ys) == 0 || len(q.Clauses) == 0 {
+		return nil, fmt.Errorf("reductions: CPSFromE2ADNF needs non-empty X, Y and matrix")
+	}
+	// Positions of global variable ids within their blocks.
+	xPos := make(map[int]int, len(xs))
+	for i, v := range xs {
+		xPos[v] = i
+	}
+	yPos := make(map[int]int, len(ys))
+	for j, v := range ys {
+		yPos[v] = j
+	}
+
+	sc := relation.MustSchema("RV", "eid", "V", "v", "A1", "A2", "A3", "B")
+	dt := relation.NewTemporal(sc)
+	g := relation.S("g")
+	hash := relation.S("#")
+
+	varName := func(exist bool, idx int) relation.Value {
+		if exist {
+			return relation.S(fmt.Sprintf("x%d", idx))
+		}
+		return relation.S(fmt.Sprintf("y%d", idx))
+	}
+	// Variable tuples: (g, name, 1, #, #, #, #) and (g, name, 0, ...).
+	var varTuples []int // flattened: per variable, [v=1 index, v=0 index]
+	addVarPair := func(exist bool, idx int) {
+		for _, bit := range []int64{1, 0} {
+			ti := dt.MustAdd(relation.Tuple{g, varName(exist, idx), relation.I(bit), hash, hash, hash, hash})
+			varTuples = append(varTuples, ti)
+		}
+	}
+	for i := range xs {
+		addVarPair(true, i)
+	}
+	for j := range ys {
+		addVarPair(false, j)
+	}
+	// Gate tuples: (g, #, #, a1, a2, a3, a1∨a2∨a3).
+	var gateTuples []int
+	for a1 := int64(0); a1 <= 1; a1++ {
+		for a2 := int64(0); a2 <= 1; a2++ {
+			for a3 := int64(0); a3 <= 1; a3++ {
+				or := a1 | a2 | a3
+				ti := dt.MustAdd(relation.Tuple{g, hash, hash, relation.I(a1), relation.I(a2), relation.I(a3), relation.I(or)})
+				gateTuples = append(gateTuples, ti)
+			}
+		}
+	}
+	// The paper's initial ≺V chain: gates below variables, variables
+	// ordered by block position.
+	nVars := len(xs) + len(ys)
+	for _, gi := range gateTuples {
+		for _, vi := range varTuples {
+			dt.Orders[1].Add(gi, vi)
+		}
+	}
+	for a := 0; a < nVars; a++ {
+		for b := a + 1; b < nVars; b++ {
+			for _, ai := range varTuples[2*a : 2*a+2] {
+				for _, bi := range varTuples[2*b : 2*b+2] {
+					dt.Orders[1].Add(ai, bi)
+				}
+			}
+		}
+	}
+
+	// The denial constraint φ.
+	c := &dc.Constraint{Name: "phi", Relation: "RV"}
+	tVar := func(i int) string { return fmt.Sprintf("t%d", i) }
+	tpVar := func(i int) string { return fmt.Sprintf("tp%d", i) }
+	sVar := func(j int) string { return fmt.Sprintf("s%d", j) }
+	cVar := func(l int) string { return fmt.Sprintf("c%d", l) }
+	for i := range xs {
+		c.Vars = append(c.Vars, tVar(i), tpVar(i))
+		name := varName(true, i)
+		c.Cmps = append(c.Cmps,
+			dc.Comparison{L: dc.AttrOp(tVar(i), "V"), Op: dc.OpEq, R: dc.ConstOp(name)},
+			dc.Comparison{L: dc.AttrOp(tpVar(i), "V"), Op: dc.OpEq, R: dc.ConstOp(name)},
+		)
+		c.Orders = append(c.Orders, dc.OrderAtom{U: tpVar(i), V: tVar(i), Attr: "v"})
+	}
+	for j := range ys {
+		c.Vars = append(c.Vars, sVar(j))
+		c.Cmps = append(c.Cmps,
+			dc.Comparison{L: dc.AttrOp(sVar(j), "V"), Op: dc.OpEq, R: dc.ConstOp(varName(false, j))},
+		)
+	}
+	for l, cl := range q.Clauses {
+		c.Vars = append(c.Vars, cVar(l))
+		c.Cmps = append(c.Cmps,
+			dc.Comparison{L: dc.AttrOp(cVar(l), "B"), Op: dc.OpEq, R: dc.ConstOp(relation.I(1))},
+		)
+		for p := 0; p < 3; p++ {
+			lit := cl[p]
+			var holder string
+			if i, ok := xPos[lit.Var]; ok {
+				holder = tVar(i)
+			} else if j, ok := yPos[lit.Var]; ok {
+				holder = sVar(j)
+			} else {
+				return nil, fmt.Errorf("reductions: literal %v references an unquantified variable", lit)
+			}
+			op := dc.OpNe // positive literal: gate input is the negation
+			if lit.Neg {
+				op = dc.OpEq
+			}
+			attr := fmt.Sprintf("A%d", p+1)
+			c.Cmps = append(c.Cmps, dc.Comparison{
+				L: dc.AttrOp(cVar(l), attr), Op: op, R: dc.AttrOp(holder, "v"),
+			})
+		}
+	}
+	// Contradiction head t1 ≺V t1: the body must never hold.
+	c.Head = dc.OrderAtom{U: tVar(0), V: tVar(0), Attr: "V"}
+
+	s := spec.New()
+	if err := s.AddRelation(dt); err != nil {
+		return nil, err
+	}
+	if err := s.AddConstraint(c); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,173 @@
+// Package reductions makes the paper's lower-bound proofs executable: each
+// reduction builds, from a quantified Boolean formula (or a Betweenness
+// instance), the exact gadget specification of the corresponding proof —
+// the temporal instances of Figures 2, 4, 5 and 6, the denial constraints,
+// copy functions and queries — so the hardness constructions can be run,
+// differentially validated against a brute-force QBF oracle, and
+// benchmarked.
+package reductions
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Literal is a possibly negated propositional variable. Variables are
+// identified by non-negative indexes into a global variable space.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// String renders the literal.
+func (l Literal) String() string {
+	if l.Neg {
+		return fmt.Sprintf("¬v%d", l.Var)
+	}
+	return fmt.Sprintf("v%d", l.Var)
+}
+
+// Clause is a three-literal clause: a disjunct of a 3CNF formula or a
+// conjunct (term) of a 3DNF formula, depending on context.
+type Clause [3]Literal
+
+// QBF is a quantified Boolean formula in prenex form with a 3CNF or 3DNF
+// matrix. Blocks alternate arbitrary ∃/∀ prefixes.
+type QBF struct {
+	// Blocks is the quantifier prefix, outermost first.
+	Blocks []Block
+	// Clauses is the matrix.
+	Clauses []Clause
+	// DNF is true when the matrix is a disjunction of conjunctive terms
+	// (3DNF); false for a conjunction of disjunctive clauses (3CNF).
+	DNF bool
+}
+
+// Block is one quantifier block.
+type Block struct {
+	Exists bool
+	Vars   []int
+}
+
+// NumVars returns the total number of quantified variables.
+func (q QBF) NumVars() int {
+	n := 0
+	for _, b := range q.Blocks {
+		n += len(b.Vars)
+	}
+	return n
+}
+
+// String renders the formula.
+func (q QBF) String() string {
+	var b strings.Builder
+	for _, blk := range q.Blocks {
+		if blk.Exists {
+			b.WriteString("∃")
+		} else {
+			b.WriteString("∀")
+		}
+		for i, v := range blk.Vars {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "v%d", v)
+		}
+		b.WriteString(" ")
+	}
+	sep, inner := " ∧ ", " ∨ "
+	if q.DNF {
+		sep, inner = " ∨ ", " ∧ "
+	}
+	var cs []string
+	for _, c := range q.Clauses {
+		cs = append(cs, "("+c[0].String()+inner+c[1].String()+inner+c[2].String()+")")
+	}
+	b.WriteString(strings.Join(cs, sep))
+	return b.String()
+}
+
+// evalMatrix evaluates the matrix under a complete assignment.
+func (q QBF) evalMatrix(asg []bool) bool {
+	lit := func(l Literal) bool { return asg[l.Var] != l.Neg }
+	if q.DNF {
+		for _, c := range q.Clauses {
+			if lit(c[0]) && lit(c[1]) && lit(c[2]) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range q.Clauses {
+		if !lit(c[0]) && !lit(c[1]) && !lit(c[2]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval decides the QBF by brute force — the oracle the reductions are
+// validated against. Exponential in the number of variables; use only on
+// small formulas.
+func (q QBF) Eval() bool {
+	asg := make([]bool, q.NumVars())
+	var rec func(bi, vi int) bool
+	rec = func(bi, vi int) bool {
+		if bi == len(q.Blocks) {
+			return q.evalMatrix(asg)
+		}
+		blk := q.Blocks[bi]
+		if vi == len(blk.Vars) {
+			return rec(bi+1, 0)
+		}
+		v := blk.Vars[vi]
+		asg[v] = false
+		r0 := rec(bi, vi+1)
+		if blk.Exists && r0 {
+			return true
+		}
+		if !blk.Exists && !r0 {
+			return false
+		}
+		asg[v] = true
+		return rec(bi, vi+1)
+	}
+	return rec(0, 0)
+}
+
+// RandomQBF generates a random prenex QBF: blockSizes gives the size of
+// each quantifier block, firstExists the leading quantifier (alternating
+// thereafter), clauses the number of matrix clauses, dnf the matrix shape.
+func RandomQBF(rng *rand.Rand, blockSizes []int, firstExists bool, clauses int, dnf bool) QBF {
+	var q QBF
+	q.DNF = dnf
+	next := 0
+	exists := firstExists
+	for _, sz := range blockSizes {
+		blk := Block{Exists: exists}
+		for i := 0; i < sz; i++ {
+			blk.Vars = append(blk.Vars, next)
+			next++
+		}
+		q.Blocks = append(q.Blocks, blk)
+		exists = !exists
+	}
+	for c := 0; c < clauses; c++ {
+		var cl Clause
+		for p := 0; p < 3; p++ {
+			cl[p] = Literal{Var: rng.Intn(next), Neg: rng.Intn(2) == 1}
+		}
+		q.Clauses = append(q.Clauses, cl)
+	}
+	return q
+}
+
+// Random3SAT generates a plain 3CNF formula (a single existential block)
+// over n variables with the given number of clauses.
+func Random3SAT(rng *rand.Rand, n, clauses int) QBF {
+	return RandomQBF(rng, []int{n}, true, clauses, false)
+}
+
+// Satisfiable decides a single-block existential formula.
+func (q QBF) Satisfiable() bool { return q.Eval() }

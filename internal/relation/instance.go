@@ -1,0 +1,201 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Instance is a normal instance of a schema: a finite sequence of tuples.
+// Tuples are identified by their index; the paper's instances are sets, and
+// value-equal tuples with the same EID are permitted (they are distinct set
+// elements only if they differ somewhere, but duplicates are harmless for
+// every algorithm in this library because current instances are value-level
+// objects).
+type Instance struct {
+	Schema *Schema
+	Tuples []Tuple
+	// Labels optionally names tuples (s1, t3, ...) for display and for the
+	// textual specification format. Empty or missing labels are allowed.
+	Labels []string
+}
+
+// NewInstance creates an empty instance of the schema.
+func NewInstance(schema *Schema) *Instance {
+	return &Instance{Schema: schema}
+}
+
+// Add appends a tuple and returns its index.
+func (d *Instance) Add(t Tuple) (int, error) {
+	if len(t) != d.Schema.Arity() {
+		return -1, fmt.Errorf("relation: tuple arity %d does not match schema %s arity %d",
+			len(t), d.Schema.Name, d.Schema.Arity())
+	}
+	d.Tuples = append(d.Tuples, t)
+	d.Labels = append(d.Labels, "")
+	return len(d.Tuples) - 1, nil
+}
+
+// AddLabeled appends a labelled tuple and returns its index.
+func (d *Instance) AddLabeled(label string, t Tuple) (int, error) {
+	i, err := d.Add(t)
+	if err != nil {
+		return -1, err
+	}
+	d.Labels[i] = label
+	return i, nil
+}
+
+// MustAdd is Add but panics on error; for tests and fixtures.
+func (d *Instance) MustAdd(t Tuple) int {
+	i, err := d.Add(t)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Len returns the number of tuples.
+func (d *Instance) Len() int { return len(d.Tuples) }
+
+// EID returns the entity id of tuple i.
+func (d *Instance) EID(i int) Value { return d.Tuples[i][d.Schema.EIDIndex] }
+
+// Label returns the label of tuple i, or a positional fallback like "#4".
+func (d *Instance) Label(i int) string {
+	if i < len(d.Labels) && d.Labels[i] != "" {
+		return d.Labels[i]
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// LabelIndex returns the index of the tuple with the given label.
+func (d *Instance) LabelIndex(label string) (int, bool) {
+	for i, l := range d.Labels {
+		if l == label {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Entities groups tuple indexes by entity id. Group order follows the first
+// occurrence of each EID; indexes within a group are ascending.
+func (d *Instance) Entities() []EntityGroup {
+	byEID := make(map[Value]int)
+	var groups []EntityGroup
+	for i := range d.Tuples {
+		eid := d.EID(i)
+		gi, ok := byEID[eid]
+		if !ok {
+			gi = len(groups)
+			byEID[eid] = gi
+			groups = append(groups, EntityGroup{EID: eid})
+		}
+		groups[gi].Members = append(groups[gi].Members, i)
+	}
+	return groups
+}
+
+// EntityIDs returns the distinct entity ids in first-occurrence order.
+func (d *Instance) EntityIDs() []Value {
+	groups := d.Entities()
+	out := make([]Value, len(groups))
+	for i, g := range groups {
+		out[i] = g.EID
+	}
+	return out
+}
+
+// Contains reports whether some tuple of the instance equals t.
+func (d *Instance) Contains(t Tuple) bool {
+	for _, u := range d.Tuples {
+		if u.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the instance.
+func (d *Instance) Clone() *Instance {
+	out := &Instance{Schema: d.Schema}
+	out.Tuples = make([]Tuple, len(d.Tuples))
+	for i, t := range d.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	out.Labels = append([]string(nil), d.Labels...)
+	return out
+}
+
+// Equal reports whether two instances hold the same set of tuples
+// (order-insensitive, multiset semantics by sorted keys).
+func (d *Instance) Equal(e *Instance) bool {
+	if d.Len() != e.Len() {
+		return false
+	}
+	dk := make([]string, d.Len())
+	ek := make([]string, e.Len())
+	for i := range d.Tuples {
+		dk[i] = d.Tuples[i].Key()
+	}
+	for i := range e.Tuples {
+		ek[i] = e.Tuples[i].Key()
+	}
+	sort.Strings(dk)
+	sort.Strings(ek)
+	for i := range dk {
+		if dk[i] != ek[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical encoding of the instance's tuple multiset.
+func (d *Instance) Key() string {
+	ks := make([]string, d.Len())
+	for i := range d.Tuples {
+		ks[i] = d.Tuples[i].Key()
+	}
+	sort.Strings(ks)
+	return d.Schema.Name + "{" + strings.Join(ks, ";") + "}"
+}
+
+// String renders the instance as a small table.
+func (d *Instance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", d.Schema)
+	for i, t := range d.Tuples {
+		fmt.Fprintf(&b, "  %s: %s\n", d.Label(i), t)
+	}
+	return b.String()
+}
+
+// EntityGroup is the set of tuple indexes pertaining to one entity.
+type EntityGroup struct {
+	EID     Value
+	Members []int
+}
+
+// ActiveDomain collects every value occurring in the given instances,
+// deduplicated and sorted, for active-domain query evaluation.
+func ActiveDomain(instances ...*Instance) []Value {
+	seen := make(map[Value]bool)
+	var out []Value
+	for _, d := range instances {
+		if d == nil {
+			continue
+		}
+		for _, t := range d.Tuples {
+			for _, v := range t {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

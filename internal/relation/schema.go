@@ -1,0 +1,131 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema describes a relation schema R = (EID, A1, ..., An) in the sense of
+// the paper: one designated entity-id attribute plus ordinary attributes.
+// The EID attribute identifies tuples pertaining to the same real-world
+// entity (obtained, e.g., by entity resolution).
+type Schema struct {
+	// Name is the relation name, unique within a specification.
+	Name string
+	// Attrs lists all attribute names in order, including the EID attribute.
+	Attrs []string
+	// EIDIndex is the position of the EID attribute within Attrs.
+	EIDIndex int
+}
+
+// NewSchema builds a schema whose first attribute is the EID, matching the
+// paper's convention R = (EID, A1, ..., An).
+func NewSchema(name string, attrs ...string) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: schema needs a name")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation: schema %s needs at least the EID attribute", name)
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation: schema %s has an empty attribute name", name)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("relation: schema %s has duplicate attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	return &Schema{Name: name, Attrs: attrs, EIDIndex: 0}, nil
+}
+
+// MustSchema is NewSchema but panics on error; for tests and fixtures.
+func MustSchema(name string, attrs ...string) *Schema {
+	s, err := NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of attributes, including EID.
+func (s *Schema) Arity() int { return len(s.Attrs) }
+
+// AttrIndex returns the position of the named attribute.
+func (s *Schema) AttrIndex(name string) (int, bool) {
+	for i, a := range s.Attrs {
+		if a == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// EIDAttr returns the name of the entity-id attribute.
+func (s *Schema) EIDAttr() string { return s.Attrs[s.EIDIndex] }
+
+// NonEIDIndexes returns the indexes of all attributes except the EID, in
+// schema order. These are the attributes that carry currency orders.
+func (s *Schema) NonEIDIndexes() []int {
+	out := make([]int, 0, len(s.Attrs)-1)
+	for i := range s.Attrs {
+		if i != s.EIDIndex {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the schema as Name(EID, A1, ...).
+func (s *Schema) String() string {
+	return fmt.Sprintf("%s(%s)", s.Name, strings.Join(s.Attrs, ", "))
+}
+
+// Tuple is a row of a relation; its values align positionally with the
+// schema's Attrs.
+type Tuple []Value
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Key returns a canonical string encoding of the tuple, usable as a map key
+// for deduplication.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteByte(byte('0' + v.Kind))
+		b.WriteByte(':')
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

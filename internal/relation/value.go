@@ -1,0 +1,102 @@
+// Package relation implements the data model of "Determining the Currency
+// of Data" (Fan, Geerts, Wijsen; PODS 2011 / TODS 2012): relation schemas
+// with entity ids (EIDs), normal instances, temporal instances carrying
+// partial currency orders per attribute, completions of those orders, and
+// current instances (LST) derived from completions.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the value types stored in tuples.
+type Kind uint8
+
+const (
+	// KindString is a string value.
+	KindString Kind = iota
+	// KindInt is a 64-bit integer value.
+	KindInt
+	// KindFresh is a fresh labelled null used by the tractable CCQA(SP)
+	// algorithm (Proposition 6.3) to mark attribute positions whose most
+	// current value differs between consistent completions. A fresh value
+	// compares unequal to every value other than itself.
+	KindFresh
+)
+
+// Value is an attribute value. Values are comparable with == and usable as
+// map keys. The zero Value is the empty string.
+type Value struct {
+	Kind Kind
+	Str  string
+	Int  int64
+}
+
+// S returns a string value.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// I returns an integer value.
+func I(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// Fresh returns the fresh labelled null with the given id. Two fresh values
+// are equal iff their ids are equal; a fresh value never equals a string or
+// integer value.
+func Fresh(id int64) Value { return Value{Kind: KindFresh, Int: id} }
+
+// IsFresh reports whether v is a fresh labelled null.
+func (v Value) IsFresh() bool { return v.Kind == KindFresh }
+
+// Compare orders values: integers numerically, strings lexicographically.
+// Values of different kinds are ordered by kind (ints < strings < fresh),
+// which gives a deterministic total order for sorting; cross-kind comparison
+// never arises in well-typed specifications.
+func (v Value) Compare(w Value) int {
+	if v.Kind != w.Kind {
+		if v.Kind < w.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KindInt, KindFresh:
+		switch {
+		case v.Int < w.Int:
+			return -1
+		case v.Int > w.Int:
+			return 1
+		}
+		return 0
+	default:
+		return strings.Compare(v.Str, w.Str)
+	}
+}
+
+// Less reports whether v sorts strictly before w under Compare.
+func (v Value) Less(w Value) bool { return v.Compare(w) < 0 }
+
+// String renders the value; strings are quoted so that instances print
+// unambiguously and the output can be fed back to the parser.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFresh:
+		return fmt.Sprintf("⊥%d", v.Int)
+	default:
+		return strconv.Quote(v.Str)
+	}
+}
+
+// Display renders the value without quoting, for human-facing tables.
+func (v Value) Display() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFresh:
+		return fmt.Sprintf("⊥%d", v.Int)
+	default:
+		return v.Str
+	}
+}

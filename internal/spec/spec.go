@@ -1,0 +1,271 @@
+// Package spec assembles specifications of data currency: collections of
+// temporal instances, denial constraints per relation, and copy functions
+// between relations (Section 2 of the paper). It also provides a
+// brute-force enumeration of the consistent completions Mod(S), used as a
+// test oracle for the exact solver.
+package spec
+
+import (
+	"fmt"
+
+	"currency/internal/copyfn"
+	"currency/internal/dc"
+	"currency/internal/relation"
+)
+
+// Spec is a specification S of data currency.
+type Spec struct {
+	// Relations holds the temporal instances, each with a unique schema
+	// name. Order is significant only for deterministic output.
+	Relations []*relation.TemporalInstance
+	// Constraints are denial constraints; each names the relation it
+	// constrains.
+	Constraints []*dc.Constraint
+	// Copies are copy functions between relations in this specification.
+	Copies []*copyfn.CopyFunction
+}
+
+// New returns an empty specification.
+func New() *Spec { return &Spec{} }
+
+// AddRelation registers a temporal instance.
+func (s *Spec) AddRelation(dt *relation.TemporalInstance) error {
+	if _, ok := s.Relation(dt.Schema.Name); ok {
+		return fmt.Errorf("spec: duplicate relation %s", dt.Schema.Name)
+	}
+	s.Relations = append(s.Relations, dt)
+	return nil
+}
+
+// MustAddRelation panics on error; for tests and fixtures.
+func (s *Spec) MustAddRelation(dt *relation.TemporalInstance) {
+	if err := s.AddRelation(dt); err != nil {
+		panic(err)
+	}
+}
+
+// Relation finds a temporal instance by name.
+func (s *Spec) Relation(name string) (*relation.TemporalInstance, bool) {
+	for _, r := range s.Relations {
+		if r.Schema.Name == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// AddConstraint registers a denial constraint after validating it against
+// its relation's schema.
+func (s *Spec) AddConstraint(c *dc.Constraint) error {
+	r, ok := s.Relation(c.Relation)
+	if !ok {
+		return fmt.Errorf("spec: constraint %s targets unknown relation %s", c.Name, c.Relation)
+	}
+	if err := c.Validate(r.Schema); err != nil {
+		return err
+	}
+	s.Constraints = append(s.Constraints, c)
+	return nil
+}
+
+// MustAddConstraint panics on error; for tests and fixtures.
+func (s *Spec) MustAddConstraint(c *dc.Constraint) {
+	if err := s.AddConstraint(c); err != nil {
+		panic(err)
+	}
+}
+
+// AddCopy registers a copy function after validating the copying condition.
+func (s *Spec) AddCopy(cf *copyfn.CopyFunction) error {
+	tgt, ok := s.Relation(cf.Target)
+	if !ok {
+		return fmt.Errorf("spec: copy %s targets unknown relation %s", cf.Name, cf.Target)
+	}
+	src, ok := s.Relation(cf.Source)
+	if !ok {
+		return fmt.Errorf("spec: copy %s reads unknown relation %s", cf.Name, cf.Source)
+	}
+	if err := cf.Validate(tgt, src); err != nil {
+		return err
+	}
+	s.Copies = append(s.Copies, cf)
+	return nil
+}
+
+// MustAddCopy panics on error; for tests and fixtures.
+func (s *Spec) MustAddCopy(cf *copyfn.CopyFunction) {
+	if err := s.AddCopy(cf); err != nil {
+		panic(err)
+	}
+}
+
+// ConstraintsFor returns the denial constraints on the named relation.
+func (s *Spec) ConstraintsFor(name string) []*dc.Constraint {
+	var out []*dc.Constraint
+	for _, c := range s.Constraints {
+		if c.Relation == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Validate checks the whole specification: instance partial orders are
+// strict partial orders, constraints are well formed, and copy functions
+// satisfy the copying condition.
+func (s *Spec) Validate() error {
+	seen := make(map[string]bool)
+	for _, r := range s.Relations {
+		if seen[r.Schema.Name] {
+			return fmt.Errorf("spec: duplicate relation %s", r.Schema.Name)
+		}
+		seen[r.Schema.Name] = true
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Constraints {
+		r, ok := s.Relation(c.Relation)
+		if !ok {
+			return fmt.Errorf("spec: constraint %s targets unknown relation %s", c.Name, c.Relation)
+		}
+		if err := c.Validate(r.Schema); err != nil {
+			return err
+		}
+	}
+	for _, cf := range s.Copies {
+		tgt, ok := s.Relation(cf.Target)
+		if !ok {
+			return fmt.Errorf("spec: copy %s targets unknown relation %s", cf.Name, cf.Target)
+		}
+		src, ok := s.Relation(cf.Source)
+		if !ok {
+			return fmt.Errorf("spec: copy %s reads unknown relation %s", cf.Name, cf.Source)
+		}
+		if err := cf.Validate(tgt, src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the specification.
+func (s *Spec) Clone() *Spec {
+	out := New()
+	for _, r := range s.Relations {
+		out.Relations = append(out.Relations, r.Clone())
+	}
+	out.Constraints = append(out.Constraints, s.Constraints...)
+	for _, cf := range s.Copies {
+		out.Copies = append(out.Copies, cf.Clone())
+	}
+	return out
+}
+
+// Model is one element of Mod(S): a consistent completion per relation,
+// keyed by relation name.
+type Model map[string]*relation.Completion
+
+// CurrentDB returns the current instances LST(Dc) of the model, keyed by
+// relation name.
+func (m Model) CurrentDB() map[string]*relation.Instance {
+	out := make(map[string]*relation.Instance, len(m))
+	for name, comp := range m {
+		out[name] = comp.CurrentInstance()
+	}
+	return out
+}
+
+// EnumerateModels enumerates Mod(S) by brute force: the Cartesian product
+// of per-relation completions, filtered by denial constraints and
+// ≺-compatibility of copy functions. yield returning false stops early.
+// Exponential; this is the differential-testing oracle, not the production
+// path (see internal/osolve and internal/core for that).
+func (s *Spec) EnumerateModels(yield func(Model) bool) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	model := make(Model, len(s.Relations))
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(s.Relations) {
+			for _, cf := range s.Copies {
+				ok, err := cf.Compatible(model[cf.Target], model[cf.Source])
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					return true, nil
+				}
+			}
+			return yield(cloneModel(model)), nil
+		}
+		r := s.Relations[i]
+		cs := s.ConstraintsFor(r.Schema.Name)
+		var stop bool
+		var outerErr error
+		relation.EnumerateCompletions(r, func(comp *relation.Completion) bool {
+			ok, err := dc.AllSatisfied(cs, comp)
+			if err != nil {
+				outerErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+			model[r.Schema.Name] = comp
+			cont, err := rec(i + 1)
+			if err != nil {
+				outerErr = err
+				return false
+			}
+			if !cont {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if outerErr != nil {
+			return false, outerErr
+		}
+		return !stop, nil
+	}
+	_, err := rec(0)
+	return err
+}
+
+func cloneModel(m Model) Model {
+	out := make(Model, len(m))
+	for k, v := range m {
+		// Completions are immutable once yielded except for the shared Rank
+		// backing arrays, which the enumerator mutates; deep-copy ranks.
+		c := relation.NewCompletion(v.Base)
+		for ai := range v.Rank {
+			if v.Rank[ai] != nil {
+				copy(c.Rank[ai], v.Rank[ai])
+			}
+		}
+		out[k] = c
+	}
+	return out
+}
+
+// Consistent reports whether Mod(S) is non-empty, by brute force.
+func (s *Spec) ConsistentBruteForce() (bool, error) {
+	found := false
+	err := s.EnumerateModels(func(Model) bool {
+		found = true
+		return false
+	})
+	return found, err
+}
+
+// CountModels counts |Mod(S)| by brute force, up to limit (0 = unlimited).
+func (s *Spec) CountModels(limit int) (int, error) {
+	n := 0
+	err := s.EnumerateModels(func(Model) bool {
+		n++
+		return limit == 0 || n < limit
+	})
+	return n, err
+}

@@ -1,0 +1,168 @@
+package spec
+
+import (
+	"testing"
+
+	"currency/internal/copyfn"
+	"currency/internal/dc"
+	"currency/internal/relation"
+)
+
+func smallSpec(t *testing.T) *Spec {
+	t.Helper()
+	s := New()
+	sc := relation.MustSchema("R", "eid", "A")
+	dt := relation.NewTemporal(sc)
+	dt.MustAdd(relation.Tuple{relation.S("e1"), relation.I(1)})
+	dt.MustAdd(relation.Tuple{relation.S("e1"), relation.I(2)})
+	s.MustAddRelation(dt)
+
+	sc2 := relation.MustSchema("S", "eid", "B")
+	dt2 := relation.NewTemporal(sc2)
+	dt2.MustAdd(relation.Tuple{relation.S("e1"), relation.I(1)})
+	dt2.MustAdd(relation.Tuple{relation.S("e1"), relation.I(2)})
+	dt2.MustAddOrder("B", 0, 1)
+	s.MustAddRelation(dt2)
+	return s
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := smallSpec(t)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate relation name rejected.
+	dup := relation.NewTemporal(relation.MustSchema("R", "eid", "X"))
+	if err := s.AddRelation(dup); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	// Constraint on unknown relation rejected.
+	if err := s.AddConstraint(&dc.Constraint{
+		Name: "c", Relation: "Nope", Vars: []string{"s", "t"},
+		Head: dc.OrderAtom{U: "s", V: "t", Attr: "A"},
+	}); err == nil {
+		t.Error("constraint on unknown relation accepted")
+	}
+	// Copy function referencing unknown relations rejected.
+	if err := s.AddCopy(copyfn.New("x", "Nope", "R", []string{"A"}, []string{"A"})); err == nil {
+		t.Error("copy onto unknown relation accepted")
+	}
+	// Valid copy: rewrite R's tuple 0 so values match S's tuple 0.
+	cf := copyfn.New("rho", "R", "S", []string{"A"}, []string{"B"})
+	cf.Set(0, 0)
+	if err := s.AddCopy(cf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstraintsFor(t *testing.T) {
+	s := smallSpec(t)
+	s.MustAddConstraint(&dc.Constraint{
+		Name: "mono", Relation: "R", Vars: []string{"s", "t"},
+		Cmps: []dc.Comparison{{L: dc.AttrOp("s", "A"), Op: dc.OpGt, R: dc.AttrOp("t", "A")}},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "A"},
+	})
+	if got := len(s.ConstraintsFor("R")); got != 1 {
+		t.Errorf("ConstraintsFor(R) = %d", got)
+	}
+	if got := len(s.ConstraintsFor("S")); got != 0 {
+		t.Errorf("ConstraintsFor(S) = %d", got)
+	}
+}
+
+func TestEnumerateModels(t *testing.T) {
+	s := smallSpec(t)
+	// R's entity pair unordered (2 completions), S fixed by base order.
+	n, err := s.CountModels(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("CountModels = %d, want 2", n)
+	}
+	// Adding the monotone constraint on R pins its order: 1 model.
+	s.MustAddConstraint(&dc.Constraint{
+		Name: "mono", Relation: "R", Vars: []string{"s", "t"},
+		Cmps: []dc.Comparison{{L: dc.AttrOp("s", "A"), Op: dc.OpGt, R: dc.AttrOp("t", "A")}},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "A"},
+	})
+	n, err = s.CountModels(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("CountModels with constraint = %d, want 1", n)
+	}
+	ok, err := s.ConsistentBruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("consistent spec reported inconsistent")
+	}
+}
+
+func TestCompatFiltersModels(t *testing.T) {
+	s := smallSpec(t)
+	// Copy R's both tuples from S's with identical values: R tuple i gets
+	// S tuple i's value, so orders must mirror. S is fixed 0≺1; R then
+	// must order 0≺1 as well: exactly 1 model.
+	r, _ := s.Relation("R")
+	src, _ := s.Relation("S")
+	r.Tuples[0][1] = src.Tuples[0][1]
+	r.Tuples[1][1] = src.Tuples[1][1]
+	cf := copyfn.New("rho", "R", "S", []string{"A"}, []string{"B"})
+	cf.Set(0, 0)
+	cf.Set(1, 1)
+	s.MustAddCopy(cf)
+	n, err := s.CountModels(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("CountModels with copy = %d, want 1", n)
+	}
+	// Contradicting the source order makes the specification
+	// inconsistent.
+	r.MustAddOrder("A", 1, 0)
+	ok, err := s.ConsistentBruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("contradicting copy order accepted")
+	}
+}
+
+func TestModelCurrentDB(t *testing.T) {
+	s := smallSpec(t)
+	var model Model
+	if err := s.EnumerateModels(func(m Model) bool {
+		model = m
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db := model.CurrentDB()
+	if len(db) != 2 || db["R"].Len() != 1 || db["S"].Len() != 1 {
+		t.Fatalf("CurrentDB = %v", db)
+	}
+	// S's current value is forced by its base order.
+	if db["S"].Tuples[0][1] != relation.I(2) {
+		t.Errorf("current S value = %v, want 2", db["S"].Tuples[0][1])
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := smallSpec(t)
+	c := s.Clone()
+	r, _ := c.Relation("R")
+	r.Tuples[0][1] = relation.I(99)
+	orig, _ := s.Relation("R")
+	if orig.Tuples[0][1] == relation.I(99) {
+		t.Error("Clone shares tuple storage")
+	}
+}

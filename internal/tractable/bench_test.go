@@ -1,0 +1,91 @@
+package tractable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"currency/internal/gen"
+)
+
+func benchSpec(entities int) gen.Config {
+	return gen.Config{
+		Seed: 7, Relations: 2, Entities: entities, TuplesPerEntity: 3,
+		Attrs: 2, Domain: 3, OrderDensity: 0.3, Constraints: 0, Copies: 1, CopyDensity: 0.5,
+	}
+}
+
+// BenchmarkPOInfinity demonstrates the polynomial growth of the
+// Theorem 6.1 fixpoint.
+func BenchmarkPOInfinity(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := gen.Random(benchSpec(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := POInfinity(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalAddOrder compares one incremental update against a
+// full fixpoint recomputation at the same size.
+func BenchmarkIncrementalAddOrder(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := gen.Random(benchSpec(n))
+			ip, err := NewIncrementalPO(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := s.Relations[0]
+			groups := r.Entities()
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := groups[rng.Intn(len(groups))]
+				x, y := g.Members[0], g.Members[1]
+				// Most pairs are already known after a few updates; the
+				// bench measures the propagation machinery either way.
+				_, _ = ip.AddOrder(r.Schema.Name, "A0", x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkCertainAnswersSP measures Proposition 6.3's CCQA(SP).
+func BenchmarkCertainAnswersSP(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := gen.Random(benchSpec(n))
+			q := gen.RandomSPQuery(rng, s.Relations[0].Schema, "Q", 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := CertainAnswersSP(s, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCurrencyPreservingSP measures Theorem 6.4's polynomial CPP.
+func BenchmarkCurrencyPreservingSP(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			s := gen.Random(benchSpec(n))
+			q := gen.RandomSPQuery(rng, s.Relations[0].Schema, "Q", 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := CurrencyPreservingSP(s, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

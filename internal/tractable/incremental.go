@@ -1,0 +1,279 @@
+package tractable
+
+import (
+	"fmt"
+
+	"currency/internal/order"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// IncrementalPO maintains the certain-order fixpoint PO∞ of a
+// constraint-free specification under updates, implementing the
+// incremental analysis the paper lists as future work (Section 7): when a
+// new currency-order pair is revealed or a new copy mapping is added, only
+// the consequences of that update are propagated, instead of recomputing
+// the fixpoint from scratch. Each update costs O(affected pairs) rather
+// than O(|S|²).
+type IncrementalPO struct {
+	s *spec.Spec
+	// sets[rel][attr] is the current PO∞, transitively closed.
+	sets map[string][]*order.PairSet
+	// groups[rel] caches entity groups.
+	groups map[string][]relation.EntityGroup
+	// groupOf[rel][tuple] is the member list of the tuple's entity.
+	groupOf map[string][][]int
+	// consistent turns false permanently once a contradiction appears.
+	consistent bool
+}
+
+// NewIncrementalPO computes the initial fixpoint and prepares the indexes.
+func NewIncrementalPO(s *spec.Spec) (*IncrementalPO, error) {
+	po, err := POInfinity(s)
+	if err != nil {
+		return nil, err
+	}
+	ip := &IncrementalPO{
+		s:          s,
+		sets:       po.Sets,
+		groups:     make(map[string][]relation.EntityGroup),
+		groupOf:    make(map[string][][]int),
+		consistent: po.Consistent,
+	}
+	ip.reindex()
+	return ip, nil
+}
+
+func (ip *IncrementalPO) reindex() {
+	for _, r := range ip.s.Relations {
+		name := r.Schema.Name
+		gs := r.Entities()
+		ip.groups[name] = gs
+		byTuple := make([][]int, r.Len())
+		for _, g := range gs {
+			for _, ti := range g.Members {
+				byTuple[ti] = g.Members
+			}
+		}
+		ip.groupOf[name] = byTuple
+	}
+}
+
+// Consistent reports whether the specification is still consistent.
+func (ip *IncrementalPO) Consistent() bool { return ip.consistent }
+
+// Certain reports whether i ≺ j on the named attribute is a certain order
+// (Lemma 6.2: membership in PO∞). Vacuously true when inconsistent.
+func (ip *IncrementalPO) Certain(rel, attr string, i, j int) (bool, error) {
+	if !ip.consistent {
+		return true, nil
+	}
+	r, ok := ip.s.Relation(rel)
+	if !ok {
+		return false, fmt.Errorf("tractable: unknown relation %s", rel)
+	}
+	ai, ok := r.Schema.AttrIndex(attr)
+	if !ok {
+		return false, fmt.Errorf("tractable: unknown attribute %s.%s", rel, attr)
+	}
+	return ip.sets[rel][ai].Has(i, j), nil
+}
+
+// pairEvent is one derived order fact to process.
+type pairEvent struct {
+	rel  string
+	attr int
+	a, b int
+}
+
+// AddOrder records a newly revealed pair i ≺ j on attr of rel, updates the
+// underlying temporal instance, and propagates consequences. It returns
+// the (possibly newly lost) consistency.
+func (ip *IncrementalPO) AddOrder(rel, attr string, i, j int) (bool, error) {
+	r, ok := ip.s.Relation(rel)
+	if !ok {
+		return false, fmt.Errorf("tractable: unknown relation %s", rel)
+	}
+	ai, ok := r.Schema.AttrIndex(attr)
+	if !ok {
+		return false, fmt.Errorf("tractable: unknown attribute %s.%s", rel, attr)
+	}
+	if err := r.AddOrderIdx(ai, i, j); err != nil {
+		return false, err
+	}
+	if !ip.consistent {
+		return false, nil
+	}
+	ip.propagate([]pairEvent{{rel, ai, i, j}})
+	return ip.consistent, nil
+}
+
+// propagate processes events to a fixpoint: transitive closure inside the
+// entity group and transfer across copy functions in both directions.
+func (ip *IncrementalPO) propagate(queue []pairEvent) {
+	for len(queue) > 0 && ip.consistent {
+		e := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		ps := ip.sets[e.rel][e.attr]
+		if e.a == e.b || ps.Has(e.b, e.a) {
+			ip.consistent = false
+			return
+		}
+		if ps.Has(e.a, e.b) {
+			continue
+		}
+		ps.Add(e.a, e.b)
+
+		// Transitive closure within the entity group.
+		group := ip.groupOf[e.rel][e.a]
+		for _, p := range group {
+			pLe := p == e.a || ps.Has(p, e.a)
+			if !pLe {
+				continue
+			}
+			for _, q := range group {
+				if q == p {
+					continue
+				}
+				if q == e.b || ps.Has(e.b, q) {
+					if !ps.Has(p, q) {
+						queue = append(queue, pairEvent{e.rel, e.attr, p, q})
+					}
+				}
+			}
+		}
+
+		// Copy transfer.
+		for _, cf := range ip.s.Copies {
+			tgt, _ := ip.s.Relation(cf.Target)
+			src, _ := ip.s.Relation(cf.Source)
+			pairs, err := cf.AttrPairs(tgt.Schema, src.Schema)
+			if err != nil {
+				continue
+			}
+			mapped := cf.Pairs()
+			if cf.Target == e.rel {
+				// Target pair (a, b): transfer to sources if both mapped.
+				for _, p := range pairs {
+					if p[0] != e.attr {
+						continue
+					}
+					sa, aok := cf.Mapping[e.a]
+					sb, bok := cf.Mapping[e.b]
+					if aok && bok && sa != sb && src.EID(sa) == src.EID(sb) {
+						if !ip.sets[cf.Source][p[1]].Has(sa, sb) {
+							queue = append(queue, pairEvent{cf.Source, p[1], sa, sb})
+						}
+					}
+				}
+			}
+			if cf.Source == e.rel {
+				// Source pair (a, b): transfer to every mapped target pair.
+				for _, p := range pairs {
+					if p[1] != e.attr {
+						continue
+					}
+					for _, m1 := range mapped {
+						if m1[1] != e.a {
+							continue
+						}
+						for _, m2 := range mapped {
+							if m2[1] != e.b || m1[0] == m2[0] {
+								continue
+							}
+							if tgt.EID(m1[0]) != tgt.EID(m2[0]) {
+								continue
+							}
+							if !ip.sets[cf.Target][p[0]].Has(m1[0], m2[0]) {
+								queue = append(queue, pairEvent{cf.Target, p[0], m1[0], m2[0]})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// AddCopiedTuple extends copy function copyIdx with a new imported tuple
+// for the given entity (set semantics: an identical unmapped tuple is
+// reused), then propagates the inherited currency information. Mirrors
+// core.ApplyAtom but maintains the fixpoint incrementally.
+func (ip *IncrementalPO) AddCopiedTuple(copyIdx, source int, targetEID relation.Value) (bool, error) {
+	if copyIdx < 0 || copyIdx >= len(ip.s.Copies) {
+		return false, fmt.Errorf("tractable: copy index %d out of range", copyIdx)
+	}
+	cf := ip.s.Copies[copyIdx]
+	tgt, ok := ip.s.Relation(cf.Target)
+	if !ok {
+		return false, fmt.Errorf("tractable: unknown target %s", cf.Target)
+	}
+	src, ok := ip.s.Relation(cf.Source)
+	if !ok {
+		return false, fmt.Errorf("tractable: unknown source %s", cf.Source)
+	}
+	if !cf.CoversAllAttrs(tgt.Schema) {
+		return false, fmt.Errorf("tractable: copy %s does not cover %s", cf.Name, cf.Target)
+	}
+	pairs, err := cf.AttrPairs(tgt.Schema, src.Schema)
+	if err != nil {
+		return false, err
+	}
+	newTuple := make(relation.Tuple, tgt.Schema.Arity())
+	newTuple[tgt.Schema.EIDIndex] = targetEID
+	for _, p := range pairs {
+		newTuple[p[0]] = src.Tuples[source][p[1]]
+	}
+	ti := -1
+	for i, tu := range tgt.Tuples {
+		if tu.Equal(newTuple) {
+			if _, mapped := cf.Mapping[i]; !mapped {
+				ti = i
+				break
+			}
+		}
+	}
+	if ti < 0 {
+		var err error
+		ti, err = tgt.Add(newTuple)
+		if err != nil {
+			return false, err
+		}
+		// Grow the pair-set slot bookkeeping for the new tuple.
+		for _, setIdx := range tgt.Schema.NonEIDIndexes() {
+			if ip.sets[cf.Target][setIdx] == nil {
+				ip.sets[cf.Target][setIdx] = order.NewPairSet()
+			}
+		}
+	}
+	cf.Set(ti, source)
+	ip.reindex()
+	if !ip.consistent {
+		return false, nil
+	}
+
+	// Seed propagation with the inherited source orders relative to every
+	// other mapped tuple of the same entities.
+	var events []pairEvent
+	for t2, s2 := range cf.Mapping {
+		if t2 == ti || tgt.EID(t2) != targetEID || src.EID(s2) != src.EID(source) || s2 == source {
+			continue
+		}
+		for _, p := range pairs {
+			if ip.sets[cf.Source][p[1]].Has(source, s2) {
+				events = append(events, pairEvent{cf.Target, p[0], ti, t2})
+			}
+			if ip.sets[cf.Source][p[1]].Has(s2, source) {
+				events = append(events, pairEvent{cf.Target, p[0], t2, ti})
+			}
+		}
+	}
+	ip.propagate(events)
+	return ip.consistent, nil
+}
+
+// Snapshot exports the maintained PO for comparison with a from-scratch
+// recomputation (used by tests).
+func (ip *IncrementalPO) Snapshot() *PO {
+	return &PO{Sets: ip.sets, Consistent: ip.consistent}
+}
