@@ -12,9 +12,16 @@
 //	currencybench -table II  # only Table II rows
 //	currencybench -table III
 //	currencybench -table figures
+//	currencybench -json      # one JSON object per experiment row
+//
+// With -json, headers and prose are suppressed and every measured row is
+// emitted as a single-line JSON object with a "table" and "experiment"
+// discriminator and durations in nanoseconds — the format tracked in
+// BENCH_*.json files to follow the performance trajectory across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +35,31 @@ import (
 	"currency/internal/reductions"
 	"currency/internal/tractable"
 )
+
+// jsonMode suppresses the human-readable tables and emits one JSON object
+// per experiment row instead.
+var jsonMode bool
+
+// emit reports one experiment row: the JSON object in -json mode, the
+// formatted line otherwise. Durations in row must be nanosecond ints.
+func emit(row map[string]any, format string, args ...any) {
+	if jsonMode {
+		b, err := json.Marshal(row)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Printf(format, args...)
+}
+
+// prose prints explanatory text, suppressed in -json mode.
+func prose(format string, args ...any) {
+	if !jsonMode {
+		fmt.Printf(format, args...)
+	}
+}
 
 func timed(f func()) time.Duration {
 	// Best of three runs, to damp scheduler noise in one-shot timings.
@@ -70,6 +102,9 @@ func easyWorkload(entities int) *currency.Specification {
 }
 
 func header(title string) {
+	if jsonMode {
+		return
+	}
 	fmt.Println()
 	fmt.Println(title)
 	for range title {
@@ -80,8 +115,8 @@ func header(title string) {
 
 func tableII() {
 	header("Table II — CPS / COP / DCIP")
-	fmt.Println("paper: NP-c / coNP-c / coNP-c data complexity; PTIME without denial constraints (Thm 6.1)")
-	fmt.Printf("%-8s %-14s %-18s %-18s\n", "problem", "entities", "exact (with DCs)", "PTIME (no DCs)")
+	prose("paper: NP-c / coNP-c / coNP-c data complexity; PTIME without denial constraints (Thm 6.1)\n")
+	prose("%-8s %-14s %-18s %-18s\n", "problem", "entities", "exact (with DCs)", "PTIME (no DCs)")
 	for _, n := range []int{2, 4, 8, 16, 32} {
 		hard := hardWorkload(n)
 		easy := easyWorkload(n * 4) // the PTIME side takes much larger inputs
@@ -98,7 +133,11 @@ func tableII() {
 				log.Fatal(err)
 			}
 		})
-		fmt.Printf("%-8s %-14s %-18v %-18v\n", "CPS", fmt.Sprintf("%d / %d", n, n*4), exact, fast)
+		emit(map[string]any{
+			"table": "II", "experiment": "CPS",
+			"entities_exact": n, "entities_ptime": n * 4,
+			"exact_ns": exact.Nanoseconds(), "ptime_ns": fast.Nanoseconds(),
+		}, "%-8s %-14s %-18v %-18v\n", "CPS", fmt.Sprintf("%d / %d", n, n*4), exact, fast)
 	}
 	for _, n := range []int{2, 4, 8, 16} {
 		hard := hardWorkload(n)
@@ -118,7 +157,11 @@ func tableII() {
 				log.Fatal(err)
 			}
 		})
-		fmt.Printf("%-8s %-14s %-18v %-18v\n", "COP", fmt.Sprintf("%d / %d", n, n*4), exact, fast)
+		emit(map[string]any{
+			"table": "II", "experiment": "COP",
+			"entities_exact": n, "entities_ptime": n * 4,
+			"exact_ns": exact.Nanoseconds(), "ptime_ns": fast.Nanoseconds(),
+		}, "%-8s %-14s %-18v %-18v\n", "COP", fmt.Sprintf("%d / %d", n, n*4), exact, fast)
 	}
 	for _, n := range []int{2, 4, 8, 16} {
 		hard := hardWorkload(n)
@@ -137,10 +180,14 @@ func tableII() {
 				log.Fatal(err)
 			}
 		})
-		fmt.Printf("%-8s %-14s %-18v %-18v\n", "DCIP", fmt.Sprintf("%d / %d", n, n*4), exact, fast)
+		emit(map[string]any{
+			"table": "II", "experiment": "DCIP",
+			"entities_exact": n, "entities_ptime": n * 4,
+			"exact_ns": exact.Nanoseconds(), "ptime_ns": fast.Nanoseconds(),
+		}, "%-8s %-14s %-18v %-18v\n", "DCIP", fmt.Sprintf("%d / %d", n, n*4), exact, fast)
 	}
 
-	fmt.Println("\nΣp2 hardness gadget (Theorem 3.1): consistency of the ∃∀3DNF encoding")
+	prose("\nΣp2 hardness gadget (Theorem 3.1): consistency of the ∃∀3DNF encoding\n")
 	rng := rand.New(rand.NewSource(3))
 	for _, m := range []int{1, 2, 3} {
 		q := reductions.RandomQBF(rng, []int{m, m}, true, m+1, true)
@@ -155,19 +202,22 @@ func tableII() {
 			}
 			r.Consistent()
 		})
-		fmt.Printf("  m=n=%d: %v (formula %s)\n", m, d, q)
+		emit(map[string]any{
+			"table": "II", "experiment": "sigma2p-gadget",
+			"m": m, "exact_ns": d.Nanoseconds(), "formula": q.String(),
+		}, "  m=n=%d: %v (formula %s)\n", m, d, q)
 	}
 }
 
 func tableIII() {
 	header("Table III — CCQA / CPP / ECP / BCP")
-	fmt.Println("paper: CCQA coNP-c data, Πp2-c CQ..∃FO+, PSPACE-c FO; PTIME for SP without DCs (Prop 6.3)")
+	prose("paper: CCQA coNP-c data, Πp2-c CQ..∃FO+, PSPACE-c FO; PTIME for SP without DCs (Prop 6.3)\n")
 
 	s := hardWorkload(4)
 	rng := rand.New(rand.NewSource(9))
 	sp := gen.RandomSPQuery(rng, s.Relations[0].Schema, "SP", 3)
 	cq := gen.RandomCQQuery(rng, s, "CQ", 3)
-	fmt.Printf("%-22s %-10s %-12s\n", "experiment", "language", "time")
+	prose("%-22s %-10s %-12s\n", "experiment", "language", "time")
 	for _, q := range []*currency.Query{sp, cq} {
 		r, err := core.NewReasoner(s)
 		if err != nil {
@@ -178,7 +228,10 @@ func tableIII() {
 				log.Fatal(err)
 			}
 		})
-		fmt.Printf("%-22s %-10s %-12v\n", "CCQA exact (with DCs)", currency.Classify(q), d)
+		emit(map[string]any{
+			"table": "III", "experiment": "CCQA-exact",
+			"language": currency.Classify(q), "exact_ns": d.Nanoseconds(),
+		}, "%-22s %-10s %-12v\n", "CCQA exact (with DCs)", currency.Classify(q), d)
 	}
 	for _, n := range []int{8, 32, 128} {
 		easy := easyWorkload(n)
@@ -188,10 +241,13 @@ func tableIII() {
 				log.Fatal(err)
 			}
 		})
-		fmt.Printf("%-22s %-10s %-12v (entities=%d)\n", "CCQA PTIME (no DCs)", "SP", d, n)
+		emit(map[string]any{
+			"table": "III", "experiment": "CCQA-ptime",
+			"language": "SP", "entities": n, "ptime_ns": d.Nanoseconds(),
+		}, "%-22s %-10s %-12v (entities=%d)\n", "CCQA PTIME (no DCs)", "SP", d, n)
 	}
 
-	fmt.Println("\ncoNP data-hardness gadget (Theorem 3.5, ¬3SAT): 2^m completions")
+	prose("\ncoNP data-hardness gadget (Theorem 3.5, ¬3SAT): 2^m completions\n")
 	for _, m := range []int{2, 4, 6, 8} {
 		psi := reductions.Random3SAT(rng, m, m+2)
 		g, err := reductions.CCQAFrom3SATData(psi)
@@ -207,10 +263,13 @@ func tableIII() {
 				log.Fatal(err)
 			}
 		})
-		fmt.Printf("  vars=%d: %v\n", m, d)
+		emit(map[string]any{
+			"table": "III", "experiment": "conp-gadget",
+			"vars": m, "exact_ns": d.Nanoseconds(),
+		}, "  vars=%d: %v\n", m, d)
 	}
 
-	fmt.Println("\nCPP / ECP / BCP on Example 4.1 (Figure 3 Mgr):")
+	prose("\nCPP / ECP / BCP on Example 4.1 (Figure 3 Mgr):\n")
 	s1 := paperdb.SpecS1()
 	q2 := paperdb.Q2()
 	r1, err := core.NewReasoner(s1)
@@ -222,16 +281,22 @@ func tableIII() {
 			log.Fatal(err)
 		}
 	})
-	fmt.Printf("  CPP(matching space): %v (answer: not preserving, as in the paper)\n", d)
+	emit(map[string]any{
+		"table": "III", "experiment": "CPP-example-4.1", "exact_ns": d.Nanoseconds(),
+	}, "  CPP(matching space): %v (answer: not preserving, as in the paper)\n", d)
 	d = timed(func() { r1.ExtensionExists() })
-	fmt.Printf("  ECP: %v (answer: true — Proposition 5.2)\n", d)
+	emit(map[string]any{
+		"table": "III", "experiment": "ECP-example-4.1", "exact_ns": d.Nanoseconds(),
+	}, "  ECP: %v (answer: true — Proposition 5.2)\n", d)
 	for _, k := range []int{1, 2} {
 		d = timed(func() {
 			if _, _, err := r1.BoundedCopyingMatching(q2, k); err != nil {
 				log.Fatal(err)
 			}
 		})
-		fmt.Printf("  BCP(k=%d): %v\n", k, d)
+		emit(map[string]any{
+			"table": "III", "experiment": "BCP-example-4.1", "k": k, "exact_ns": d.Nanoseconds(),
+		}, "  BCP(k=%d): %v\n", k, d)
 	}
 	for _, n := range []int{4, 8, 16} {
 		easy := easyWorkload(n)
@@ -241,7 +306,9 @@ func tableIII() {
 				log.Fatal(err)
 			}
 		})
-		fmt.Printf("  CPP PTIME (no DCs, SP, entities=%d): %v\n", n, d)
+		emit(map[string]any{
+			"table": "III", "experiment": "CPP-ptime", "entities": n, "ptime_ns": d.Nanoseconds(),
+		}, "  CPP PTIME (no DCs, SP, entities=%d): %v\n", n, d)
 	}
 }
 
@@ -252,18 +319,21 @@ func figures() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("Figure 1 + Example 1.1 (certain current answers):")
+	prose("Figure 1 + Example 1.1 (certain current answers):\n")
 	for _, q := range []*currency.Query{paperdb.Q1(), paperdb.Q2(), paperdb.Q3(), paperdb.Q4()} {
 		res, _, err := r0.CertainAnswers(q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %s = %v\n", q.Name, res)
+		emit(map[string]any{
+			"table": "figures", "experiment": "example-1.1",
+			"query": q.Name, "answers": fmt.Sprint(res),
+		}, "  %s = %v\n", q.Name, res)
 	}
-	fmt.Println("expected: Q1=80, Q2=Dupont, Q3=6 Main St, Q4=6000 — matches the paper")
+	prose("expected: Q1=80, Q2=Dupont, Q3=6 Main St, Q4=6000 — matches the paper\n")
 
 	rng := rand.New(rand.NewSource(17))
-	fmt.Println("\nFigure 2 gadget (∀∃3CNF → CCQA(CQ)):")
+	prose("\nFigure 2 gadget (∀∃3CNF → CCQA(CQ)):\n")
 	for _, m := range []int{1, 2, 3} {
 		q := reductions.RandomQBF(rng, []int{m, m}, false, m+1, false)
 		g, err := reductions.CCQAFromA2E3CNF(q)
@@ -281,10 +351,14 @@ func figures() {
 				log.Fatal(err)
 			}
 		})
-		fmt.Printf("  m=n=%d: CCQA=%v QBF=%v agree=%v (%v)\n", m, certain, q.Eval(), certain == q.Eval(), d)
+		emit(map[string]any{
+			"table": "figures", "experiment": "figure-2-gadget",
+			"m": m, "ccqa": certain, "qbf": q.Eval(), "agree": certain == q.Eval(),
+			"exact_ns": d.Nanoseconds(),
+		}, "  m=n=%d: CCQA=%v QBF=%v agree=%v (%v)\n", m, certain, q.Eval(), certain == q.Eval(), d)
 	}
 
-	fmt.Println("\nFigure 5 gadget (∀∃3CNF → CPP, conservative extensions):")
+	prose("\nFigure 5 gadget (∀∃3CNF → CPP, conservative extensions):\n")
 	for trial := 0; trial < 3; trial++ {
 		q := reductions.RandomQBF(rng, []int{1, 1}, false, 1+trial%2, false)
 		g, err := reductions.CPPFromA2E3CNF(q)
@@ -302,15 +376,20 @@ func figures() {
 				log.Fatal(err)
 			}
 		})
-		fmt.Printf("  trial %d: CPP=%v QBF=%v agree=%v (%v)\n", trial, preserving, q.Eval(), preserving == q.Eval(), d)
+		emit(map[string]any{
+			"table": "figures", "experiment": "figure-5-gadget",
+			"trial": trial, "cpp": preserving, "qbf": q.Eval(), "agree": preserving == q.Eval(),
+			"exact_ns": d.Nanoseconds(),
+		}, "  trial %d: CPP=%v QBF=%v agree=%v (%v)\n", trial, preserving, q.Eval(), preserving == q.Eval(), d)
 	}
 }
 
 func main() {
 	log.SetFlags(0)
 	table := flag.String("table", "all", "which experiments: II, III, figures, all")
+	flag.BoolVar(&jsonMode, "json", false, "emit one JSON object per experiment row")
 	flag.Parse()
-	fmt.Println("currencybench — reproducing the evaluation of \"Determining the Currency of Data\"")
+	prose("currencybench — reproducing the evaluation of \"Determining the Currency of Data\"\n")
 	switch *table {
 	case "II":
 		tableII()

@@ -1,0 +1,100 @@
+// Command currencyd serves currency reasoning over HTTP/JSON: register
+// specifications in the textual format of internal/parse, then query the
+// paper's decision problems against them. Grounded reasoners are cached
+// per spec version, so repeated queries skip constraint grounding; a
+// bounded worker pool serves batched decision lists.
+//
+// Usage:
+//
+//	currencyd [-addr :8411] [-cache 64] [-workers N] [spec.cd ...]
+//
+// Positional arguments are specification files preloaded into the
+// registry under their basename.
+//
+// Example session:
+//
+//	currencyd &
+//	curl -X POST localhost:8411/specs -d '{"id":"emp","source":"relation R(eid, a)\ninstance R { t0: (\"e\", 1) t1: (\"e\", 2) order a: t0 < t1 }"}'
+//	curl -X POST localhost:8411/specs/emp/consistent
+//	curl -X POST localhost:8411/specs/emp/certain-order -d '{"orders":[{"rel":"R","attr":"a","i":"t0","j":"t1"}]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"currency/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("currencyd: ")
+	addr := flag.String("addr", ":8411", "listen address")
+	cacheSize := flag.Int("cache", server.DefaultCacheSize, "reasoner cache capacity (0 disables caching)")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	size := *cacheSize
+	if size == 0 {
+		size = -1 // Options maps 0 to the default; negative disables.
+	}
+	srv := server.New(server.Options{CacheSize: size, Workers: *workers})
+
+	// Positional arguments are spec files preloaded into the registry,
+	// registered under their basename without extension.
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		e, err := srv.Register(id, string(src))
+		if err != nil {
+			log.Fatalf("loading %s: %v", path, err)
+		}
+		log.Printf("loaded spec %q v%d from %s", e.ID, e.Version, path)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("received %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "currencyd: bye")
+	}
+}

@@ -24,6 +24,11 @@
 // special cases of Section 6 — no denial constraints, and SP queries — are
 // available through the Fast* methods and are selected automatically by
 // Auto* methods when applicable.
+//
+// Beyond the library, cmd/currencyd serves these decision problems over
+// HTTP/JSON with a versioned spec registry and cached reasoners; see
+// README.md for the quickstart, the CLI tools and the server's endpoints
+// and wire format.
 package currency
 
 import (

@@ -1,0 +1,3 @@
+module currency
+
+go 1.22

@@ -1,0 +1,169 @@
+// Package api defines the JSON wire types of the currencyd server: spec
+// registration and retrieval, the decision-problem requests and results,
+// and batch envelopes. Both internal/server and internal/client depend on
+// these types, so the two sides cannot drift apart.
+//
+// Specifications travel in the textual format of internal/parse; values in
+// query answers are rendered as native JSON strings and numbers.
+package api
+
+// Op names one decision problem of the paper, as exposed by the server.
+type Op string
+
+// The decision operations. Each maps to a dedicated endpoint
+// POST /specs/{id}/<op> and to the "op" field of batch requests.
+const (
+	OpConsistent         Op = "consistent"          // CPS
+	OpCertainOrder       Op = "certain-order"       // COP
+	OpDeterministic      Op = "deterministic"       // DCIP
+	OpCertainAnswers     Op = "certain-answers"     // CCQA
+	OpCurrencyPreserving Op = "currency-preserving" // CPP
+	OpBoundedCopying     Op = "bounded-copying"     // BCP
+)
+
+// Engines reported in DecisionResult.Engine.
+const (
+	// EngineExact is the exact solver of internal/core (worst-case
+	// exponential, handles denial constraints and all query classes).
+	EngineExact = "exact"
+	// EnginePTime is a Section-6 polynomial algorithm of
+	// internal/tractable (constraint-free specifications; SP queries for
+	// the query-dependent problems).
+	EnginePTime = "ptime"
+)
+
+// RegisterRequest registers or updates a specification. Source is the
+// textual format of internal/parse (relations, instances, constraints,
+// copy functions, and optionally named queries). An empty ID lets the
+// server assign one; re-registering an existing ID bumps its version and
+// replaces the specification.
+type RegisterRequest struct {
+	ID     string `json:"id,omitempty"`
+	Source string `json:"source"`
+}
+
+// SpecInfo describes one registered specification version.
+type SpecInfo struct {
+	ID      string `json:"id"`
+	Version int    `json:"version"`
+	// Summary is a human-readable one-liner (relations, tuples,
+	// constraints, copy functions).
+	Summary string `json:"summary"`
+	// Queries lists the names of queries declared alongside the
+	// specification, usable as QueryRef.Name in decision requests.
+	Queries []string `json:"queries,omitempty"`
+	// Source is the canonical textual form; populated on single-spec GETs
+	// and omitted from listings.
+	Source string `json:"source,omitempty"`
+}
+
+// SpecList is the response of GET /specs.
+type SpecList struct {
+	Specs []SpecInfo `json:"specs"`
+}
+
+// QueryRef identifies the query of a decision request: either the Name of
+// a query declared in the registered specification, or inline Source in
+// the textual query format ("query Q(x) := ..."). Exactly one must be set.
+type QueryRef struct {
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source,omitempty"`
+}
+
+// OrderPair is one required pair of a certain-order (COP) check: tuple I
+// must precede tuple J in the currency order of Attr on relation Rel.
+// Tuples are addressed by label (as declared in the instance block) or,
+// when labels are absent, by zero-based index rendered in decimal.
+type OrderPair struct {
+	Rel  string `json:"rel"`
+	Attr string `json:"attr"`
+	I    string `json:"i"`
+	J    string `json:"j"`
+}
+
+// DecisionRequest is one decision-problem invocation. Op selects the
+// problem; the remaining fields apply per problem:
+//
+//	consistent          — no parameters
+//	certain-order       — Orders
+//	deterministic       — Relation (empty = every relation)
+//	certain-answers     — Query
+//	currency-preserving — Query, Space
+//	bounded-copying     — Query, K, Space
+type DecisionRequest struct {
+	Op       Op          `json:"op"`
+	Orders   []OrderPair `json:"orders,omitempty"`
+	Relation string      `json:"relation,omitempty"`
+	Query    *QueryRef   `json:"query,omitempty"`
+	// K bounds the number of extra imports for bounded-copying.
+	K int `json:"k,omitempty"`
+	// Space selects the extension space for the exact CPP/BCP procedures:
+	// "matching" (default; EID-matching imports), "full" (the paper's
+	// unrestricted space — doubly exponential), or "conservative"
+	// (mapping-only extensions that add no tuples). Setting it forces the
+	// exact engine even on PTIME-eligible requests.
+	Space string `json:"space,omitempty"`
+	// Exact forces the exact engine even when a PTIME algorithm applies.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// AnswerRow is one tuple of a query result; string values arrive as JSON
+// strings, integer values as JSON numbers, and fresh labelled nulls (from
+// the PTIME possible-worlds construction) as objects {"fresh": id}.
+type AnswerRow []any
+
+// ResultSet is a set of answer rows with their column names.
+type ResultSet struct {
+	Cols []string    `json:"cols"`
+	Rows []AnswerRow `json:"rows"`
+}
+
+// DecisionResult is the outcome of one decision request.
+type DecisionResult struct {
+	Op Op `json:"op"`
+	// Engine reports which algorithm family answered: "exact" or "ptime".
+	Engine string `json:"engine"`
+	// SpecVersion is the registry version the decision ran against.
+	SpecVersion int `json:"specVersion"`
+	// Holds reports the boolean verdict for consistent, certain-order,
+	// deterministic, currency-preserving and bounded-copying.
+	Holds *bool `json:"holds,omitempty"`
+	// Answers holds the certain answers for certain-answers requests.
+	Answers *ResultSet `json:"answers,omitempty"`
+	// VacuouslyTrue marks verdicts that hold only because Mod(S) is empty
+	// (certain-order and deterministic on inconsistent specifications) and
+	// certain-answer sets that are vacuously all tuples.
+	VacuouslyTrue bool `json:"vacuouslyTrue,omitempty"`
+	// Witness carries the extension atoms found by bounded-copying, or the
+	// PTIME witness description.
+	Witness []string `json:"witness,omitempty"`
+	// Error is set instead of the payload when the request failed; used in
+	// batch responses where one bad request must not fail the envelope.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchRequest fans a list of decision requests over the server's worker
+// pool. Results come back in request order.
+type BatchRequest struct {
+	Requests []DecisionRequest `json:"requests"`
+}
+
+// BatchResponse carries one result per request, in order.
+type BatchResponse struct {
+	Results []DecisionResult `json:"results"`
+}
+
+// Stats reports server counters for observability and tests.
+type Stats struct {
+	Specs         int    `json:"specs"`
+	CacheEntries  int    `json:"cacheEntries"`
+	CacheCapacity int    `json:"cacheCapacity"`
+	CacheHits     uint64 `json:"cacheHits"`
+	CacheMisses   uint64 `json:"cacheMisses"`
+	Workers       int    `json:"workers"`
+}
+
+// Error is the JSON error envelope for non-2xx responses.
+type Error struct {
+	Error string `json:"error"`
+}

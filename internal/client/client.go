@@ -1,0 +1,168 @@
+// Package client is a small Go client for the currencyd HTTP API
+// (internal/server). It mirrors the endpoints one-to-one over the wire
+// types of internal/api, so a reasoning pipeline can consume currencyd as
+// a service with plain method calls.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"currency/internal/api"
+)
+
+// Client talks to one currencyd server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the server at base (e.g. "http://localhost:8411").
+// hc may be nil to use http.DefaultClient.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// do runs one JSON round-trip. out may be nil for status-only calls.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		// Both the error envelope and failed decision results carry the
+		// message in an "error" field, so one decode covers them.
+		var apiErr api.Error
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("currencyd: %s %s: %s", method, path, apiErr.Error)
+		}
+		return fmt.Errorf("currencyd: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// RegisterSpec registers source under id (empty id lets the server assign
+// one); re-registering an id bumps its version.
+func (c *Client) RegisterSpec(id, source string) (api.SpecInfo, error) {
+	var info api.SpecInfo
+	err := c.do(http.MethodPost, "/specs", api.RegisterRequest{ID: id, Source: source}, &info)
+	return info, err
+}
+
+// GetSpec fetches a registered spec, including its canonical source.
+func (c *Client) GetSpec(id string) (api.SpecInfo, error) {
+	var info api.SpecInfo
+	err := c.do(http.MethodGet, "/specs/"+id, nil, &info)
+	return info, err
+}
+
+// ListSpecs lists the registered specs.
+func (c *Client) ListSpecs() ([]api.SpecInfo, error) {
+	var list api.SpecList
+	err := c.do(http.MethodGet, "/specs", nil, &list)
+	return list.Specs, err
+}
+
+// DeleteSpec removes a spec and its cached reasoners.
+func (c *Client) DeleteSpec(id string) error {
+	return c.do(http.MethodDelete, "/specs/"+id, nil, nil)
+}
+
+// decision posts one decision request to its endpoint.
+func (c *Client) decision(id string, req api.DecisionRequest) (api.DecisionResult, error) {
+	var res api.DecisionResult
+	err := c.do(http.MethodPost, "/specs/"+id+"/"+string(req.Op), req, &res)
+	if err == nil && res.Error != "" {
+		err = fmt.Errorf("currencyd: %s: %s", req.Op, res.Error)
+	}
+	return res, err
+}
+
+// Consistent decides CPS for the registered spec.
+func (c *Client) Consistent(id string) (api.DecisionResult, error) {
+	return c.decision(id, api.DecisionRequest{Op: api.OpConsistent})
+}
+
+// CertainOrder decides COP for the given required pairs.
+func (c *Client) CertainOrder(id string, orders []api.OrderPair) (api.DecisionResult, error) {
+	return c.decision(id, api.DecisionRequest{Op: api.OpCertainOrder, Orders: orders})
+}
+
+// Deterministic decides DCIP for one relation, or for every relation when
+// rel is empty.
+func (c *Client) Deterministic(id, rel string) (api.DecisionResult, error) {
+	return c.decision(id, api.DecisionRequest{Op: api.OpDeterministic, Relation: rel})
+}
+
+// CertainAnswers computes the certain current answers to a query (by
+// declared name or inline source).
+func (c *Client) CertainAnswers(id string, q api.QueryRef) (api.DecisionResult, error) {
+	return c.decision(id, api.DecisionRequest{Op: api.OpCertainAnswers, Query: &q})
+}
+
+// CurrencyPreserving decides CPP over the given extension space
+// ("matching" when empty).
+func (c *Client) CurrencyPreserving(id string, q api.QueryRef, space string) (api.DecisionResult, error) {
+	return c.decision(id, api.DecisionRequest{Op: api.OpCurrencyPreserving, Query: &q, Space: space})
+}
+
+// BoundedCopying decides BCP with at most k extra imports.
+func (c *Client) BoundedCopying(id string, q api.QueryRef, k int, space string) (api.DecisionResult, error) {
+	return c.decision(id, api.DecisionRequest{Op: api.OpBoundedCopying, Query: &q, K: k, Space: space})
+}
+
+// Batch fans the requests over the server's worker pool; results keep
+// request order, with per-request errors in-line.
+func (c *Client) Batch(id string, reqs []api.DecisionRequest) ([]api.DecisionResult, error) {
+	var resp api.BatchResponse
+	err := c.do(http.MethodPost, "/specs/"+id+"/batch", api.BatchRequest{Requests: reqs}, &resp)
+	return resp.Results, err
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (api.Stats, error) {
+	var st api.Stats
+	err := c.do(http.MethodGet, "/stats", nil, &st)
+	return st, err
+}
+
+// Healthy reports whether the server answers its liveness probe.
+func (c *Client) Healthy() bool {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"currency/internal/paperdb"
+)
+
+// TestReasonerConcurrentReads exercises every decision method of one
+// shared Reasoner from many goroutines. Run under -race (CI does) this
+// pins down the concurrency contract documented on Reasoner: all reads
+// clone the solver's base state and the spec before any mutation, so a
+// grounded reasoner can be cached and served to concurrent requests — the
+// property currencyd's reasoner cache depends on.
+func TestReasonerConcurrentReads(t *testing.T) {
+	r, err := NewReasoner(paperdb.SpecS1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := paperdb.Q2()
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, 6*rounds)
+	check := func(f func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- f()
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		check(func() error {
+			if !r.Consistent() {
+				t.Error("S1 should be consistent")
+			}
+			return nil
+		})
+		check(func() error {
+			_, err := r.Deterministic("Emp")
+			return err
+		})
+		check(func() error {
+			_, err := r.CertainOrder([]OrderRequirement{{Rel: "Emp", Attr: "salary", I: 0, J: 2}})
+			return err
+		})
+		check(func() error {
+			res, modEmpty, err := r.CertainAnswers(q2)
+			if err == nil && !modEmpty && len(res.Rows) != 1 {
+				t.Errorf("Q2 certain answers: %v", res)
+			}
+			return err
+		})
+		check(func() error {
+			// Example 4.1: ρ is not currency preserving for Q2. This path
+			// clones the spec per extension atom — the racy one if cloning
+			// were ever skipped.
+			ok, err := r.CurrencyPreservingMatching(q2)
+			if err == nil && ok {
+				t.Error("ρ should not be currency preserving for Q2 (Example 4.1)")
+			}
+			return err
+		})
+		check(func() error {
+			_, _, err := r.MaximalExtension()
+			return err
+		})
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"currency/internal/osolve"
 	"currency/internal/query"
@@ -25,9 +26,26 @@ import (
 
 // Reasoner bundles a specification with its solver and answers the
 // reasoning problems of Sections 3–5.
+//
+// Concurrency: a Reasoner is safe for concurrent use by multiple
+// goroutines, provided the underlying specification is not mutated while
+// queries run. Every decision method is a pure read — the solver clones
+// its propagated base state per query (see osolve.Solver), and the
+// extension-space procedures (CurrencyPreserving*, BoundedCopying*,
+// MaximalExtension) clone the specification before applying extension
+// atoms. The one mutating entry point is the package-level ApplyAtom,
+// which callers must not invoke on a specification shared with live
+// readers — clone first (ApplyExtension does).
 type Reasoner struct {
 	Spec   *spec.Spec
 	Solver *osolve.Solver
+
+	// consistentOnce memoizes Consistent: CPS is a fixed property of the
+	// (immutable) specification, asked by nearly every decision method,
+	// and a full solver search each time — long-lived reasoners (the
+	// currencyd cache) would otherwise re-pay it per request.
+	consistentOnce sync.Once
+	consistent     bool
 }
 
 // NewReasoner validates the specification and grounds its constraints.
@@ -39,8 +57,12 @@ func NewReasoner(s *spec.Spec) (*Reasoner, error) {
 	return &Reasoner{Spec: s, Solver: sv}, nil
 }
 
-// Consistent decides CPS: is Mod(S) non-empty?
-func (r *Reasoner) Consistent() bool { return r.Solver.Consistent() }
+// Consistent decides CPS: is Mod(S) non-empty? The verdict is computed
+// once and memoized (safe under concurrent use).
+func (r *Reasoner) Consistent() bool {
+	r.consistentOnce.Do(func() { r.consistent = r.Solver.Consistent() })
+	return r.consistent
+}
 
 // OrderRequirement is one pair of a currency order Ot: tuple I of relation
 // Rel must precede tuple J in attribute Attr.

@@ -18,6 +18,7 @@ import (
 
 	"currency/internal/copyfn"
 	"currency/internal/dc"
+	"currency/internal/parse"
 	"currency/internal/query"
 	"currency/internal/relation"
 	"currency/internal/spec"
@@ -277,4 +278,11 @@ func RandomCQQuery(rng *rand.Rand, s *spec.Spec, name string, domain int) *query
 		Head: head,
 		Body: query.Exists{Vars: exVars, F: query.And{Fs: conj}},
 	}
+}
+
+// RandomSource renders a random specification in the textual wire format
+// of internal/parse — a load-test fixture generator for currencyd: the
+// returned string registers directly via POST /specs.
+func RandomSource(cfg Config) string {
+	return parse.Marshal(Random(cfg))
 }

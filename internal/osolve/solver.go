@@ -75,7 +75,11 @@ func (st *state) mark() int { return len(st.trail) }
 
 // Solver answers satisfiability questions about a specification's
 // consistent completions. Build one with New; the solver is read-only with
-// respect to the specification and safe for sequential reuse.
+// respect to the specification and safe for concurrent reuse: after New,
+// the blocks, rules and propagated base state are immutable, and every
+// query (SatWith, SolveWith, EnumerateCurrentDBs, ...) works on a private
+// clone of the base state. Callers must not mutate the specification
+// while queries run.
 type Solver struct {
 	Spec    *spec.Spec
 	blocks  []*Block

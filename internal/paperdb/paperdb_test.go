@@ -1,0 +1,160 @@
+package paperdb
+
+import (
+	"testing"
+
+	"currency/internal/core"
+	"currency/internal/parse"
+	"currency/internal/query"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// verdicts captures the paper's worked answers for a specification: the
+// CPS verdict and the DCIP verdict per relation.
+type verdicts struct {
+	consistent    bool
+	deterministic map[string]bool
+}
+
+func measure(t *testing.T, r *core.Reasoner) verdicts {
+	t.Helper()
+	v := verdicts{consistent: r.Consistent(), deterministic: make(map[string]bool)}
+	for _, rel := range r.Spec.Relations {
+		det, err := r.Deterministic(rel.Schema.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.deterministic[rel.Schema.Name] = det
+	}
+	return v
+}
+
+// TestSpecS0Verdicts pins the worked answers of Examples 2.3 and 3.3: S0
+// is consistent, deterministic for Emp (LST(Emp) = {s3, s4, s5} in every
+// completion) and not deterministic for Dept (t3 vs t4 stays open).
+func TestSpecS0Verdicts(t *testing.T) {
+	r, err := core.NewReasoner(SpecS0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := measure(t, r)
+	if !v.consistent {
+		t.Error("S0 must be consistent (Example 2.3)")
+	}
+	if !v.deterministic["Emp"] {
+		t.Error("S0 must be deterministic for Emp (Example 3.3)")
+	}
+	if v.deterministic["Dept"] {
+		t.Error("S0 must not be deterministic for Dept (Example 3.2)")
+	}
+}
+
+// TestSpecS1Verdicts pins Example 4.1's setting: S1 is consistent, and
+// neither Emp nor Mgr is deterministic — ϕ5/ϕ6 order only LN between the
+// married and divorced tuples, leaving Mary's current values open (which
+// is exactly why extending ρ with m3 changes Q2's certain answer).
+func TestSpecS1Verdicts(t *testing.T) {
+	r, err := core.NewReasoner(SpecS1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := measure(t, r)
+	if !v.consistent {
+		t.Error("S1 must be consistent (Example 4.1)")
+	}
+	if v.deterministic["Emp"] || v.deterministic["Mgr"] {
+		t.Errorf("S1 must not be deterministic (got Emp=%v Mgr=%v)",
+			v.deterministic["Emp"], v.deterministic["Mgr"])
+	}
+}
+
+// TestRoundTrip marshals each fixture through the textual format, parses
+// it back, and checks the reparsed specification gives identical verdicts
+// and certain answers — the property currencyd's wire format relies on.
+func TestRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec func() *coreSpec
+	}{
+		{"S0", func() *coreSpec { return &coreSpec{SpecS0(), []*query.Query{Q1(), Q2(), Q3(), Q4()}} }},
+		{"S1", func() *coreSpec { return &coreSpec{SpecS1(), []*query.Query{Q2()}} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := tc.spec()
+			src := parse.Marshal(orig.s, orig.qs...)
+			f, err := parse.ParseFile(src)
+			if err != nil {
+				t.Fatalf("marshal output does not parse back: %v\n%s", err, src)
+			}
+			if len(f.Queries) != len(orig.qs) {
+				t.Fatalf("round-trip lost queries: %d -> %d", len(orig.qs), len(f.Queries))
+			}
+
+			r0, err := core.NewReasoner(orig.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, err := core.NewReasoner(f.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v0, v1 := measure(t, r0), measure(t, r1)
+			if v0.consistent != v1.consistent {
+				t.Errorf("consistency changed across round-trip: %v -> %v", v0.consistent, v1.consistent)
+			}
+			for rel, det := range v0.deterministic {
+				if v1.deterministic[rel] != det {
+					t.Errorf("Deterministic(%s) changed across round-trip: %v -> %v", rel, det, v1.deterministic[rel])
+				}
+			}
+			for i, q := range orig.qs {
+				want, wantEmpty, err := r0.CertainAnswers(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotEmpty, err := r1.CertainAnswers(f.Queries[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantEmpty != gotEmpty || (!wantEmpty && !want.Equal(got)) {
+					t.Errorf("%s changed across round-trip: %v -> %v", q.Name, want, got)
+				}
+			}
+		})
+	}
+}
+
+type coreSpec struct {
+	s  *spec.Spec
+	qs []*query.Query
+}
+
+// TestWorkedCertainAnswers re-pins Example 1.1 through the fixtures: Q1=80,
+// Q2=Dupont, Q3=6 Main St, Q4=6000.
+func TestWorkedCertainAnswers(t *testing.T) {
+	r, err := core.NewReasoner(SpecS0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		q    *query.Query
+		want relation.Value
+	}{
+		{Q1(), relation.I(80)},
+		{Q2(), relation.S("Dupont")},
+		{Q3(), relation.S("6 Main St")},
+		{Q4(), relation.I(6000)},
+	} {
+		res, modEmpty, err := r.CertainAnswers(tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if modEmpty {
+			t.Fatalf("%s: Mod(S0) must not be empty", tc.q.Name)
+		}
+		if len(res.Rows) != 1 || len(res.Rows[0]) != 1 || res.Rows[0][0] != tc.want {
+			t.Errorf("%s = %v, want single answer %v", tc.q.Name, res, tc.want)
+		}
+	}
+}

@@ -1,10 +1,11 @@
-package parse
+package parse_test
 
 import (
 	"math/rand"
 	"testing"
 
 	"currency/internal/gen"
+	"currency/internal/parse"
 	"currency/internal/tractable"
 )
 
@@ -24,8 +25,8 @@ func TestRandomSpecRoundTrip(t *testing.T) {
 
 		rng := rand.New(rand.NewSource(seed))
 		q := gen.RandomSPQuery(rng, s.Relations[0].Schema, "Q", cfg.Domain)
-		text := Marshal(s, q)
-		f, err := ParseFile(text)
+		text := parse.Marshal(s, q)
+		f, err := parse.ParseFile(text)
 		if err != nil {
 			t.Fatalf("seed %d: reparse failed: %v\n%s", seed, err, text)
 		}
@@ -80,17 +81,17 @@ func TestRandomSpecWithConstraintsRoundTrip(t *testing.T) {
 		cfg := gen.Default(seed)
 		cfg.Constraints = 1 + int(seed%3)
 		s := gen.Random(cfg)
-		text := Marshal(s)
-		f, err := ParseFile(text)
+		text := parse.Marshal(s)
+		f, err := parse.ParseFile(text)
 		if err != nil {
 			t.Fatalf("seed %d: %v\n%s", seed, err, text)
 		}
-		text2 := Marshal(f.Spec)
-		f2, err := ParseFile(text2)
+		text2 := parse.Marshal(f.Spec)
+		f2, err := parse.ParseFile(text2)
 		if err != nil {
 			t.Fatalf("seed %d second trip: %v", seed, err)
 		}
-		text3 := Marshal(f2.Spec)
+		text3 := parse.Marshal(f2.Spec)
 		if text2 != text3 {
 			t.Fatalf("seed %d: Marshal∘Parse is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s",
 				seed, text2, text3)

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"testing"
+
+	"currency/internal/api"
+	"currency/internal/gen"
+)
+
+// benchSource is a CONSISTENT random workload with denial constraints
+// (seed picked by search — inconsistent specs short-circuit the solver at
+// the base conflict and would flatter the cached numbers). Decisions take
+// the exact path, where constraint grounding dominates per-request setup.
+func benchSource() string {
+	return gen.RandomSource(gen.Config{
+		Seed: 126, Relations: 2, Entities: 12, TuplesPerEntity: 3,
+		Attrs: 2, Domain: 3, OrderDensity: 0.3, Constraints: 4, Copies: 1, CopyDensity: 0.5,
+	})
+}
+
+func benchDecide(b *testing.B, cacheSize int, req api.DecisionRequest) {
+	srv := New(Options{CacheSize: cacheSize})
+	if _, err := srv.Register("bench", benchSource()); err != nil {
+		b.Fatal(err)
+	}
+	// Warm: the cached variant measures steady-state hits, not the first
+	// grounding.
+	if _, err := srv.Decide("bench", req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Decide("bench", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConsistentCached vs BenchmarkConsistentReground is the
+// headline pair: identical requests against the same registered spec, one
+// serving the grounded reasoner from the LRU, the other re-grounding the
+// constraints on every request (cache disabled).
+func BenchmarkConsistentCached(b *testing.B) {
+	benchDecide(b, DefaultCacheSize, api.DecisionRequest{Op: api.OpConsistent})
+}
+
+func BenchmarkConsistentReground(b *testing.B) {
+	benchDecide(b, -1, api.DecisionRequest{Op: api.OpConsistent})
+}
+
+func BenchmarkCertainOrderCached(b *testing.B) {
+	benchDecide(b, DefaultCacheSize, api.DecisionRequest{
+		Op:     api.OpCertainOrder,
+		Orders: []api.OrderPair{{Rel: "R0", Attr: "A0", I: "0", J: "1"}},
+	})
+}
+
+func BenchmarkCertainOrderReground(b *testing.B) {
+	benchDecide(b, -1, api.DecisionRequest{
+		Op:     api.OpCertainOrder,
+		Orders: []api.OrderPair{{Rel: "R0", Attr: "A0", I: "0", J: "1"}},
+	})
+}
+
+func benchBatch(b *testing.B, workers int) {
+	srv := New(Options{Workers: workers})
+	if _, err := srv.Register("bench", benchSource()); err != nil {
+		b.Fatal(err)
+	}
+	e, _ := srv.registry.Get("bench")
+	// Deterministic checks are the heavy per-item work (one satisfiability
+	// probe per possible block maximum), so the pool has something to win.
+	reqs := make([]api.DecisionRequest, 16)
+	for i := range reqs {
+		reqs[i] = api.DecisionRequest{Op: api.OpDeterministic, Relation: "R0", Exact: true}
+	}
+	srv.runBatch(e, reqs[:1]) // warm the reasoner cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.runBatch(e, reqs)
+	}
+}
+
+// The batch pair shows the worker pool's effect on fan-out latency.
+func BenchmarkBatchSerial(b *testing.B)   { benchBatch(b, 1) }
+func BenchmarkBatchParallel(b *testing.B) { benchBatch(b, 0) } // GOMAXPROCS

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"currency/internal/core"
+)
+
+// reasonerKey identifies a grounded reasoner: one spec id at one version.
+// A version bump yields a new key, so stale reasoners age out of the LRU
+// instead of ever being served for the updated spec.
+type reasonerKey struct {
+	id      string
+	version int
+}
+
+// cacheEntry holds one grounding, performed at most once. Waiters share
+// the result through the sync.Once (singleflight): under a thundering herd
+// on a cold key, exactly one request pays the grounding cost.
+type cacheEntry struct {
+	key  reasonerKey
+	once sync.Once
+	r    *core.Reasoner
+	err  error
+}
+
+// ReasonerCache is an LRU cache of grounded core.Reasoners. Grounding
+// (constraint instantiation plus base-state propagation in the solver) is
+// the expensive, per-spec part of every exact decision; caching it makes
+// repeated queries against a registered spec pay only the search. The
+// cached reasoners are served to concurrent requests simultaneously —
+// safe because the exact read path never mutates reasoner or spec (see
+// the concurrency notes on core.Reasoner).
+//
+// A capacity of 0 disables caching: every Get grounds afresh. That mode
+// exists for the cache-speedup benchmark and as an operator escape hatch.
+type ReasonerCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	items map[reasonerKey]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+// NewReasonerCache returns a cache holding at most capacity reasoners.
+func NewReasonerCache(capacity int) *ReasonerCache {
+	return &ReasonerCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[reasonerKey]*list.Element),
+	}
+}
+
+// Get returns the reasoner for key, grounding it with build on a miss.
+// Concurrent Gets for the same cold key ground once and share the result;
+// Gets for different keys ground in parallel (the lock guards only the
+// index, never the grounding).
+func (c *ReasonerCache) Get(key reasonerKey, build func() (*core.Reasoner, error)) (*core.Reasoner, error) {
+	if c.cap <= 0 {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return build()
+	}
+
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		e.once.Do(func() { e.r, e.err = build() })
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.r, nil
+	}
+	c.misses++
+	e := &cacheEntry{key: key}
+	el := c.ll.PushFront(e)
+	c.items[key] = el
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.r, e.err = build() })
+	if e.err != nil {
+		// Grounding failures are not worth a cache slot; drop the entry so
+		// the next request retries (waiters that already joined this entry
+		// still observe the error through the Once).
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok && el.Value.(*cacheEntry) == e {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.r, nil
+}
+
+// InvalidateSpec drops every cached version of the given spec id; called
+// on spec deletion (updates need no eviction — they change the key — but
+// deletion should release memory promptly).
+func (c *ReasonerCache) InvalidateSpec(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if key.id == id {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+	}
+}
+
+// Stats returns (entries, capacity, hits, misses).
+func (c *ReasonerCache) Stats() (entries, capacity int, hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.cap, c.hits, c.misses
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"currency/internal/core"
+	"currency/internal/paperdb"
+)
+
+func buildPaper() (*core.Reasoner, error) {
+	return core.NewReasoner(paperdb.SpecS0())
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewReasonerCache(2)
+	k := func(i int) reasonerKey { return reasonerKey{id: fmt.Sprintf("s%d", i), version: 1} }
+
+	// Fill: s0, s1; then touch s0 so s1 becomes least recently used.
+	for _, i := range []int{0, 1, 0} {
+		if _, err := c.Get(k(i), buildPaper); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, capacity, hits, misses := c.Stats()
+	if entries != 2 || capacity != 2 {
+		t.Fatalf("entries=%d cap=%d, want 2/2", entries, capacity)
+	}
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2", hits, misses)
+	}
+
+	// s2 evicts the least recently used entry, which is s1.
+	if _, err := c.Get(k(2), buildPaper); err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt atomic.Int32
+	counting := func() (*core.Reasoner, error) { rebuilt.Add(1); return buildPaper() }
+	for _, i := range []int{0, 2} {
+		if _, err := c.Get(k(i), counting); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rebuilt.Load(); got != 0 {
+		t.Fatalf("s0 and s2 should still be cached, got %d rebuilds", got)
+	}
+	if _, err := c.Get(k(1), counting); err != nil {
+		t.Fatal(err)
+	}
+	if got := rebuilt.Load(); got != 1 {
+		t.Fatalf("s1 should have been evicted and rebuilt once, got %d rebuilds", got)
+	}
+}
+
+func TestCacheVersionBumpIsNewKey(t *testing.T) {
+	c := NewReasonerCache(8)
+	var builds atomic.Int32
+	counting := func() (*core.Reasoner, error) { builds.Add(1); return buildPaper() }
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(reasonerKey{id: "s", version: 1}, counting); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Get(reasonerKey{id: "s", version: 2}, counting); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != 2 {
+		t.Fatalf("expected one build per version, got %d", got)
+	}
+}
+
+// TestCacheSingleflight checks that a thundering herd on one cold key
+// grounds exactly once while other keys proceed independently.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewReasonerCache(8)
+	var builds atomic.Int32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, err := c.Get(reasonerKey{id: "hot", version: 1}, func() (*core.Reasoner, error) {
+				builds.Add(1)
+				return buildPaper()
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("thundering herd grounded %d times, want 1", got)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewReasonerCache(8)
+	boom := fmt.Errorf("boom")
+	if _, err := c.Get(reasonerKey{id: "s", version: 1}, func() (*core.Reasoner, error) { return nil, boom }); err != boom {
+		t.Fatalf("got %v, want boom", err)
+	}
+	entries, _, _, _ := c.Stats()
+	if entries != 0 {
+		t.Fatalf("failed grounding must not occupy a slot, have %d entries", entries)
+	}
+	// The next request retries and can succeed.
+	if _, err := c.Get(reasonerKey{id: "s", version: 1}, buildPaper); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewReasonerCache(0)
+	var builds atomic.Int32
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(reasonerKey{id: "s", version: 1}, func() (*core.Reasoner, error) {
+			builds.Add(1)
+			return buildPaper()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := builds.Load(); got != 3 {
+		t.Fatalf("disabled cache should ground per request, got %d builds", got)
+	}
+}
+
+// TestRegistryVersionMonotonicAcrossDelete guards the reasoner-cache key
+// contract: a deleted and re-registered id must not reuse version numbers,
+// or an orphaned cache entry (re-inserted by an in-flight request after
+// InvalidateSpec) could serve the old spec's reasoner for the new spec.
+func TestRegistryVersionMonotonicAcrossDelete(t *testing.T) {
+	g := NewRegistry()
+	src := "relation R(eid, a)\ninstance R { t0: (\"e\", 1) }\n"
+	e1, err := g.Put("s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Delete("s") {
+		t.Fatal("delete failed")
+	}
+	e2, err := g.Put("s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Version <= e1.Version {
+		t.Fatalf("re-registered id reused version %d (was %d)", e2.Version, e1.Version)
+	}
+}

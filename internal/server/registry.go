@@ -1,0 +1,113 @@
+package server
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"currency/internal/parse"
+)
+
+// Entry is one registered specification version. Entries are immutable
+// once published: updating a spec id creates a new Entry with a bumped
+// Version, so readers holding an older Entry (or a reasoner grounded from
+// it) are never invalidated mid-request. The File (and the Spec inside it)
+// must therefore never be mutated — decision procedures that extend
+// specifications (CPP/BCP) clone first; see the concurrency notes on
+// core.Reasoner.
+type Entry struct {
+	ID      string
+	Version int
+	// Source is the canonical textual form: the registered source
+	// re-marshaled, so GET always returns a form that parses back.
+	Source string
+	File   *parse.File
+}
+
+// Registry is the versioned spec store. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	// versions is monotonic per id and survives deletion, so a deleted
+	// and re-registered id never reuses a version — reasoner-cache keys
+	// embed (id, version) and must never alias different specs.
+	versions map[string]int
+	nextID   int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*Entry), versions: make(map[string]int)}
+}
+
+// validID matches ids usable as a single URL path segment — anything else
+// would register fine but be unreachable by the {id}-addressed endpoints.
+var validID = regexp.MustCompile(`^[A-Za-z0-9._~-]+$`)
+
+// Put parses and validates source and registers it under id, assigning a
+// fresh id when empty. Registering an existing id replaces its
+// specification and bumps the version.
+func (g *Registry) Put(id, source string) (*Entry, error) {
+	if id != "" && !validID.MatchString(id) {
+		return nil, fmt.Errorf("invalid spec id %q (want one URL path segment: letters, digits, '.', '_', '~', '-')", id)
+	}
+	f, err := parse.ParseFile(source)
+	if err != nil {
+		return nil, err
+	}
+	canonical := parse.Marshal(f.Spec, f.Queries...)
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id == "" {
+		for {
+			g.nextID++
+			id = fmt.Sprintf("s%d", g.nextID)
+			if _, taken := g.entries[id]; !taken {
+				break
+			}
+		}
+	}
+	g.versions[id]++
+	e := &Entry{ID: id, Version: g.versions[id], Source: canonical, File: f}
+	g.entries[id] = e
+	return e, nil
+}
+
+// Get returns the current entry for id.
+func (g *Registry) Get(id string) (*Entry, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.entries[id]
+	return e, ok
+}
+
+// Delete removes id, reporting whether it existed.
+func (g *Registry) Delete(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.entries[id]
+	delete(g.entries, id)
+	return ok
+}
+
+// List returns the current entries sorted by id.
+func (g *Registry) List() []*Entry {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Entry, 0, len(g.entries))
+	for _, e := range g.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the number of registered specs.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}

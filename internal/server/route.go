@@ -1,0 +1,365 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"currency/internal/api"
+	"currency/internal/core"
+	"currency/internal/parse"
+	"currency/internal/query"
+	"currency/internal/relation"
+	"currency/internal/tractable"
+)
+
+// decide runs one decision request against a registered entry, picking the
+// engine: the Section-6 PTIME algorithms when the specification is
+// constraint-free (and, for the query-dependent problems, the query is
+// SP), the cached exact reasoner otherwise. This is the auto-routing layer
+// — the server-side counterpart of the library's Auto* functions, extended
+// to every decision problem.
+func (s *Server) decide(e *Entry, req *api.DecisionRequest) api.DecisionResult {
+	res, err := s.decideErr(e, req)
+	if err != nil {
+		return api.DecisionResult{Op: req.Op, SpecVersion: e.Version, Error: err.Error()}
+	}
+	res.Op = req.Op
+	res.SpecVersion = e.Version
+	return res
+}
+
+func (s *Server) decideErr(e *Entry, req *api.DecisionRequest) (api.DecisionResult, error) {
+	var q *query.Query
+	var err error
+	switch req.Op {
+	case api.OpCertainAnswers, api.OpCurrencyPreserving, api.OpBoundedCopying:
+		q, err = resolveQuery(e, req.Query)
+		if err != nil {
+			return api.DecisionResult{}, err
+		}
+	case api.OpConsistent, api.OpCertainOrder, api.OpDeterministic:
+	default:
+		return api.DecisionResult{}, fmt.Errorf("unknown op %q", req.Op)
+	}
+
+	// An explicit extension space forces the exact engine: the PTIME
+	// CPP/BCP algorithms work in their own per-entity atom space and would
+	// silently answer a different question.
+	wantsSpace := req.Space != "" &&
+		(req.Op == api.OpCurrencyPreserving || req.Op == api.OpBoundedCopying)
+	if !req.Exact && !wantsSpace && ptimeEligible(e, req.Op, q) {
+		return s.decidePTime(e, req, q)
+	}
+	return s.decideExact(e, req, q)
+}
+
+// ptimeEligible reports whether a Section-6 polynomial algorithm covers
+// the request: no denial constraints, and an SP query for the
+// query-dependent problems (Theorems 6.1 and 6.4, Proposition 6.3).
+func ptimeEligible(e *Entry, op api.Op, q *query.Query) bool {
+	if len(e.File.Spec.Constraints) > 0 {
+		return false
+	}
+	switch op {
+	case api.OpConsistent, api.OpCertainOrder, api.OpDeterministic:
+		return true
+	default:
+		return q != nil && query.IsSP(q)
+	}
+}
+
+func (s *Server) decidePTime(e *Entry, req *api.DecisionRequest, q *query.Query) (api.DecisionResult, error) {
+	sp := e.File.Spec
+	out := api.DecisionResult{Engine: api.EnginePTime}
+	switch req.Op {
+	case api.OpConsistent:
+		ok, err := tractable.Consistent(sp)
+		if err != nil {
+			return out, err
+		}
+		out.Holds = &ok
+
+	case api.OpCertainOrder:
+		reqs, err := resolveOrders(e, req.Orders)
+		if err != nil {
+			return out, err
+		}
+		conv := make([]tractable.OrderRequirement, len(reqs))
+		for i, r := range reqs {
+			conv[i] = tractable.OrderRequirement{Rel: r.Rel, Attr: r.Attr, I: r.I, J: r.J}
+		}
+		ok, err := tractable.CertainOrder(sp, conv)
+		if err != nil {
+			return out, err
+		}
+		out.Holds = &ok
+		if ok {
+			if consistent, err := tractable.Consistent(sp); err == nil && !consistent {
+				out.VacuouslyTrue = true
+			}
+		}
+
+	case api.OpDeterministic:
+		rels, err := targetRelations(e, req.Relation)
+		if err != nil {
+			return out, err
+		}
+		ok := true
+		for _, rel := range rels {
+			det, err := tractable.Deterministic(sp, rel)
+			if err != nil {
+				return out, err
+			}
+			if !det {
+				ok = false
+				break
+			}
+		}
+		out.Holds = &ok
+		if ok {
+			if consistent, err := tractable.Consistent(sp); err == nil && !consistent {
+				out.VacuouslyTrue = true
+			}
+		}
+
+	case api.OpCertainAnswers:
+		res, consistent, err := tractable.CertainAnswersSP(sp, q)
+		if err != nil {
+			return out, err
+		}
+		if !consistent {
+			out.VacuouslyTrue = true
+		} else {
+			out.Answers = marshalResult(res)
+		}
+
+	case api.OpCurrencyPreserving:
+		ok, err := tractable.CurrencyPreservingSP(sp, q)
+		if err != nil {
+			return out, err
+		}
+		out.Holds = &ok
+
+	case api.OpBoundedCopying:
+		ok, witness, err := tractable.BoundedCopyingSP(sp, q, req.K)
+		if err != nil {
+			return out, err
+		}
+		out.Holds = &ok
+		if witness != "" {
+			out.Witness = []string{witness}
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) decideExact(e *Entry, req *api.DecisionRequest, q *query.Query) (api.DecisionResult, error) {
+	out := api.DecisionResult{Engine: api.EngineExact}
+	r, err := s.reasoner(e)
+	if err != nil {
+		return out, err
+	}
+	switch req.Op {
+	case api.OpConsistent:
+		ok := r.Consistent()
+		out.Holds = &ok
+
+	case api.OpCertainOrder:
+		reqs, err := resolveOrders(e, req.Orders)
+		if err != nil {
+			return out, err
+		}
+		ok, err := r.CertainOrder(reqs)
+		if err != nil {
+			return out, err
+		}
+		out.Holds = &ok
+		if ok && !r.Consistent() {
+			out.VacuouslyTrue = true
+		}
+
+	case api.OpDeterministic:
+		rels, err := targetRelations(e, req.Relation)
+		if err != nil {
+			return out, err
+		}
+		ok := true
+		for _, rel := range rels {
+			det, err := r.Deterministic(rel)
+			if err != nil {
+				return out, err
+			}
+			if !det {
+				ok = false
+				break
+			}
+		}
+		out.Holds = &ok
+		if ok && !r.Consistent() {
+			out.VacuouslyTrue = true
+		}
+
+	case api.OpCertainAnswers:
+		res, modEmpty, err := r.CertainAnswers(q)
+		if err != nil {
+			return out, err
+		}
+		if modEmpty {
+			out.VacuouslyTrue = true
+		} else {
+			out.Answers = marshalResult(res)
+		}
+
+	case api.OpCurrencyPreserving:
+		space, err := atomSpace(req.Space)
+		if err != nil {
+			return out, err
+		}
+		ok, err := r.CurrencyPreservingIn(q, space)
+		if err != nil {
+			return out, err
+		}
+		out.Holds = &ok
+
+	case api.OpBoundedCopying:
+		space, err := atomSpace(req.Space)
+		if err != nil {
+			return out, err
+		}
+		ok, atoms, err := r.BoundedCopyingIn(q, req.K, space)
+		if err != nil {
+			return out, err
+		}
+		out.Holds = &ok
+		for _, a := range atoms {
+			out.Witness = append(out.Witness, a.String())
+		}
+	}
+	return out, nil
+}
+
+// reasoner returns the cached grounded reasoner for the entry, grounding
+// on first use of this (id, version).
+func (s *Server) reasoner(e *Entry) (*core.Reasoner, error) {
+	return s.cache.Get(reasonerKey{id: e.ID, version: e.Version}, func() (*core.Reasoner, error) {
+		return core.NewReasoner(e.File.Spec)
+	})
+}
+
+// resolveQuery materializes a QueryRef: a named query of the registered
+// file, or inline source parsed on the fly.
+func resolveQuery(e *Entry, ref *api.QueryRef) (*query.Query, error) {
+	if ref == nil || (ref.Name == "" && ref.Source == "") {
+		return nil, fmt.Errorf("request needs a query (name or source)")
+	}
+	if ref.Name != "" && ref.Source != "" {
+		return nil, fmt.Errorf("query name and source are mutually exclusive")
+	}
+	if ref.Name != "" {
+		q, ok := e.File.Query(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("spec %s declares no query %q", e.ID, ref.Name)
+		}
+		return q, nil
+	}
+	// Inline sources parse against the spec's schemas: the query grammar
+	// needs relation declarations in scope to recognize atoms.
+	var b strings.Builder
+	for _, r := range e.File.Spec.Relations {
+		fmt.Fprintf(&b, "relation %s(%s)\n", r.Schema.Name, strings.Join(r.Schema.Attrs, ", "))
+	}
+	b.WriteString(ref.Source)
+	return parse.ParseQuery(b.String())
+}
+
+// resolveOrders translates wire order pairs (label- or index-addressed
+// tuples) into core requirements.
+func resolveOrders(e *Entry, pairs []api.OrderPair) ([]core.OrderRequirement, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("certain-order needs at least one order pair")
+	}
+	out := make([]core.OrderRequirement, len(pairs))
+	for i, p := range pairs {
+		r, ok := e.File.Spec.Relation(p.Rel)
+		if !ok {
+			return nil, fmt.Errorf("unknown relation %q", p.Rel)
+		}
+		if _, ok := r.Schema.AttrIndex(p.Attr); !ok {
+			return nil, fmt.Errorf("unknown attribute %s.%s", p.Rel, p.Attr)
+		}
+		ti, err := resolveTuple(r, p.I)
+		if err != nil {
+			return nil, err
+		}
+		tj, err := resolveTuple(r, p.J)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = core.OrderRequirement{Rel: p.Rel, Attr: p.Attr, I: ti, J: tj}
+	}
+	return out, nil
+}
+
+// resolveTuple maps a tuple reference to its index: declared labels take
+// precedence, then a decimal zero-based index.
+func resolveTuple(r *relation.TemporalInstance, ref string) (int, error) {
+	if i, ok := r.LabelIndex(ref); ok {
+		return i, nil
+	}
+	i, err := strconv.Atoi(ref)
+	if err != nil || i < 0 || i >= r.Len() {
+		return 0, fmt.Errorf("relation %s has no tuple %q", r.Schema.Name, ref)
+	}
+	return i, nil
+}
+
+// targetRelations expands a deterministic request's relation field: one
+// named relation, or all of them when empty.
+func targetRelations(e *Entry, rel string) ([]string, error) {
+	if rel != "" {
+		if _, ok := e.File.Spec.Relation(rel); !ok {
+			return nil, fmt.Errorf("unknown relation %q", rel)
+		}
+		return []string{rel}, nil
+	}
+	out := make([]string, len(e.File.Spec.Relations))
+	for i, r := range e.File.Spec.Relations {
+		out[i] = r.Schema.Name
+	}
+	return out, nil
+}
+
+// atomSpace selects the CPP/BCP extension space.
+func atomSpace(name string) (core.AtomSpace, error) {
+	switch name {
+	case "", "matching":
+		return core.MatchingAtomSpace, nil
+	case "full":
+		return core.FullAtomSpace, nil
+	case "conservative":
+		return core.ConservativeAtomSpace, nil
+	}
+	return nil, fmt.Errorf("unknown extension space %q (want matching, full or conservative)", name)
+}
+
+// marshalResult converts a query result to wire form: strings as JSON
+// strings, integers as JSON numbers, fresh nulls as {"fresh": id}.
+func marshalResult(res *query.Result) *api.ResultSet {
+	out := &api.ResultSet{Cols: append([]string(nil), res.Cols...), Rows: []api.AnswerRow{}}
+	for _, row := range res.Rows {
+		wire := make(api.AnswerRow, len(row))
+		for i, v := range row {
+			switch v.Kind {
+			case relation.KindInt:
+				wire[i] = v.Int
+			case relation.KindFresh:
+				wire[i] = map[string]int64{"fresh": v.Int}
+			default:
+				wire[i] = v.Str
+			}
+		}
+		out.Rows = append(out.Rows, wire)
+	}
+	return out
+}

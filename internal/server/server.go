@@ -1,0 +1,314 @@
+// Package server implements currencyd: a long-running HTTP/JSON service
+// answering the decision problems of "Determining the Currency of Data"
+// (Fan, Geerts, Wijsen; PODS 2011) against a registry of specifications.
+//
+// The server keeps a versioned spec registry (the textual format of
+// internal/parse is the wire format) and an LRU cache of grounded
+// core.Reasoners keyed by (spec id, version), so repeated queries against
+// a registered spec skip the expensive constraint-grounding step. Updating
+// a spec bumps its version, which changes the cache key — in-flight
+// requests finish against the version they resolved, new requests ground
+// the new one. An auto-routing layer sends constraint-free specifications
+// (and SP queries, where it matters) to the Section-6 PTIME algorithms of
+// internal/tractable and everything else to the exact reasoner.
+//
+// Endpoints:
+//
+//	POST   /specs                          register (or update) a spec
+//	GET    /specs                          list registered specs
+//	GET    /specs/{id}                     fetch one spec (canonical source)
+//	DELETE /specs/{id}                     delete a spec
+//	POST   /specs/{id}/consistent          CPS
+//	POST   /specs/{id}/certain-order       COP
+//	POST   /specs/{id}/deterministic       DCIP
+//	POST   /specs/{id}/certain-answers     CCQA
+//	POST   /specs/{id}/currency-preserving CPP
+//	POST   /specs/{id}/bounded-copying     BCP
+//	POST   /specs/{id}/batch               fan a list of decisions over the pool
+//	GET    /stats                          registry/cache/pool counters
+//	GET    /healthz                        liveness
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"currency/internal/api"
+	"currency/internal/spec"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize caps the reasoner LRU. 0 means DefaultCacheSize; a
+	// negative value disables caching (every exact decision re-grounds).
+	CacheSize int
+	// Workers bounds batch-request concurrency. Default GOMAXPROCS.
+	Workers int
+}
+
+// Server is the currencyd HTTP service. Create with New and mount
+// Handler; all methods are safe for concurrent use.
+type Server struct {
+	registry *Registry
+	cache    *ReasonerCache
+	workers  int
+	mux      *http.ServeMux
+}
+
+// DefaultCacheSize is the reasoner-cache capacity used when
+// Options.CacheSize is left zero.
+const DefaultCacheSize = 64
+
+// New builds a server with the given options.
+func New(opts Options) *Server {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.CacheSize < 0 {
+		opts.CacheSize = 0 // explicit "disable caching"
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		registry: NewRegistry(),
+		cache:    NewReasonerCache(opts.CacheSize),
+		workers:  opts.Workers,
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /specs", s.handleRegister)
+	s.mux.HandleFunc("GET /specs", s.handleList)
+	s.mux.HandleFunc("GET /specs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /specs/{id}", s.handleDelete)
+	for _, op := range []api.Op{
+		api.OpConsistent, api.OpCertainOrder, api.OpDeterministic,
+		api.OpCertainAnswers, api.OpCurrencyPreserving, api.OpBoundedCopying,
+	} {
+		op := op
+		s.mux.HandleFunc("POST /specs/{id}/"+string(op), func(w http.ResponseWriter, r *http.Request) {
+			s.handleDecision(w, r, op)
+		})
+	}
+	s.mux.HandleFunc("POST /specs/{id}/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// entryFor resolves the {id} path value, writing the 404 itself.
+func (s *Server) entryFor(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
+	id := r.PathValue("id")
+	e, ok := s.registry.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no spec %q", id)
+		return nil, false
+	}
+	return e, true
+}
+
+func specInfo(e *Entry, withSource bool) api.SpecInfo {
+	info := api.SpecInfo{
+		ID:      e.ID,
+		Version: e.Version,
+		Summary: summarize(e.File.Spec),
+	}
+	for _, q := range e.File.Queries {
+		info.Queries = append(info.Queries, q.Name)
+	}
+	if withSource {
+		info.Source = e.Source
+	}
+	return info
+}
+
+func summarize(s *spec.Spec) string {
+	tuples := 0
+	for _, r := range s.Relations {
+		tuples += r.Len()
+	}
+	return fmt.Sprintf("%d relations, %d tuples, %d denial constraints, %d copy functions",
+		len(s.Relations), tuples, len(s.Constraints), len(s.Copies))
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req api.RegisterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "register needs a source specification")
+		return
+	}
+	e, err := s.registry.Put(req.ID, req.Source)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	status := http.StatusCreated
+	if e.Version > 1 {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, specInfo(e, false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	list := api.SpecList{Specs: []api.SpecInfo{}}
+	for _, e := range s.registry.List() {
+		list.Specs = append(list.Specs, specInfo(e, false))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, specInfo(e, true))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.registry.Delete(id) {
+		writeError(w, http.StatusNotFound, "no spec %q", id)
+		return
+	}
+	s.cache.InvalidateSpec(id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDecision serves the single-decision endpoints. The op comes from
+// the route; a body is optional for parameterless problems.
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request, op api.Op) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	req := api.DecisionRequest{}
+	if r.ContentLength != 0 {
+		if !readJSON(w, r, &req) {
+			return
+		}
+	}
+	if req.Op != "" && req.Op != op {
+		writeError(w, http.StatusBadRequest, "request op %q does not match endpoint %q", req.Op, op)
+		return
+	}
+	req.Op = op
+	res := s.decide(e, &req)
+	if res.Error != "" {
+		writeJSON(w, http.StatusUnprocessableEntity, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleBatch fans the request list across the worker pool; results keep
+// request order, and per-request failures are reported in-line so one bad
+// request cannot fail the envelope.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	var req api.BatchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "batch needs at least one request")
+		return
+	}
+	writeJSON(w, http.StatusOK, api.BatchResponse{Results: s.runBatch(e, req.Requests)})
+}
+
+// runBatch executes the requests over a bounded worker pool. Every request
+// in a batch runs against the same registry entry — a concurrent update
+// changes the version for future lookups, not for this batch.
+func (s *Server) runBatch(e *Entry, reqs []api.DecisionRequest) []api.DecisionResult {
+	results := make([]api.DecisionResult, len(reqs))
+	workers := s.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = s.decide(e, &reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	entries, capacity, hits, misses := s.cache.Stats()
+	writeJSON(w, http.StatusOK, api.Stats{
+		Specs:         s.registry.Len(),
+		CacheEntries:  entries,
+		CacheCapacity: capacity,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		Workers:       s.workers,
+	})
+}
+
+// Register programmatically registers a spec, for embedding the server in
+// tests and tools without HTTP round-trips.
+func (s *Server) Register(id, source string) (*Entry, error) {
+	return s.registry.Put(id, source)
+}
+
+// Decide programmatically runs one decision, sharing the HTTP path's
+// routing and cache.
+func (s *Server) Decide(id string, req api.DecisionRequest) (api.DecisionResult, error) {
+	e, ok := s.registry.Get(id)
+	if !ok {
+		return api.DecisionResult{}, fmt.Errorf("no spec %q", id)
+	}
+	res := s.decide(e, &req)
+	if res.Error != "" {
+		return res, fmt.Errorf("%s", res.Error)
+	}
+	return res, nil
+}

@@ -1,0 +1,452 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"currency/internal/api"
+	"currency/internal/client"
+	"currency/internal/gen"
+	"currency/internal/paperdb"
+	"currency/internal/parse"
+	"currency/internal/server"
+)
+
+// newTestServer starts an httptest server around a fresh currencyd and
+// returns a client for it.
+func newTestServer(t testing.TB, opts server.Options) (*client.Client, *server.Server) {
+	t.Helper()
+	srv := server.New(opts)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return client.New(hs.URL, hs.Client()), srv
+}
+
+// paperSource renders the paper's S0 (Figure 1, Example 2.3) with queries
+// Q1–Q4 in the wire format.
+func paperSource() string {
+	s0 := paperdb.SpecS0()
+	return parse.Marshal(s0, paperdb.Q1(), paperdb.Q2(), paperdb.Q3(), paperdb.Q4())
+}
+
+// constraintFreeSource renders S0's instances and copy function without
+// denial constraints — the PTIME-eligible variant used for update tests.
+func constraintFreeSource() string {
+	s0 := paperdb.SpecS0()
+	s0.Constraints = nil
+	return parse.Marshal(s0, paperdb.Q1(), paperdb.Q2(), paperdb.Q3(), paperdb.Q4())
+}
+
+func TestRegisterQueryUpdateRequery(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{})
+
+	// Register.
+	info, err := c.RegisterSpec("s0", paperSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "s0" || info.Version != 1 {
+		t.Fatalf("got %+v, want s0 v1", info)
+	}
+	if len(info.Queries) != 4 {
+		t.Fatalf("expected 4 declared queries, got %v", info.Queries)
+	}
+
+	// The canonical source must round-trip.
+	got, err := c.GetSpec("s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parse.ParseFile(got.Source); err != nil {
+		t.Fatalf("canonical source does not parse back: %v", err)
+	}
+
+	// Query: S0 carries denial constraints, so the exact engine answers.
+	res, err := c.Consistent("s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != api.EngineExact || res.Holds == nil || !*res.Holds {
+		t.Fatalf("consistent: got %+v, want exact/true", res)
+	}
+	if res.SpecVersion != 1 {
+		t.Fatalf("decision ran against version %d, want 1", res.SpecVersion)
+	}
+
+	// Example 3.3: deterministic for Emp, not for Dept.
+	res, err = c.Deterministic("s0", "Emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds == nil || !*res.Holds {
+		t.Fatalf("Emp should be deterministic (Example 3.3): %+v", res)
+	}
+	res, err = c.Deterministic("s0", "Dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds == nil || *res.Holds {
+		t.Fatalf("Dept should not be deterministic: %+v", res)
+	}
+
+	// Example 1.1: Q1=80, Q2=Dupont.
+	res, err = c.CertainAnswers("s0", api.QueryRef{Name: "Q1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSingleAnswer(t, res, float64(80))
+	res, err = c.CertainAnswers("s0", api.QueryRef{Name: "Q2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSingleAnswer(t, res, "Dupont")
+
+	// Update: re-registering the id bumps the version; the cached v1
+	// reasoner is dead weight (its key embeds the version) and decisions
+	// run against the new spec.
+	info, err = c.RegisterSpec("s0", constraintFreeSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Fatalf("update should bump version to 2, got %d", info.Version)
+	}
+
+	// Re-query. Without ϕ1–ϕ4 nothing orders Mary's salaries, so Emp is no
+	// longer deterministic — stale v1 cache would still say true. Force the
+	// exact engine so the answer must come from a freshly grounded
+	// reasoner, then check the auto-routed path agrees.
+	resExact, err := decideExactDeterministic(c, "s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resExact.Engine != api.EngineExact || resExact.Holds == nil || *resExact.Holds {
+		t.Fatalf("after update, exact Deterministic(Emp) = %+v, want false", resExact)
+	}
+	if resExact.SpecVersion != 2 {
+		t.Fatalf("decision ran against version %d, want 2", resExact.SpecVersion)
+	}
+	res, err = c.Deterministic("s0", "Emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != api.EnginePTime || res.Holds == nil || *res.Holds {
+		t.Fatalf("after update, Deterministic(Emp) = %+v, want ptime/false", res)
+	}
+
+	// Certain answers shrink accordingly: Q1 is no longer certain.
+	res, err = c.CertainAnswers("s0", api.QueryRef{Name: "Q1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers == nil || len(res.Answers.Rows) != 0 {
+		t.Fatalf("after dropping constraints Q1 should have no certain answers, got %+v", res.Answers)
+	}
+}
+
+// decideExactDeterministic forces the exact engine for Deterministic(Emp)
+// through the batch endpoint (the typed client exposes no Exact knob on
+// purpose — it mirrors the common path).
+func decideExactDeterministic(c *client.Client, id string) (api.DecisionResult, error) {
+	results, err := c.Batch(id, []api.DecisionRequest{{
+		Op: api.OpDeterministic, Relation: "Emp", Exact: true,
+	}})
+	if err != nil {
+		return api.DecisionResult{}, err
+	}
+	if len(results) != 1 {
+		return api.DecisionResult{}, fmt.Errorf("expected 1 result, got %d", len(results))
+	}
+	if results[0].Error != "" {
+		return results[0], fmt.Errorf("%s", results[0].Error)
+	}
+	return results[0], nil
+}
+
+func assertSingleAnswer(t *testing.T, res api.DecisionResult, want any) {
+	t.Helper()
+	if res.Answers == nil || len(res.Answers.Rows) != 1 || len(res.Answers.Rows[0]) != 1 {
+		t.Fatalf("expected a single one-column answer, got %+v", res.Answers)
+	}
+	if res.Answers.Rows[0][0] != want {
+		t.Fatalf("answer = %v (%T), want %v", res.Answers.Rows[0][0], res.Answers.Rows[0][0], want)
+	}
+}
+
+func TestAutoRouting(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{})
+	if _, err := c.RegisterSpec("hard", paperSource()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RegisterSpec("easy", constraintFreeSource()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		id     string
+		engine string
+	}{
+		{"hard", api.EngineExact},
+		{"easy", api.EnginePTime},
+	} {
+		res, err := c.Consistent(tc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Engine != tc.engine {
+			t.Errorf("Consistent(%s) ran on %q, want %q", tc.id, res.Engine, tc.engine)
+		}
+		// Q1 is SP, so the constraint-free spec routes CCQA to PTIME too.
+		res, err = c.CertainAnswers(tc.id, api.QueryRef{Name: "Q1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Engine != tc.engine {
+			t.Errorf("CertainAnswers(%s) ran on %q, want %q", tc.id, res.Engine, tc.engine)
+		}
+	}
+
+	// PTIME-eligible CPP without a space pick stays on the fast path...
+	res, err := c.CurrencyPreserving("easy", api.QueryRef{Name: "Q1"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != api.EnginePTime {
+		t.Errorf("CPP with default space routed to %q, want ptime", res.Engine)
+	}
+	// ...but an explicit extension space must force the exact engine: the
+	// PTIME algorithm works in its own atom space and would silently
+	// answer a different question.
+	res, err = c.CurrencyPreserving("easy", api.QueryRef{Name: "Q1"}, "matching")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != api.EngineExact {
+		t.Errorf("CPP with explicit space routed to %q, want exact", res.Engine)
+	}
+	if _, err = c.CurrencyPreserving("easy", api.QueryRef{Name: "Q1"}, "warp"); err == nil {
+		t.Error("unknown extension space must be rejected even on a PTIME-eligible spec")
+	}
+
+	// A non-SP inline query on the constraint-free spec must fall back to
+	// the exact engine (Proposition 6.3 covers SP only).
+	res, err = c.CertainAnswers("easy", api.QueryRef{
+		Source: `query QU(ln) := exists e, fn, a, sal, st. ` +
+			`(Emp(e, fn, ln, a, sal, st) and (fn = "Mary" or fn = "Bob"))`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != api.EngineExact {
+		t.Errorf("non-SP query routed to %q, want exact", res.Engine)
+	}
+}
+
+func TestCertainOrderLabelsAndIndexes(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{})
+	if _, err := c.RegisterSpec("s0", paperSource()); err != nil {
+		t.Fatal(err)
+	}
+	// ϕ1 with salaries 50 < 80 forces s1 ≺salary s3 (labels), i.e. 0 ≺ 2
+	// (indexes); both addressings must agree.
+	byLabel, err := c.CertainOrder("s0", []api.OrderPair{{Rel: "Emp", Attr: "salary", I: "s1", J: "s3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIndex, err := c.CertainOrder("s0", []api.OrderPair{{Rel: "Emp", Attr: "salary", I: "0", J: "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byLabel.Holds == nil || !*byLabel.Holds {
+		t.Fatalf("s1 ≺salary s3 should be certain under ϕ1: %+v", byLabel)
+	}
+	if byIndex.Holds == nil || *byIndex.Holds != *byLabel.Holds {
+		t.Fatalf("label and index addressing disagree: %+v vs %+v", byLabel, byIndex)
+	}
+	// The reverse direction cannot be certain.
+	rev, err := c.CertainOrder("s0", []api.OrderPair{{Rel: "Emp", Attr: "salary", I: "s3", J: "s1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Holds == nil || *rev.Holds {
+		t.Fatalf("s3 ≺salary s1 must not be certain: %+v", rev)
+	}
+}
+
+func TestBatchFanOut(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{Workers: 4})
+	if _, err := c.RegisterSpec("s0", paperSource()); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []api.DecisionRequest{
+		{Op: api.OpConsistent},
+		{Op: api.OpDeterministic, Relation: "Emp"},
+		{Op: api.OpDeterministic, Relation: "Dept"},
+		{Op: api.OpCertainAnswers, Query: &api.QueryRef{Name: "Q3"}},
+		{Op: api.OpCertainAnswers, Query: &api.QueryRef{Name: "nope"}}, // in-line failure
+		{Op: api.OpCertainOrder, Orders: []api.OrderPair{{Rel: "Emp", Attr: "salary", I: "s1", J: "s3"}}},
+	}
+	results, err := c.Batch("s0", reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	for i, res := range results {
+		if res.Op != reqs[i].Op {
+			t.Fatalf("result %d is for op %q, want %q (order not preserved)", i, res.Op, reqs[i].Op)
+		}
+	}
+	if results[0].Holds == nil || !*results[0].Holds {
+		t.Errorf("batch consistent: %+v", results[0])
+	}
+	if results[1].Holds == nil || !*results[1].Holds {
+		t.Errorf("batch deterministic Emp: %+v", results[1])
+	}
+	if results[2].Holds == nil || *results[2].Holds {
+		t.Errorf("batch deterministic Dept: %+v", results[2])
+	}
+	if results[3].Answers == nil || len(results[3].Answers.Rows) != 1 {
+		t.Errorf("batch Q3: %+v", results[3])
+	}
+	if results[4].Error == "" {
+		t.Error("unknown query must fail in-line, not silently succeed")
+	}
+	if results[5].Holds == nil || !*results[5].Holds {
+		t.Errorf("batch certain-order: %+v", results[5])
+	}
+}
+
+func TestCacheReuseAndStats(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{})
+	if _, err := c.RegisterSpec("s0", paperSource()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Consistent("s0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Specs != 1 || st.CacheEntries != 1 {
+		t.Fatalf("stats: %+v, want 1 spec / 1 cached reasoner", st)
+	}
+	if st.CacheMisses != 1 || st.CacheHits != 2 {
+		t.Fatalf("stats: %+v, want 1 miss and 2 hits for 3 identical queries", st)
+	}
+
+	// Deleting the spec evicts its reasoners and 404s further queries.
+	if err := c.DeleteSpec("s0"); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Specs != 0 || st.CacheEntries != 0 {
+		t.Fatalf("after delete: %+v, want empty registry and cache", st)
+	}
+	if _, err := c.Consistent("s0"); err == nil || !strings.Contains(err.Error(), "no spec") {
+		t.Fatalf("query after delete should 404, got %v", err)
+	}
+}
+
+func TestGeneratedSpecsRegister(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{})
+	// Load-test fixtures from internal/gen must flow through the wire
+	// format unchanged.
+	for seed := int64(1); seed <= 3; seed++ {
+		src := gen.RandomSource(gen.Default(seed))
+		info, err := c.RegisterSpec("", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if info.ID == "" {
+			t.Fatal("server should assign an id")
+		}
+		if _, err := c.Consistent(info.ID); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	specs, err := c.ListSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("expected 3 specs, got %d", len(specs))
+	}
+}
+
+// TestParallelRequests hammers one cached reasoner from many goroutines;
+// run with -race this is the server-level concurrency-safety check for
+// shared reasoner reads.
+func TestParallelRequests(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{Workers: 8})
+	if _, err := c.RegisterSpec("s0", paperSource()); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 4 {
+			case 0:
+				res, err := c.Consistent("s0")
+				if err == nil && (res.Holds == nil || !*res.Holds) {
+					err = fmt.Errorf("consistent: %+v", res)
+				}
+				errs <- err
+			case 1:
+				res, err := c.CertainAnswers("s0", api.QueryRef{Name: "Q2"})
+				if err == nil && (res.Answers == nil || len(res.Answers.Rows) != 1) {
+					err = fmt.Errorf("Q2: %+v", res.Answers)
+				}
+				errs <- err
+			case 2:
+				res, err := c.Deterministic("s0", "Emp")
+				if err == nil && (res.Holds == nil || !*res.Holds) {
+					err = fmt.Errorf("deterministic: %+v", res)
+				}
+				errs <- err
+			default:
+				_, err := c.Batch("s0", []api.DecisionRequest{
+					{Op: api.OpConsistent},
+					{Op: api.OpCertainOrder, Orders: []api.OrderPair{{Rel: "Emp", Attr: "salary", I: "s1", J: "s3"}}},
+				})
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegisterRejectsBadSource(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{})
+	if _, err := c.RegisterSpec("bad", "relation R(eid a"); err == nil {
+		t.Fatal("malformed source must be rejected")
+	}
+	if _, err := c.GetSpec("bad"); err == nil {
+		t.Fatal("rejected spec must not be registered")
+	}
+	// Ids that cannot travel as one URL path segment would register fine
+	// but be unreachable by every id-addressed endpoint.
+	if _, err := c.RegisterSpec("a/b", constraintFreeSource()); err == nil {
+		t.Fatal("slash in spec id must be rejected")
+	}
+}
