@@ -12,6 +12,7 @@
 //	currencybench -table II  # only Table II rows
 //	currencybench -table III
 //	currencybench -table figures
+//	currencybench -table solver  # decomposed-engine scaling rows
 //	currencybench -json      # one JSON object per experiment row
 //
 // With -json, headers and prose are suppressed and every measured row is
@@ -312,6 +313,67 @@ func tableIII() {
 	}
 }
 
+// tableSolver measures the decomposed engine (PR 2) on multi-entity
+// workloads: cold whole-specification verdicts (sequential vs parallel
+// component search) and warm component-scoped ordering queries on a
+// long-lived reasoner — the currencyd cache scenario.
+func tableSolver() {
+	header("Solver — component-decomposed engine")
+	prose("cold CPS grounds and searches every component; warm COP touches one component and reads memoized verdicts for the rest\n")
+	prose("%-10s %-12s %-14s %-16s %-16s %-16s\n",
+		"entities", "components", "cold (1 wkr)", "cold (par)", "warm COP/query", "queries/verdict")
+	const queries = 200
+	for _, n := range []int{4, 16, 64} {
+		s := hardWorkload(n)
+		probe, err := core.NewReasoner(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		components := probe.Solver.Components()
+
+		coldSeq := timed(func() {
+			r, err := core.NewReasoner(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.Solver.SetWorkers(1)
+			r.Consistent()
+		})
+		coldPar := timed(func() {
+			r, err := core.NewReasoner(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.Consistent()
+		})
+
+		// Warm scoped queries on one long-lived reasoner: every pair of
+		// the first entity of R0, round-robin, per-query time.
+		warm, err := core.NewReasoner(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		warm.Consistent()
+		req := []core.OrderRequirement{{Rel: "R0", Attr: "A0", I: 0, J: 1}}
+		perQuery := timed(func() {
+			for q := 0; q < queries; q++ {
+				req[0].I, req[0].J = q%3, (q+1)%3
+				if _, err := warm.CertainOrder(req); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}) / queries
+
+		emit(map[string]any{
+			"table": "solver", "experiment": "decomposed-engine",
+			"entities": n, "components": components, "warm_queries": queries,
+			"cold_seq_ns": coldSeq.Nanoseconds(), "cold_par_ns": coldPar.Nanoseconds(),
+			"warm_cop_ns": perQuery.Nanoseconds(),
+		}, "%-10d %-12d %-14v %-16v %-16v %-16d\n",
+			n, components, coldSeq, coldPar, perQuery, queries)
+	}
+}
+
 func figures() {
 	header("Figures — worked examples and gadget instances")
 	s0 := paperdb.SpecS0()
@@ -386,7 +448,7 @@ func figures() {
 
 func main() {
 	log.SetFlags(0)
-	table := flag.String("table", "all", "which experiments: II, III, figures, all")
+	table := flag.String("table", "all", "which experiments: II, III, figures, solver, all")
 	flag.BoolVar(&jsonMode, "json", false, "emit one JSON object per experiment row")
 	flag.Parse()
 	prose("currencybench — reproducing the evaluation of \"Determining the Currency of Data\"\n")
@@ -397,9 +459,12 @@ func main() {
 		tableIII()
 	case "figures":
 		figures()
+	case "solver":
+		tableSolver()
 	default:
 		tableII()
 		tableIII()
 		figures()
+		tableSolver()
 	}
 }

@@ -410,6 +410,16 @@ func (r *Reasoner) BoundedCopyingIn(q *query.Query, k int, space AtomSpace) (boo
 		return false, nil, nil
 	}
 	atoms := space(r.Spec)
+	// The empty extension imports zero tuples, so per Theorem 5.3 it is a
+	// valid witness for every k ≥ 0: if the copy functions are already
+	// currency preserving for q, BCP holds — wherever CPP is true, BCP is.
+	preserving, err := r.currencyPreservingWith(q, atoms)
+	if err != nil {
+		return false, nil, err
+	}
+	if preserving {
+		return true, nil, nil
+	}
 	idx := make([]int, 0, k)
 	var found []ExtensionAtom
 	var rec func(start, remaining int, cur *spec.Spec, changed bool) (bool, error)

@@ -128,6 +128,68 @@ func TestBoundedCopyingWitness(t *testing.T) {
 	}
 }
 
+// TestBoundedCopyingEmptyExtension is the regression test for the PR-1
+// follow-up: BCP never considered the empty extension, so it could be
+// false where CPP was true. Theorem 5.3 counts extensions importing AT
+// MOST k tuples, and the empty extension imports zero — wherever the copy
+// functions are already currency preserving, BCP must hold for every
+// k ≥ 0 with the empty witness.
+func TestBoundedCopyingEmptyExtension(t *testing.T) {
+	// Case 1: a preserving collection — Proposition 5.2's maximal
+	// extension — must satisfy BCP at k=0 with no atoms imported.
+	r, err := NewReasoner(paperdb.SpecS1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSpec, _, err := r.MaximalExtension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMax, err := NewReasoner(maxSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1} {
+		ok, atoms, err := rMax.BoundedCopying(paperdb.Q2(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("BCP(k=%d) must hold on a preserving collection (CPP is true)", k)
+		}
+		if len(atoms) != 0 {
+			t.Errorf("k=%d: witness should be the empty extension, got %v", k, atoms)
+		}
+	}
+
+	// Case 2: no covering copy functions means no extension atoms at all;
+	// CPP holds vacuously and BCP must agree instead of failing for want
+	// of an atom to apply.
+	s := paperdb.SpecS0()
+	s.Copies = nil
+	r0, err := NewReasoner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preserving, err := r0.CurrencyPreserving(paperdb.Q2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !preserving {
+		t.Fatal("CPP must hold vacuously with no copy functions")
+	}
+	ok, atoms, err := r0.BoundedCopying(paperdb.Q2(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("BCP(k=0) must hold where CPP holds")
+	}
+	if len(atoms) != 0 {
+		t.Errorf("witness should be empty, got %v", atoms)
+	}
+}
+
 // TestCurrencyPreservingForAll checks the multi-query generalization:
 // ρ1 preserves Q2 alone, but adding Q1 (salary) keeps it preserving,
 // while the unextended ρ fails the workload because of Q2.

@@ -29,21 +29,28 @@ import (
 //
 // Concurrency: a Reasoner is safe for concurrent use by multiple
 // goroutines, provided the underlying specification is not mutated while
-// queries run. Every decision method is a pure read — the solver clones
-// its propagated base state per query (see osolve.Solver), and the
-// extension-space procedures (CurrencyPreserving*, BoundedCopying*,
-// MaximalExtension) clone the specification before applying extension
-// atoms. The one mutating entry point is the package-level ApplyAtom,
-// which callers must not invoke on a specification shared with live
-// readers — clone first (ApplyExtension does).
+// queries run. Every decision method is a pure read — the solver works on
+// private scoped clones of its propagated base state per query (see
+// osolve.Solver), and the extension-space procedures
+// (CurrencyPreserving*, BoundedCopying*, MaximalExtension) clone the
+// specification before applying extension atoms. The one mutating entry
+// point is the package-level ApplyAtom, which callers must not invoke on
+// a specification shared with live readers — clone first (ApplyExtension
+// does).
+//
+// The solver is the decomposed engine of internal/osolve: it partitions
+// the specification into independent components and memoizes their base
+// verdicts, so on a long-lived Reasoner (the currencyd cache) repeated
+// ordering queries (CertainOrder, Deterministic) search only the
+// component each queried pair lives in.
 type Reasoner struct {
 	Spec   *spec.Spec
 	Solver *osolve.Solver
 
-	// consistentOnce memoizes Consistent: CPS is a fixed property of the
-	// (immutable) specification, asked by nearly every decision method,
-	// and a full solver search each time — long-lived reasoners (the
-	// currencyd cache) would otherwise re-pay it per request.
+	// consistentOnce memoizes Consistent at the Reasoner level. The
+	// engine already memoizes per-component verdicts; this keeps even the
+	// O(#components) memo sweep off the hot path, since CPS is asked by
+	// nearly every decision method.
 	consistentOnce sync.Once
 	consistent     bool
 }

@@ -16,6 +16,59 @@ func solverWorkload(entities int) gen.Config {
 	}
 }
 
+// monolithicSatWith reproduces the pre-decomposition solver: clone the
+// whole base state, propagate the assumptions, and run one whole-problem
+// DPLL over a global decision order (all rule-constrained pairs first,
+// then every remaining pair of every block). It is the baseline the
+// decomposed engine's benchmarks are measured against, and the oracle for
+// the scoped-vs-whole differential test.
+func monolithicSatWith(sv *Solver, assume []Lit) bool {
+	st := sv.stateWith(assume)
+	if st == nil {
+		return false
+	}
+	find := func() (Lit, bool) {
+		for _, c := range sv.comps {
+			for _, l := range c.constrained {
+				n := len(sv.blocks[l.Block].Members)
+				if st.m[l.Block][l.I*n+l.J] == unknown {
+					return l, true
+				}
+			}
+		}
+		for bi, b := range sv.blocks {
+			n := len(b.Members)
+			row := st.m[bi]
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if row[i*n+j] == unknown {
+						return Lit{Block: bi, I: i, J: j}, true
+					}
+				}
+			}
+		}
+		return Lit{}, false
+	}
+	var rec func() bool
+	rec = func() bool {
+		l, ok := find()
+		if !ok {
+			return true
+		}
+		mark := st.mark()
+		if sv.propagate(st, []Lit{l}) && rec() {
+			return true
+		}
+		sv.undoTo(st, mark)
+		if sv.propagate(st, []Lit{{Block: l.Block, I: l.J, J: l.I}}) && rec() {
+			return true
+		}
+		sv.undoTo(st, mark)
+		return false
+	}
+	return rec()
+}
+
 func BenchmarkSolverBuild(b *testing.B) {
 	for _, n := range []int{4, 16, 64} {
 		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
@@ -30,17 +83,59 @@ func BenchmarkSolverBuild(b *testing.B) {
 	}
 }
 
-func BenchmarkSolverConsistent(b *testing.B) {
-	for _, n := range []int{4, 16, 64} {
-		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
-			s := gen.Random(solverWorkload(n))
-			sv, err := New(s)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
+// BenchmarkConsistentCold measures one full consistency verdict including
+// grounding, decomposed (parallel components) vs monolithic (one
+// whole-problem search), on a fresh solver each iteration. Workloads are
+// consistent: inconsistent ones fail fast and measure nothing.
+func BenchmarkConsistentCold(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		s := consistentWorkload(n)
+		b.Run(fmt.Sprintf("decomposed/entities=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sv.SatWith(nil)
+				sv, err := New(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sv.Consistent()
+			}
+		})
+		b.Run(fmt.Sprintf("monolithic/entities=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sv, err := New(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				monolithicSatWith(sv, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkSatWithWarm is the long-lived reasoner scenario (the currencyd
+// cache): base verdicts memoized once, then repeated assumption queries.
+// The decomposed engine clones and searches one component per query; the
+// monolithic baseline clones and searches the whole problem.
+func BenchmarkSatWithWarm(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		s := consistentWorkload(n)
+		sv, err := New(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sv.Consistent() // warm the memo
+		lit, ok, err := sv.LitFor("R0", "A0", 0, 1)
+		if err != nil || !ok {
+			b.Fatalf("LitFor: %v %v", ok, err)
+		}
+		assume := []Lit{lit}
+		b.Run(fmt.Sprintf("decomposed/entities=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sv.SatWith(assume)
+			}
+		})
+		b.Run(fmt.Sprintf("monolithic/entities=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				monolithicSatWith(sv, assume)
 			}
 		})
 	}

@@ -1,0 +1,148 @@
+package osolve
+
+// Decomposition layer — the second of the engine's four layers (see the
+// package comment). Blocks are partitioned into connected components of
+// the cross-block rule graph: two blocks are connected when some ground
+// rule mentions both (in its body or head). Components share no rules, so
+// a consistent completion exists iff each component's sub-problem is
+// independently satisfiable, and a query whose assumptions fall into one
+// component never needs to search the others. This is the per-entity
+// independence that Section 6's tractable cases and downstream cleaning
+// systems exploit, applied to the exact engine.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// component is one connected component of the cross-block rule graph.
+type component struct {
+	blocks []int // block indices, ascending
+	// constrained lists the pairs of this component mentioned by any rule,
+	// in a canonical orientation. The search decides these first: once
+	// every constrained pair is oriented, all rules are settled, so
+	// decisions on the remaining (unconstrained) pairs never participate
+	// in conflicts — avoiding the exponential re-exploration that
+	// interleaving them with constrained decisions would cause under
+	// chronological backtracking.
+	constrained []Lit
+
+	// searches counts search entries on this component, for the
+	// instrumentation tests and benchmarks that prove query scoping.
+	searches atomic.Int64
+
+	// baseOnce memoizes the component's verdict against the base state:
+	// whether its sub-problem is satisfiable with no assumptions, and if
+	// so one completed orientation row per block (aligned with blocks).
+	// Long-lived solvers (the currencyd reasoner cache) answer repeated
+	// scoped queries without ever re-searching untouched components.
+	// done flips after the memo is filled, letting readers check the
+	// verdict with one atomic load instead of entering the Once.
+	baseOnce sync.Once
+	done     atomic.Bool
+	baseSat  bool
+	baseRows [][]byte
+}
+
+// buildComponents unions blocks connected by rules and distributes the
+// rule-constrained pairs to their components.
+func (sv *Solver) buildComponents() {
+	parent := make([]int, len(sv.blocks))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, ru := range sv.rules {
+		anchor := -1
+		for _, l := range ru.body {
+			if anchor < 0 {
+				anchor = l.Block
+			} else {
+				union(anchor, l.Block)
+			}
+		}
+		if !ru.headFalse && len(ru.body) > 0 {
+			union(anchor, ru.head.Block)
+		}
+	}
+
+	sv.compOf = make([]int, len(sv.blocks))
+	index := make(map[int]int)
+	for bi := range sv.blocks {
+		root := find(bi)
+		ci, ok := index[root]
+		if !ok {
+			ci = len(sv.comps)
+			index[root] = ci
+			sv.comps = append(sv.comps, &component{})
+		}
+		sv.compOf[bi] = ci
+		sv.comps[ci].blocks = append(sv.comps[ci].blocks, bi)
+	}
+
+	// Constrained pairs, canonicalized and deduplicated, in rule order
+	// within each component.
+	seen := make(map[Lit]bool)
+	addPair := func(l Lit) {
+		if l.I > l.J {
+			l.I, l.J = l.J, l.I
+		}
+		if !seen[l] {
+			seen[l] = true
+			c := sv.comps[sv.compOf[l.Block]]
+			c.constrained = append(c.constrained, l)
+		}
+	}
+	for _, ru := range sv.rules {
+		for _, l := range ru.body {
+			addPair(l)
+		}
+		if !ru.headFalse && len(ru.body) > 0 {
+			addPair(ru.head)
+		}
+	}
+	for _, ru := range sv.unitRules {
+		if !ru.headFalse {
+			addPair(ru.head)
+		}
+	}
+}
+
+// touchedComps returns the distinct components the assumption literals
+// fall into, in ascending order (assumption lists are tiny).
+func (sv *Solver) touchedComps(assume []Lit) []int {
+	var out []int
+	for _, l := range assume {
+		ci := sv.compOf[l.Block]
+		dup := false
+		for _, c := range out {
+			if c == ci {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, ci)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Components reports how many independent sub-problems the decomposition
+// layer found, for diagnostics and benchmarks.
+func (sv *Solver) Components() int { return len(sv.comps) }

@@ -1,0 +1,237 @@
+package osolve
+
+import (
+	"sync"
+	"testing"
+
+	"currency/internal/gen"
+	"currency/internal/spec"
+)
+
+// consistentWorkload returns the first CONSISTENT spec of the
+// multi-entity family, searching seeds: inconsistent specifications
+// short-circuit every decision and would make scoped-query measurements
+// trivial. Its blocks decompose into several components (entities share
+// no rules across entities).
+func consistentWorkload(entities int) *spec.Spec {
+	for seed := int64(1); ; seed++ {
+		s := gen.Random(gen.Config{
+			Seed: seed, Relations: 2, Entities: entities, TuplesPerEntity: 3,
+			Attrs: 2, Domain: 3, OrderDensity: 0.3, Constraints: 3, Copies: 1, CopyDensity: 0.5,
+		})
+		sv, err := New(s)
+		if err != nil {
+			continue
+		}
+		if sv.Consistent() {
+			return s
+		}
+	}
+}
+
+// searchCounts snapshots the per-component search-entry counters.
+func searchCounts(sv *Solver) []int64 {
+	out := make([]int64, len(sv.comps))
+	for ci, c := range sv.comps {
+		out[ci] = c.searches.Load()
+	}
+	return out
+}
+
+// TestComponentPartitionInvariants checks the decomposition layer: every
+// block is in exactly one component, and no rule spans two components.
+func TestComponentPartitionInvariants(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := gen.Random(testConfig(seed))
+		sv, err := New(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(sv.compOf) != len(sv.blocks) {
+			t.Fatalf("seed %d: compOf covers %d blocks, want %d", seed, len(sv.compOf), len(sv.blocks))
+		}
+		seen := make(map[int]int)
+		for ci, c := range sv.comps {
+			for _, bi := range c.blocks {
+				if prev, dup := seen[bi]; dup {
+					t.Fatalf("seed %d: block %d in components %d and %d", seed, bi, prev, ci)
+				}
+				seen[bi] = ci
+				if sv.compOf[bi] != ci {
+					t.Fatalf("seed %d: compOf[%d]=%d, listed under %d", seed, bi, sv.compOf[bi], ci)
+				}
+			}
+		}
+		if len(seen) != len(sv.blocks) {
+			t.Fatalf("seed %d: components cover %d blocks, want %d", seed, len(seen), len(sv.blocks))
+		}
+		for ri, ru := range sv.rules {
+			if len(ru.body) == 0 {
+				continue
+			}
+			want := sv.compOf[ru.body[0].Block]
+			for _, l := range ru.body {
+				if sv.compOf[l.Block] != want {
+					t.Fatalf("seed %d: rule %d body spans components", seed, ri)
+				}
+			}
+			if !ru.headFalse && sv.compOf[ru.head.Block] != want {
+				t.Fatalf("seed %d: rule %d head leaves its body's component", seed, ri)
+			}
+		}
+	}
+}
+
+// TestScopedQuerySearchesOneComponent is the component-scoped query
+// guarantee: once the base verdicts are memoized, SatWith/CertainPair
+// with assumptions confined to one component enter search only on that
+// component.
+func TestScopedQuerySearchesOneComponent(t *testing.T) {
+	s := consistentWorkload(6)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Components() < 2 {
+		t.Fatalf("workload decomposed into %d component(s); need ≥2 for the test", sv.Components())
+	}
+	sv.Consistent() // memoize every component's base verdict
+
+	lit, sameEntity, err := sv.LitFor("R0", "A0", 0, 1)
+	if err != nil || !sameEntity {
+		t.Fatalf("LitFor: %v %v", sameEntity, err)
+	}
+	target := sv.compOf[lit.Block]
+
+	before := searchCounts(sv)
+	// Both orientations of the pair: an orientation refuted by propagation
+	// alone never reaches search, but the component is satisfiable, so at
+	// least one orientation must be searched.
+	sv.SatWith([]Lit{lit})
+	sv.SatWith([]Lit{{Block: lit.Block, I: lit.J, J: lit.I}})
+	if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := searchCounts(sv)
+
+	for ci := range sv.comps {
+		delta := after[ci] - before[ci]
+		if ci == target {
+			if delta == 0 {
+				t.Errorf("component %d holds the assumption but was never searched", ci)
+			}
+			continue
+		}
+		if delta != 0 {
+			t.Errorf("component %d untouched by the assumption but searched %d time(s)", ci, delta)
+		}
+	}
+}
+
+// TestScopedVerdictsMatchWholeProblem cross-checks the component-scoped
+// SatWith against the whole-problem search on the same assumptions.
+func TestScopedVerdictsMatchWholeProblem(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := gen.Random(testConfig(seed))
+		sv, err := New(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, r := range s.Relations {
+			for _, g := range r.Entities() {
+				if len(g.Members) < 2 {
+					continue
+				}
+				lit, ok, err := sv.LitFor(r.Schema.Name, r.Schema.Attrs[1], g.Members[0], g.Members[1])
+				if err != nil || !ok {
+					t.Fatalf("seed %d: LitFor: %v %v", seed, ok, err)
+				}
+				for _, assume := range [][]Lit{
+					{lit},
+					{{Block: lit.Block, I: lit.J, J: lit.I}},
+				} {
+					got := sv.SatWith(assume)
+					want := monolithicSatWith(sv, assume)
+					if got != want {
+						t.Errorf("seed %d: scoped SatWith=%v, whole-problem=%v (assume %v)",
+							seed, got, want, assume)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveWithAssumptionReusesMemo checks that SolveWith under an
+// assumption returns a valid full model (touched component searched,
+// untouched components filled from the memoized base completions).
+func TestSolveWithAssumptionReusesMemo(t *testing.T) {
+	s := consistentWorkload(4)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sv.Consistent() {
+		t.Skip("workload inconsistent")
+	}
+	lit, sameEntity, err := sv.LitFor("R0", "A0", 0, 1)
+	if err != nil || !sameEntity {
+		t.Fatalf("LitFor: %v %v", sameEntity, err)
+	}
+	for _, assume := range [][]Lit{{lit}, {{Block: lit.Block, I: lit.J, J: lit.I}}} {
+		model, ok := sv.SolveWith(assume)
+		if !ok {
+			continue // that direction may be unsatisfiable
+		}
+		for _, comp := range model {
+			if err := comp.Validate(); err != nil {
+				t.Fatalf("invalid completion: %v", err)
+			}
+		}
+		if !modelSatisfiesSpec(t, s, model) {
+			t.Error("model violates the specification")
+		}
+		b := sv.blocks[assume[0].Block]
+		ranks := model[b.Key.Rel].Rank[b.Key.Attr]
+		if ranks[b.Members[assume[0].I]] >= ranks[b.Members[assume[0].J]] {
+			t.Error("model does not satisfy the assumption")
+		}
+	}
+}
+
+// TestConcurrentQueries hammers one shared solver from many goroutines —
+// the concurrent-read contract the currencyd reasoner cache depends on
+// (run under -race in CI).
+func TestConcurrentQueries(t *testing.T) {
+	s := consistentWorkload(4)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, sameEntity, err := sv.LitFor("R0", "A0", 0, 1)
+	if err != nil || !sameEntity {
+		t.Fatalf("LitFor: %v %v", sameEntity, err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					sv.Consistent()
+				case 1:
+					sv.SatWith([]Lit{lit})
+				case 2:
+					if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+						t.Error(err)
+					}
+				default:
+					sv.SolveWith(nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

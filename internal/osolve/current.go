@@ -127,7 +127,7 @@ func (sv *Solver) EnumerateCurrentDBs(limit int, rels ...string) ([]CurrentDB, b
 		}
 		if d == len(branch) {
 			mark := st.mark()
-			if sv.search(st) {
+			if sv.searchAll(st) {
 				db := project(CurrentDB(sv.modelFrom(st).CurrentDB()))
 				seen[db.Key()] = db
 				sv.undoTo(st, mark)

@@ -1,0 +1,193 @@
+package osolve
+
+// Grounding layer — the first of the engine's four layers (see the
+// package comment). It turns the specification into the solver's internal
+// vocabulary: blocks, one per (relation, attribute, entity) currency
+// order with at least two tuples; ground Horn rules over order literals,
+// instantiated from denial constraints and copy-function compatibility
+// conditions; and the per-literal watch index the propagation layer fires
+// rules from.
+
+import (
+	"fmt"
+
+	"currency/internal/dc"
+	"currency/internal/relation"
+)
+
+// BlockKey identifies a (relation, attribute, entity) group that carries a
+// currency order with at least two tuples.
+type BlockKey struct {
+	Rel  string
+	Attr int
+	EID  relation.Value
+}
+
+// Block is the solver's view of one currency order to complete.
+type Block struct {
+	Key     BlockKey
+	Members []int       // tuple indices, ascending
+	Pos     map[int]int // tuple index -> member position
+}
+
+// Lit asserts that member I precedes (is less current than) member J in
+// the given block.
+type Lit struct {
+	Block int
+	I, J  int // member positions within the block
+}
+
+// rule is a ground Horn implication over order literals: body → head, or
+// body → ⊥ when headFalse.
+type rule struct {
+	body      []Lit
+	head      Lit
+	headFalse bool
+	origin    string
+}
+
+// buildBlocks materializes one block per multi-tuple currency order.
+func (sv *Solver) buildBlocks() {
+	for _, r := range sv.Spec.Relations {
+		sv.relOf[r.Schema.Name] = r
+		for _, ai := range r.Schema.NonEIDIndexes() {
+			for _, g := range r.Entities() {
+				if len(g.Members) < 2 {
+					continue
+				}
+				key := BlockKey{Rel: r.Schema.Name, Attr: ai, EID: g.EID}
+				b := &Block{Key: key, Members: g.Members, Pos: make(map[int]int, len(g.Members))}
+				for p, ti := range g.Members {
+					b.Pos[ti] = p
+				}
+				sv.blockOf[key] = len(sv.blocks)
+				sv.blocks = append(sv.blocks, b)
+			}
+		}
+	}
+}
+
+// litFor translates a (relation, attribute index, tuple i ≺ tuple j) order
+// fact into a solver literal. It returns ok=false when the tuples belong to
+// different entities (never comparable). Same-tuple pairs are rejected.
+func (sv *Solver) litFor(rel string, attr, i, j int) (Lit, bool, error) {
+	r := sv.relOf[rel]
+	if r == nil {
+		return Lit{}, false, fmt.Errorf("osolve: unknown relation %s", rel)
+	}
+	if i == j {
+		return Lit{}, false, fmt.Errorf("osolve: reflexive literal on tuple %d of %s", i, rel)
+	}
+	if r.EID(i) != r.EID(j) {
+		return Lit{}, false, nil
+	}
+	key := BlockKey{Rel: rel, Attr: attr, EID: r.EID(i)}
+	bi, ok := sv.blockOf[key]
+	if !ok {
+		return Lit{}, false, fmt.Errorf("osolve: no block for %s.%d entity %s", rel, attr, r.EID(i))
+	}
+	b := sv.blocks[bi]
+	return Lit{Block: bi, I: b.Pos[i], J: b.Pos[j]}, true, nil
+}
+
+// groundRules instantiates denial constraints and copy-function
+// compatibility conditions into Horn rules over literals.
+func (sv *Solver) groundRules() error {
+	for _, c := range sv.Spec.Constraints {
+		r := sv.relOf[c.Relation]
+		grs, err := dc.Ground(c, r)
+		if err != nil {
+			return err
+		}
+		for _, gr := range grs {
+			ru := rule{origin: gr.Origin, headFalse: gr.HeadFalse}
+			ok := true
+			for _, b := range gr.Body {
+				lit, sameEntity, err := sv.litFor(c.Relation, b.Attr, b.I, b.J)
+				if err != nil {
+					return err
+				}
+				if !sameEntity {
+					ok = false // body atom across entities can never hold
+					break
+				}
+				ru.body = append(ru.body, lit)
+			}
+			if !ok {
+				continue
+			}
+			if !gr.HeadFalse {
+				lit, sameEntity, err := sv.litFor(c.Relation, gr.Head.Attr, gr.Head.I, gr.Head.J)
+				if err != nil {
+					return err
+				}
+				if !sameEntity {
+					// Head across entities can never be satisfied: the rule
+					// denies its body.
+					ru.headFalse = true
+				} else {
+					ru.head = lit
+				}
+			}
+			sv.rules = append(sv.rules, ru)
+		}
+	}
+	for _, cf := range sv.Spec.Copies {
+		tgt := sv.relOf[cf.Target]
+		src := sv.relOf[cf.Source]
+		crs, err := cf.CompatRules(tgt, src)
+		if err != nil {
+			return err
+		}
+		for _, cr := range crs {
+			srcLit, sameEntity, err := sv.litFor(cf.Source, cr.SAttr, cr.SI, cr.SJ)
+			if err != nil {
+				return err
+			}
+			if !sameEntity {
+				continue
+			}
+			ru := rule{origin: "compat:" + cf.Name, body: []Lit{srcLit}}
+			if cr.TI == cr.TJ {
+				ru.headFalse = true
+			} else {
+				tgtLit, sameEntity, err := sv.litFor(cf.Target, cr.TAttr, cr.TI, cr.TJ)
+				if err != nil {
+					return err
+				}
+				if !sameEntity {
+					ru.headFalse = true
+				} else {
+					ru.head = tgtLit
+				}
+			}
+			sv.rules = append(sv.rules, ru)
+		}
+	}
+	return nil
+}
+
+// indexRules splits out body-less unit rules (applied once during base
+// propagation) and builds the watched-literal index: rulesByLit[l] lists
+// the rules with l in their body. A rule can only become fully satisfied
+// at the moment one of its body literals is set, so the propagation layer
+// re-checks exactly the rules watching that literal — with the short
+// bodies DC grounding produces, watching every body literal is the
+// degenerate form of the two-watched-literal scheme, and replaces the
+// per-block scan-and-fire loop of the monolithic solver.
+func (sv *Solver) indexRules() {
+	sv.rulesByLit = make(map[Lit][]int)
+	for ri, ru := range sv.rules {
+		if len(ru.body) == 0 {
+			sv.unitRules = append(sv.unitRules, ru)
+			continue
+		}
+		seen := make(map[Lit]bool, len(ru.body))
+		for _, l := range ru.body {
+			if !seen[l] {
+				seen[l] = true
+				sv.rulesByLit[l] = append(sv.rulesByLit[l], ri)
+			}
+		}
+	}
+}

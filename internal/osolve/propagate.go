@@ -1,0 +1,194 @@
+package osolve
+
+// Propagation layer — the third of the engine's four layers (see the
+// package comment). It maintains one orientation matrix per block with a
+// trail for O(1) backtracking, and closes states under two inferences:
+// transitive closure inside a block, and Horn-rule firing across blocks.
+// Rule firing is driven by the per-literal watch index built by the
+// grounding layer: setting a pair re-checks exactly the rules watching
+// that literal, instead of scanning every rule touching the block.
+
+const (
+	unknown byte = 0
+	less    byte = 1
+	greater byte = 2
+)
+
+// state holds one orientation matrix per block: m[b][i*n+j] describes the
+// relation between member positions i and j. The trail records every pair
+// set since the state's creation, enabling O(1) backtracking by undo.
+type state struct {
+	m     [][]byte
+	trail []Lit
+}
+
+// clone copies every block row; the clone's trail starts empty.
+func (st *state) clone() *state {
+	out := &state{m: make([][]byte, len(st.m))}
+	for i, row := range st.m {
+		out.m[i] = append([]byte(nil), row...)
+	}
+	return out
+}
+
+// mark returns the current trail position for later undo.
+func (st *state) mark() int { return len(st.trail) }
+
+// scopedClone builds a state whose rows are private copies for the blocks
+// of the listed components and shared (read-only) references to the base
+// rows for every other block. Rules never cross components, so searching
+// the listed components can only ever write the private rows — a query
+// touching one component pays a clone proportional to that component, not
+// to the whole problem.
+func (sv *Solver) scopedClone(comps []int) *state {
+	m := make([][]byte, len(sv.blocks))
+	copy(m, sv.base.m)
+	for _, ci := range comps {
+		for _, bi := range sv.comps[ci].blocks {
+			m[bi] = append([]byte(nil), sv.base.m[bi]...)
+		}
+	}
+	return &state{m: m}
+}
+
+// initBase builds the base state: the given partial orders, closed under
+// transitivity and rule propagation.
+func (sv *Solver) initBase() {
+	st := &state{m: make([][]byte, len(sv.blocks))}
+	for bi, b := range sv.blocks {
+		st.m[bi] = make([]byte, len(b.Members)*len(b.Members))
+	}
+	sv.base = st
+	var queue []Lit
+	for bi, b := range sv.blocks {
+		r := sv.relOf[b.Key.Rel]
+		ps := r.Orders[b.Key.Attr]
+		if ps == nil {
+			continue
+		}
+		for _, p := range ps.Pairs() {
+			pi, iok := b.Pos[p.A]
+			pj, jok := b.Pos[p.B]
+			if !iok || !jok {
+				continue
+			}
+			queue = append(queue, Lit{Block: bi, I: pi, J: pj})
+		}
+	}
+	for _, ru := range sv.unitRules {
+		if ru.headFalse {
+			sv.baseConflict = true
+			return
+		}
+		queue = append(queue, ru.head)
+	}
+	if !sv.propagate(st, queue) {
+		sv.baseConflict = true
+	}
+}
+
+// set records lit as "less" in st, returning (changed, conflict).
+func (sv *Solver) set(st *state, l Lit) (bool, bool) {
+	n := len(sv.blocks[l.Block].Members)
+	cur := st.m[l.Block][l.I*n+l.J]
+	switch cur {
+	case less:
+		return false, false
+	case greater:
+		return false, true
+	}
+	st.m[l.Block][l.I*n+l.J] = less
+	st.m[l.Block][l.J*n+l.I] = greater
+	st.trail = append(st.trail, l)
+	return true, false
+}
+
+// undoTo reverts every pair set after the given trail mark.
+func (sv *Solver) undoTo(st *state, mark int) {
+	for i := len(st.trail) - 1; i >= mark; i-- {
+		l := st.trail[i]
+		n := len(sv.blocks[l.Block].Members)
+		st.m[l.Block][l.I*n+l.J] = unknown
+		st.m[l.Block][l.J*n+l.I] = unknown
+	}
+	st.trail = st.trail[:mark]
+}
+
+// propagate processes the queue to a fixpoint: transitive closure inside
+// blocks and Horn-rule firing via the watch index. Returns false on
+// conflict.
+func (sv *Solver) propagate(st *state, queue []Lit) bool {
+	for len(queue) > 0 {
+		l := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		changed, conflict := sv.set(st, l)
+		if conflict {
+			return false
+		}
+		if !changed {
+			continue
+		}
+		// Transitive closure: predecessors of I × successors of J.
+		b := sv.blocks[l.Block]
+		n := len(b.Members)
+		row := st.m[l.Block]
+		for p := 0; p < n; p++ {
+			if p != l.I && row[p*n+l.I] != less {
+				continue
+			}
+			for q := 0; q < n; q++ {
+				if q != l.J && row[l.J*n+q] != less {
+					continue
+				}
+				if p == q {
+					return false // cycle through the new edge
+				}
+				if row[p*n+q] != less {
+					queue = append(queue, Lit{Block: l.Block, I: p, J: q})
+				}
+			}
+		}
+		// Rule firing: only the rules watching the literal that just
+		// became true can have become fully satisfied.
+		for _, ri := range sv.rulesByLit[l] {
+			ru := &sv.rules[ri]
+			sat := true
+			for _, bl := range ru.body {
+				if bl == l {
+					continue
+				}
+				nn := len(sv.blocks[bl.Block].Members)
+				if st.m[bl.Block][bl.I*nn+bl.J] != less {
+					sat = false
+					break
+				}
+			}
+			if !sat {
+				continue
+			}
+			if ru.headFalse {
+				return false
+			}
+			nn := len(sv.blocks[ru.head.Block].Members)
+			if st.m[ru.head.Block][ru.head.I*nn+ru.head.J] != less {
+				queue = append(queue, ru.head)
+			}
+		}
+	}
+	return true
+}
+
+// stateWith returns a full clone of the base state extended with the
+// assumptions and propagated, or nil on conflict. Component-scoped
+// queries use scopedClone instead; the full clone remains for
+// whole-problem procedures (current-database enumeration).
+func (sv *Solver) stateWith(assume []Lit) *state {
+	if sv.baseConflict {
+		return nil
+	}
+	st := sv.base.clone()
+	if !sv.propagate(st, append([]Lit(nil), assume...)) {
+		return nil
+	}
+	return st
+}

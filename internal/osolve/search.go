@@ -1,0 +1,268 @@
+package osolve
+
+// Search layer — the fourth of the engine's four layers (see the package
+// comment). Each component is solved by its own DPLL search; components
+// are independent, so there is no cross-component backtracking: the
+// specification is satisfiable iff every component is, and a query whose
+// assumptions fall into k components searches exactly those k (the
+// verdicts of the rest are memoized against the base state). Cold full
+// verdicts fan the components over a bounded worker pool.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// findUnknownIn locates an unoriented pair of component ci, or ok=false
+// when the component is fully oriented. Rule-constrained pairs are
+// returned first; see component.constrained for why.
+func (sv *Solver) findUnknownIn(st *state, ci int) (Lit, bool) {
+	c := sv.comps[ci]
+	for _, l := range c.constrained {
+		n := len(sv.blocks[l.Block].Members)
+		if st.m[l.Block][l.I*n+l.J] == unknown {
+			return l, true
+		}
+	}
+	for _, bi := range c.blocks {
+		n := len(sv.blocks[bi].Members)
+		row := st.m[bi]
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if row[i*n+j] == unknown {
+					return Lit{Block: bi, I: i, J: j}, true
+				}
+			}
+		}
+	}
+	return Lit{}, false
+}
+
+// searchComp extends component ci of st in place to a full completion,
+// backtracking via the trail. On success the component's rows hold the
+// completion and searchComp returns true; on failure they are restored to
+// their entry state. The caller must hold private rows for the
+// component's blocks (scopedClone or a full clone).
+func (sv *Solver) searchComp(st *state, ci int) bool {
+	sv.comps[ci].searches.Add(1)
+	return sv.searchRec(st, ci)
+}
+
+func (sv *Solver) searchRec(st *state, ci int) bool {
+	l, ok := sv.findUnknownIn(st, ci)
+	if !ok {
+		return true
+	}
+	mark := st.mark()
+	if sv.propagate(st, []Lit{l}) && sv.searchRec(st, ci) {
+		return true
+	}
+	sv.undoTo(st, mark)
+	if sv.propagate(st, []Lit{{Block: l.Block, I: l.J, J: l.I}}) && sv.searchRec(st, ci) {
+		return true
+	}
+	sv.undoTo(st, mark)
+	return false
+}
+
+// searchAll extends st in place to a full completion of every component,
+// preserving the trail/undo contract of the whole-problem search: on
+// success st is fully oriented, on failure it is restored to its entry
+// state. Components are searched in order with no backtracking across
+// them — independence makes re-deciding an earlier component pointless.
+func (sv *Solver) searchAll(st *state) bool {
+	mark := st.mark()
+	for ci := range sv.comps {
+		if !sv.searchComp(st, ci) {
+			sv.undoTo(st, mark)
+			return false
+		}
+	}
+	return true
+}
+
+// baseComp memoizes component ci's verdict against the base state: its
+// satisfiability, and on success one completed orientation row per block
+// (aligned with comps[ci].blocks, private to the memo).
+func (sv *Solver) baseComp(ci int) (bool, [][]byte) {
+	c := sv.comps[ci]
+	c.baseOnce.Do(func() {
+		st := sv.scopedClone([]int{ci})
+		if sv.searchComp(st, ci) {
+			c.baseSat = true
+			c.baseRows = make([][]byte, len(c.blocks))
+			for k, bi := range c.blocks {
+				c.baseRows[k] = st.m[bi]
+			}
+		}
+	})
+	// Publish after Do returns: the memo writes are visible to this
+	// goroutine here, and the atomic store makes them visible to any
+	// reader that observes done.
+	c.done.Store(true)
+	return c.baseSat, c.baseRows
+}
+
+// baseSatExcept reports whether every component outside skip is
+// base-satisfiable. Memoized verdicts are read with one atomic load;
+// only components still pending their first verdict are searched, over a
+// bounded worker pool when there is more than one.
+func (sv *Solver) baseSatExcept(skip []int) bool {
+	skipped := func(ci int) bool {
+		for _, s := range skip {
+			if s == ci {
+				return true
+			}
+		}
+		return false
+	}
+	var pending []int
+	for ci, c := range sv.comps {
+		if skipped(ci) {
+			continue
+		}
+		if c.done.Load() {
+			if !c.baseSat {
+				return false
+			}
+			continue
+		}
+		pending = append(pending, ci)
+	}
+	if len(pending) == 0 {
+		return true
+	}
+	workers := sv.workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 {
+		for _, ci := range pending {
+			if sat, _ := sv.baseComp(ci); !sat {
+				return false
+			}
+		}
+		return true
+	}
+	var unsat atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range jobs {
+				if unsat.Load() {
+					continue
+				}
+				if sat, _ := sv.baseComp(ci); !sat {
+					unsat.Store(true)
+				}
+			}
+		}()
+	}
+	for _, ci := range pending {
+		jobs <- ci
+	}
+	close(jobs)
+	wg.Wait()
+	return !unsat.Load()
+}
+
+// Consistent reports whether Mod(S) is non-empty.
+func (sv *Solver) Consistent() bool {
+	if sv.baseConflict {
+		return false
+	}
+	return sv.baseSatExcept(nil)
+}
+
+// SatWith reports whether some consistent completion satisfies all the
+// assumption literals. Only the components containing assumed literals
+// are searched; the rest contribute their memoized base verdicts.
+func (sv *Solver) SatWith(assume []Lit) bool {
+	if sv.baseConflict {
+		return false
+	}
+	touched := sv.touchedComps(assume)
+	if len(touched) > 0 {
+		st := sv.scopedClone(touched)
+		if !sv.propagate(st, append([]Lit(nil), assume...)) {
+			return false
+		}
+		for _, ci := range touched {
+			if !sv.searchComp(st, ci) {
+				return false
+			}
+		}
+	}
+	return sv.baseSatExcept(touched)
+}
+
+// SolveWith returns one consistent completion (as a spec.Model) satisfying
+// the assumptions, or ok=false. Touched components are searched under the
+// assumptions; untouched components reuse their memoized base completions.
+func (sv *Solver) SolveWith(assume []Lit) (spec.Model, bool) {
+	if sv.baseConflict {
+		return nil, false
+	}
+	touched := sv.touchedComps(assume)
+	st := sv.scopedClone(touched)
+	if !sv.propagate(st, append([]Lit(nil), assume...)) {
+		return nil, false
+	}
+	for _, ci := range touched {
+		if !sv.searchComp(st, ci) {
+			return nil, false
+		}
+	}
+	if !sv.baseSatExcept(touched) {
+		return nil, false
+	}
+	inTouched := func(ci int) bool {
+		for _, t := range touched {
+			if t == ci {
+				return true
+			}
+		}
+		return false
+	}
+	for ci, c := range sv.comps {
+		if inTouched(ci) {
+			continue
+		}
+		_, rows := sv.baseComp(ci)
+		// The memo rows are immutable; sharing them into the local state
+		// is safe because modelFrom only reads.
+		for k, bi := range c.blocks {
+			st.m[bi] = rows[k]
+		}
+	}
+	return sv.modelFrom(st), true
+}
+
+// modelFrom converts a fully oriented state into completions.
+func (sv *Solver) modelFrom(st *state) spec.Model {
+	model := make(spec.Model, len(sv.Spec.Relations))
+	for _, r := range sv.Spec.Relations {
+		model[r.Schema.Name] = relation.NewCompletion(r)
+	}
+	for bi, b := range sv.blocks {
+		comp := model[b.Key.Rel]
+		n := len(b.Members)
+		row := st.m[bi]
+		for i, ti := range b.Members {
+			rank := 0
+			for j := 0; j < n; j++ {
+				if row[j*n+i] == less {
+					rank++
+				}
+			}
+			comp.Rank[b.Key.Attr][ti] = rank
+		}
+	}
+	return model
+}

@@ -1,108 +1,70 @@
 // Package osolve implements the exact solver underlying every reasoning
-// task of the paper. Consistent completions of a specification are total
-// orders per (relation, attribute, entity) block that extend the given
-// partial currency orders and satisfy (a) the ground Horn rules obtained
-// from denial constraints and (b) the ≺-compatibility rules of copy
-// functions. The solver searches over orientations of tuple pairs with
-// transitive-closure propagation inside blocks and rule firing across
-// blocks — a DPLL-style procedure matching the NP/Σp2 upper-bound
-// algorithms of Theorem 3.1.
+// task of the paper, structured as a four-layer engine:
+//
+//   - grounding (ground.go): blocks — one per (relation, attribute,
+//     entity) currency order with at least two tuples — and ground Horn
+//     rules from denial constraints and copy-function ≺-compatibility,
+//     plus the per-literal rule watch index;
+//   - decomposition (components.go): blocks are partitioned into
+//     connected components of the cross-block rule graph; components
+//     share no rules and are independent sub-problems;
+//   - propagation (propagate.go): orientation matrices with trail-based
+//     backtracking; each set pair triggers transitive closure inside its
+//     block and exactly the rules watching that literal;
+//   - search (search.go): DPLL per component with memoized base verdicts
+//     and a bounded worker pool; queries with assumptions search only the
+//     components the assumptions touch.
+//
+// Consistent completions of a specification are total orders per block
+// that extend the given partial currency orders and satisfy (a) the
+// ground Horn rules obtained from denial constraints and (b) the
+// ≺-compatibility rules of copy functions. The per-component searches are
+// DPLL-style procedures matching the NP/Σp2 upper-bound algorithms of
+// Theorem 3.1; the decomposition exploits the per-entity independence
+// that Section 6's tractable cases rely on.
 package osolve
 
 import (
 	"fmt"
+	"runtime"
 
-	"currency/internal/dc"
 	"currency/internal/relation"
 	"currency/internal/spec"
 )
 
-// BlockKey identifies a (relation, attribute, entity) group that carries a
-// currency order with at least two tuples.
-type BlockKey struct {
-	Rel  string
-	Attr int
-	EID  relation.Value
-}
-
-// Block is the solver's view of one currency order to complete.
-type Block struct {
-	Key     BlockKey
-	Members []int       // tuple indices, ascending
-	Pos     map[int]int // tuple index -> member position
-}
-
-// Lit asserts that member I precedes (is less current than) member J in
-// the given block.
-type Lit struct {
-	Block int
-	I, J  int // member positions within the block
-}
-
-// rule is a ground Horn implication over order literals: body → head, or
-// body → ⊥ when headFalse.
-type rule struct {
-	body      []Lit
-	head      Lit
-	headFalse bool
-	origin    string
-}
-
-const (
-	unknown byte = 0
-	less    byte = 1
-	greater byte = 2
-)
-
-// state holds one orientation matrix per block: m[b][i*n+j] describes the
-// relation between member positions i and j. The trail records every pair
-// set since the state's creation, enabling O(1) backtracking by undo.
-type state struct {
-	m     [][]byte
-	trail []Lit
-}
-
-func (st *state) clone() *state {
-	out := &state{m: make([][]byte, len(st.m))}
-	for i, row := range st.m {
-		out.m[i] = append([]byte(nil), row...)
-	}
-	return out
-}
-
-// mark returns the current trail position for later undo.
-func (st *state) mark() int { return len(st.trail) }
-
 // Solver answers satisfiability questions about a specification's
 // consistent completions. Build one with New; the solver is read-only with
 // respect to the specification and safe for concurrent reuse: after New,
-// the blocks, rules and propagated base state are immutable, and every
-// query (SatWith, SolveWith, EnumerateCurrentDBs, ...) works on a private
-// clone of the base state. Callers must not mutate the specification
-// while queries run.
+// the blocks, rules, components and propagated base state are immutable;
+// every query (SatWith, SolveWith, EnumerateCurrentDBs, ...) works on a
+// private scoped clone of the base state; and the per-component verdict
+// memos are synchronized. Callers must not mutate the specification while
+// queries run.
 type Solver struct {
 	Spec    *spec.Spec
 	blocks  []*Block
 	blockOf map[BlockKey]int
 	relOf   map[string]*relation.TemporalInstance
 	rules   []rule
-	// rulesByBlock[b] lists the rules whose body mentions block b.
-	rulesByBlock [][]int
-	unitRules    []rule // rules with empty bodies
-	// constrained lists the pairs mentioned by any rule, in a canonical
-	// orientation. The search decides these first: once every constrained
-	// pair is oriented, all rules are settled, so decisions on the
-	// remaining (unconstrained) pairs never participate in conflicts —
-	// avoiding the exponential re-exploration that interleaving them with
-	// constrained decisions would cause under chronological backtracking.
-	constrained  []Lit
+	// rulesByLit is the watch index: for each body literal, the rules it
+	// can complete (see indexRules).
+	rulesByLit map[Lit][]int
+	unitRules  []rule // rules with empty bodies
+	// comps/compOf are the decomposition: connected components of the
+	// cross-block rule graph, and each block's component.
+	comps  []*component
+	compOf []int
+	// workers bounds component-level parallelism for cold full verdicts.
+	workers int
+
 	base         *state
 	baseConflict bool
 }
 
 // New builds a solver for the specification. It validates the
 // specification, grounds all denial constraints and compatibility rules,
-// and performs initial propagation of the given partial orders.
+// decomposes the blocks into components, and performs initial propagation
+// of the given partial orders.
 func New(s *spec.Spec) (*Solver, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -111,78 +73,28 @@ func New(s *spec.Spec) (*Solver, error) {
 		Spec:    s,
 		blockOf: make(map[BlockKey]int),
 		relOf:   make(map[string]*relation.TemporalInstance),
+		workers: runtime.GOMAXPROCS(0),
 	}
-	for _, r := range s.Relations {
-		sv.relOf[r.Schema.Name] = r
-		for _, ai := range r.Schema.NonEIDIndexes() {
-			for _, g := range r.Entities() {
-				if len(g.Members) < 2 {
-					continue
-				}
-				key := BlockKey{Rel: r.Schema.Name, Attr: ai, EID: g.EID}
-				b := &Block{Key: key, Members: g.Members, Pos: make(map[int]int, len(g.Members))}
-				for p, ti := range g.Members {
-					b.Pos[ti] = p
-				}
-				sv.blockOf[key] = len(sv.blocks)
-				sv.blocks = append(sv.blocks, b)
-			}
-		}
-	}
-
+	sv.buildBlocks()
 	if err := sv.groundRules(); err != nil {
 		return nil, err
 	}
 	sv.indexRules()
-	sv.indexConstrainedPairs()
+	sv.buildComponents()
 	sv.initBase()
 	return sv, nil
 }
 
-// indexConstrainedPairs collects the pairs mentioned by rules for the
-// decision-order heuristic.
-func (sv *Solver) indexConstrainedPairs() {
-	seen := make(map[Lit]bool)
-	addPair := func(l Lit) {
-		if l.I > l.J {
-			l.I, l.J = l.J, l.I
-		}
-		if !seen[l] {
-			seen[l] = true
-			sv.constrained = append(sv.constrained, l)
-		}
+// SetWorkers bounds the worker pool used for cold whole-specification
+// verdicts (Consistent and the first SolveWith). n < 1 is ignored. Call
+// before the solver is shared between goroutines; the bound applies per
+// query, so callers fanning queries out over their own pool (the
+// currencyd batch path) should set it to keep the product of the two
+// pools near GOMAXPROCS.
+func (sv *Solver) SetWorkers(n int) {
+	if n >= 1 {
+		sv.workers = n
 	}
-	for _, ru := range sv.rules {
-		for _, l := range ru.body {
-			addPair(l)
-		}
-		if !ru.headFalse {
-			addPair(ru.head)
-		}
-	}
-}
-
-// litFor translates a (relation, attribute index, tuple i ≺ tuple j) order
-// fact into a solver literal. It returns ok=false when the tuples belong to
-// different entities (never comparable). Same-tuple pairs are rejected.
-func (sv *Solver) litFor(rel string, attr, i, j int) (Lit, bool, error) {
-	r := sv.relOf[rel]
-	if r == nil {
-		return Lit{}, false, fmt.Errorf("osolve: unknown relation %s", rel)
-	}
-	if i == j {
-		return Lit{}, false, fmt.Errorf("osolve: reflexive literal on tuple %d of %s", i, rel)
-	}
-	if r.EID(i) != r.EID(j) {
-		return Lit{}, false, nil
-	}
-	key := BlockKey{Rel: rel, Attr: attr, EID: r.EID(i)}
-	bi, ok := sv.blockOf[key]
-	if !ok {
-		return Lit{}, false, fmt.Errorf("osolve: no block for %s.%d entity %s", rel, attr, r.EID(i))
-	}
-	b := sv.blocks[bi]
-	return Lit{Block: bi, I: b.Pos[i], J: b.Pos[j]}, true, nil
 }
 
 // LitFor is the exported variant of litFor using an attribute name.
@@ -198,336 +110,12 @@ func (sv *Solver) LitFor(rel, attr string, i, j int) (Lit, bool, error) {
 	return sv.litFor(rel, ai, i, j)
 }
 
-// groundRules instantiates denial constraints and copy-function
-// compatibility conditions into Horn rules over literals.
-func (sv *Solver) groundRules() error {
-	for _, c := range sv.Spec.Constraints {
-		r := sv.relOf[c.Relation]
-		grs, err := dc.Ground(c, r)
-		if err != nil {
-			return err
-		}
-		for _, gr := range grs {
-			ru := rule{origin: gr.Origin, headFalse: gr.HeadFalse}
-			ok := true
-			for _, b := range gr.Body {
-				lit, sameEntity, err := sv.litFor(c.Relation, b.Attr, b.I, b.J)
-				if err != nil {
-					return err
-				}
-				if !sameEntity {
-					ok = false // body atom across entities can never hold
-					break
-				}
-				ru.body = append(ru.body, lit)
-			}
-			if !ok {
-				continue
-			}
-			if !gr.HeadFalse {
-				lit, sameEntity, err := sv.litFor(c.Relation, gr.Head.Attr, gr.Head.I, gr.Head.J)
-				if err != nil {
-					return err
-				}
-				if !sameEntity {
-					// Head across entities can never be satisfied: the rule
-					// denies its body.
-					ru.headFalse = true
-				} else {
-					ru.head = lit
-				}
-			}
-			sv.rules = append(sv.rules, ru)
-		}
-	}
-	for _, cf := range sv.Spec.Copies {
-		tgt := sv.relOf[cf.Target]
-		src := sv.relOf[cf.Source]
-		crs, err := cf.CompatRules(tgt, src)
-		if err != nil {
-			return err
-		}
-		for _, cr := range crs {
-			srcLit, sameEntity, err := sv.litFor(cf.Source, cr.SAttr, cr.SI, cr.SJ)
-			if err != nil {
-				return err
-			}
-			if !sameEntity {
-				continue
-			}
-			ru := rule{origin: "compat:" + cf.Name, body: []Lit{srcLit}}
-			if cr.TI == cr.TJ {
-				ru.headFalse = true
-			} else {
-				tgtLit, sameEntity, err := sv.litFor(cf.Target, cr.TAttr, cr.TI, cr.TJ)
-				if err != nil {
-					return err
-				}
-				if !sameEntity {
-					ru.headFalse = true
-				} else {
-					ru.head = tgtLit
-				}
-			}
-			sv.rules = append(sv.rules, ru)
-		}
-	}
-	return nil
-}
-
-func (sv *Solver) indexRules() {
-	sv.rulesByBlock = make([][]int, len(sv.blocks))
-	for ri, ru := range sv.rules {
-		if len(ru.body) == 0 {
-			sv.unitRules = append(sv.unitRules, ru)
-			continue
-		}
-		seen := make(map[int]bool, len(ru.body))
-		for _, l := range ru.body {
-			if !seen[l.Block] {
-				seen[l.Block] = true
-				sv.rulesByBlock[l.Block] = append(sv.rulesByBlock[l.Block], ri)
-			}
-		}
-	}
-}
-
-// initBase builds the base state: the given partial orders, closed under
-// transitivity and rule propagation.
-func (sv *Solver) initBase() {
-	st := &state{m: make([][]byte, len(sv.blocks))}
-	for bi, b := range sv.blocks {
-		st.m[bi] = make([]byte, len(b.Members)*len(b.Members))
-	}
-	sv.base = st
-	var queue []Lit
-	for bi, b := range sv.blocks {
-		r := sv.relOf[b.Key.Rel]
-		ps := r.Orders[b.Key.Attr]
-		if ps == nil {
-			continue
-		}
-		for _, p := range ps.Pairs() {
-			pi, iok := b.Pos[p.A]
-			pj, jok := b.Pos[p.B]
-			if !iok || !jok {
-				continue
-			}
-			queue = append(queue, Lit{Block: bi, I: pi, J: pj})
-		}
-	}
-	for _, ru := range sv.unitRules {
-		if ru.headFalse {
-			sv.baseConflict = true
-			return
-		}
-		queue = append(queue, ru.head)
-	}
-	if !sv.propagate(st, queue) {
-		sv.baseConflict = true
-	}
-}
-
-// set records lit as "less" in st, returning (changed, conflict).
-func (sv *Solver) set(st *state, l Lit) (bool, bool) {
-	n := len(sv.blocks[l.Block].Members)
-	cur := st.m[l.Block][l.I*n+l.J]
-	switch cur {
-	case less:
-		return false, false
-	case greater:
-		return false, true
-	}
-	st.m[l.Block][l.I*n+l.J] = less
-	st.m[l.Block][l.J*n+l.I] = greater
-	st.trail = append(st.trail, l)
-	return true, false
-}
-
-// undoTo reverts every pair set after the given trail mark.
-func (sv *Solver) undoTo(st *state, mark int) {
-	for i := len(st.trail) - 1; i >= mark; i-- {
-		l := st.trail[i]
-		n := len(sv.blocks[l.Block].Members)
-		st.m[l.Block][l.I*n+l.J] = unknown
-		st.m[l.Block][l.J*n+l.I] = unknown
-	}
-	st.trail = st.trail[:mark]
-}
-
-// propagate processes the queue to a fixpoint: transitive closure inside
-// blocks and Horn-rule firing. Returns false on conflict.
-func (sv *Solver) propagate(st *state, queue []Lit) bool {
-	for len(queue) > 0 {
-		l := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		changed, conflict := sv.set(st, l)
-		if conflict {
-			return false
-		}
-		if !changed {
-			continue
-		}
-		// Transitive closure: predecessors of I × successors of J.
-		b := sv.blocks[l.Block]
-		n := len(b.Members)
-		row := st.m[l.Block]
-		for p := 0; p < n; p++ {
-			if p != l.I && row[p*n+l.I] != less {
-				continue
-			}
-			for q := 0; q < n; q++ {
-				if q != l.J && row[l.J*n+q] != less {
-					continue
-				}
-				if p == q {
-					return false // cycle through the new edge
-				}
-				if row[p*n+q] != less {
-					queue = append(queue, Lit{Block: l.Block, I: p, J: q})
-				}
-			}
-		}
-		// Rule firing: any rule whose body mentions this block may have
-		// become fully satisfied.
-		for _, ri := range sv.rulesByBlock[l.Block] {
-			ru := &sv.rules[ri]
-			sat := true
-			for _, bl := range ru.body {
-				nn := len(sv.blocks[bl.Block].Members)
-				if st.m[bl.Block][bl.I*nn+bl.J] != less {
-					sat = false
-					break
-				}
-			}
-			if !sat {
-				continue
-			}
-			if ru.headFalse {
-				return false
-			}
-			nn := len(sv.blocks[ru.head.Block].Members)
-			if st.m[ru.head.Block][ru.head.I*nn+ru.head.J] != less {
-				queue = append(queue, ru.head)
-			}
-		}
-	}
-	return true
-}
-
-// findUnknown locates an unoriented pair, or ok=false if the state is a
-// full completion. Rule-constrained pairs are returned first; see
-// indexConstrainedPairs for why.
-func (sv *Solver) findUnknown(st *state) (Lit, bool) {
-	for _, l := range sv.constrained {
-		n := len(sv.blocks[l.Block].Members)
-		if st.m[l.Block][l.I*n+l.J] == unknown {
-			return l, true
-		}
-	}
-	for bi, b := range sv.blocks {
-		n := len(b.Members)
-		row := st.m[bi]
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				if row[i*n+j] == unknown {
-					return Lit{Block: bi, I: i, J: j}, true
-				}
-			}
-		}
-	}
-	return Lit{}, false
-}
-
-// search extends st in place to a full completion, backtracking via the
-// trail. On success st holds the completion and search returns true; on
-// failure st is restored to its entry state.
-func (sv *Solver) search(st *state) bool {
-	l, ok := sv.findUnknown(st)
-	if !ok {
-		return true
-	}
-	mark := st.mark()
-	if sv.propagate(st, []Lit{l}) && sv.search(st) {
-		return true
-	}
-	sv.undoTo(st, mark)
-	if sv.propagate(st, []Lit{{Block: l.Block, I: l.J, J: l.I}}) && sv.search(st) {
-		return true
-	}
-	sv.undoTo(st, mark)
-	return false
-}
-
-// stateWith returns the base state extended with the assumptions and
-// propagated, or nil on conflict.
-func (sv *Solver) stateWith(assume []Lit) *state {
-	if sv.baseConflict {
-		return nil
-	}
-	st := sv.base.clone()
-	if !sv.propagate(st, append([]Lit(nil), assume...)) {
-		return nil
-	}
-	return st
-}
-
-// Consistent reports whether Mod(S) is non-empty.
-func (sv *Solver) Consistent() bool {
-	return sv.SatWith(nil)
-}
-
-// SatWith reports whether some consistent completion satisfies all the
-// assumption literals.
-func (sv *Solver) SatWith(assume []Lit) bool {
-	st := sv.stateWith(assume)
-	if st == nil {
-		return false
-	}
-	return sv.search(st)
-}
-
-// SolveWith returns one consistent completion (as a spec.Model) satisfying
-// the assumptions, or ok=false.
-func (sv *Solver) SolveWith(assume []Lit) (spec.Model, bool) {
-	st := sv.stateWith(assume)
-	if st == nil {
-		return nil, false
-	}
-	if !sv.search(st) {
-		return nil, false
-	}
-	return sv.modelFrom(st), true
-}
-
-// modelFrom converts a fully oriented state into completions.
-func (sv *Solver) modelFrom(st *state) spec.Model {
-	model := make(spec.Model, len(sv.Spec.Relations))
-	for _, r := range sv.Spec.Relations {
-		model[r.Schema.Name] = relation.NewCompletion(r)
-	}
-	for bi, b := range sv.blocks {
-		comp := model[b.Key.Rel]
-		n := len(b.Members)
-		row := st.m[bi]
-		for i, ti := range b.Members {
-			rank := 0
-			for j := 0; j < n; j++ {
-				if row[j*n+i] == less {
-					rank++
-				}
-			}
-			comp.Rank[b.Key.Attr][ti] = rank
-		}
-	}
-	return model
-}
-
 // CertainPair reports whether tuple i ≺ tuple j on attr holds in every
 // consistent completion. Following COP's semantics, it is vacuously true
 // when the specification is inconsistent; for same-entity pairs it holds
 // iff no completion orders j before i (orders are total per entity).
-// Cross-entity pairs are never certain unless Mod(S) is empty.
+// Cross-entity pairs are never certain unless Mod(S) is empty. The
+// underlying SatWith searches only the component containing the pair.
 func (sv *Solver) CertainPair(rel, attr string, i, j int) (bool, error) {
 	l, sameEntity, err := sv.LitFor(rel, attr, i, j)
 	if err != nil {

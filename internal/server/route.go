@@ -240,10 +240,20 @@ func (s *Server) decideExact(e *Entry, req *api.DecisionRequest, q *query.Query)
 }
 
 // reasoner returns the cached grounded reasoner for the entry, grounding
-// on first use of this (id, version).
+// on first use of this (id, version). The solver's component-level
+// parallelism is bounded by the server's worker option: batch requests
+// already fan out over a pool of that size, and one knob for both keeps a
+// saturated batch from multiplying into workers² runnable goroutines.
+// (SetWorkers happens inside the singleflighted factory, before the
+// reasoner is published to any other goroutine.)
 func (s *Server) reasoner(e *Entry) (*core.Reasoner, error) {
 	return s.cache.Get(reasonerKey{id: e.ID, version: e.Version}, func() (*core.Reasoner, error) {
-		return core.NewReasoner(e.File.Spec)
+		r, err := core.NewReasoner(e.File.Spec)
+		if err != nil {
+			return nil, err
+		}
+		r.Solver.SetWorkers(s.workers)
+		return r, nil
 	})
 }
 

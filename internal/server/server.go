@@ -10,7 +10,12 @@
 // requests finish against the version they resolved, new requests ground
 // the new one. An auto-routing layer sends constraint-free specifications
 // (and SP queries, where it matters) to the Section-6 PTIME algorithms of
-// internal/tractable and everything else to the exact reasoner.
+// internal/tractable and everything else to the exact reasoner. Cached
+// reasoners run the decomposed engine of internal/osolve, so repeated
+// scoped decisions (certain-order pairs, per-relation determinism)
+// against a registered spec search only the component they touch; the
+// Workers option bounds both batch fan-out and the engine's
+// component-level parallelism.
 //
 // Endpoints:
 //

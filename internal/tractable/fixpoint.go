@@ -13,6 +13,15 @@
 //
 // These implementations are independent of the exact solver in
 // internal/osolve and are differentially tested against it.
+//
+// Routing note: the exact engine now also exploits per-entity structure —
+// it decomposes the problem into connected components of its ground-rule
+// graph and searches them independently (see internal/osolve) — but its
+// per-component search is still worst-case exponential in the component
+// size. The algorithms here remain strictly polynomial, so the server's
+// auto-routing (internal/server) keeps preferring them whenever a request
+// is in scope: no denial constraints, and an SP query for the
+// query-dependent problems.
 package tractable
 
 import (
