@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"currency"
@@ -313,15 +314,18 @@ func tableIII() {
 	}
 }
 
-// tableSolver measures the decomposed engine (PR 2) on multi-entity
-// workloads: cold whole-specification verdicts (sequential vs parallel
-// component search) and warm component-scoped ordering queries on a
-// long-lived reasoner — the currencyd cache scenario.
+// tableSolver measures the exact engine on multi-entity workloads: cold
+// grounding, cold whole-specification verdicts (sequential vs parallel
+// component search), and warm component-scoped ordering queries on a
+// long-lived reasoner — the currencyd cache scenario — including the
+// allocations each warm query pays (zero on the interned engine's steady
+// path). The emitted rows are the BENCH_solver.json schema; see the
+// README's "Benchmark trajectory" section.
 func tableSolver() {
-	header("Solver — component-decomposed engine")
+	header("Solver — interned component engine")
 	prose("cold CPS grounds and searches every component; warm COP touches one component and reads memoized verdicts for the rest\n")
-	prose("%-10s %-12s %-14s %-16s %-16s %-16s\n",
-		"entities", "components", "cold (1 wkr)", "cold (par)", "warm COP/query", "queries/verdict")
+	prose("%-10s %-12s %-14s %-14s %-16s %-16s %-12s\n",
+		"entities", "components", "cold ground", "cold (1 wkr)", "cold (par)", "warm COP/query", "allocs/query")
 	const queries = 200
 	for _, n := range []int{4, 16, 64} {
 		s := hardWorkload(n)
@@ -331,6 +335,11 @@ func tableSolver() {
 		}
 		components := probe.Solver.Components()
 
+		coldGround := timed(func() {
+			if _, err := core.NewReasoner(s); err != nil {
+				log.Fatal(err)
+			}
+		})
 		coldSeq := timed(func() {
 			r, err := core.NewReasoner(s)
 			if err != nil {
@@ -355,22 +364,34 @@ func tableSolver() {
 		}
 		warm.Consistent()
 		req := []core.OrderRequirement{{Rel: "R0", Attr: "A0", I: 0, J: 1}}
-		perQuery := timed(func() {
+		runWarm := func() {
 			for q := 0; q < queries; q++ {
 				req[0].I, req[0].J = q%3, (q+1)%3
 				if _, err := warm.CertainOrder(req); err != nil {
 					log.Fatal(err)
 				}
 			}
-		}) / queries
+		}
+		runWarm() // prime the solver's state pool before measuring
+		perQuery := timed(runWarm) / queries
+
+		// Steady-path allocation count per warm query, measured over one
+		// un-timed pass (Mallocs delta, not bytes — object count is what
+		// GC pressure scales with).
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		runWarm()
+		runtime.ReadMemStats(&after)
+		warmAllocs := float64(after.Mallocs-before.Mallocs) / queries
 
 		emit(map[string]any{
-			"table": "solver", "experiment": "decomposed-engine",
+			"table": "solver", "experiment": "interned-engine",
 			"entities": n, "components": components, "warm_queries": queries,
-			"cold_seq_ns": coldSeq.Nanoseconds(), "cold_par_ns": coldPar.Nanoseconds(),
-			"warm_cop_ns": perQuery.Nanoseconds(),
-		}, "%-10d %-12d %-14v %-16v %-16v %-16d\n",
-			n, components, coldSeq, coldPar, perQuery, queries)
+			"cold_ground_ns": coldGround.Nanoseconds(),
+			"cold_seq_ns":    coldSeq.Nanoseconds(), "cold_par_ns": coldPar.Nanoseconds(),
+			"warm_cop_ns": perQuery.Nanoseconds(), "warm_allocs": warmAllocs,
+		}, "%-10d %-12d %-14v %-14v %-16v %-16v %-12.2f\n",
+			n, components, coldGround, coldSeq, coldPar, perQuery, warmAllocs)
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	currencyd [-addr :8411] [-cache 64] [-workers N] [spec.cd ...]
+//	currencyd [-addr :8411] [-cache 64] [-workers N] [-pprof :6060] [spec.cd ...]
 //
 // Positional arguments are specification files preloaded into the
 // registry under their basename.
@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -42,7 +43,26 @@ func main() {
 	addr := flag.String("addr", ":8411", "listen address")
 	cacheSize := flag.Int("cache", server.DefaultCacheSize, "reasoner cache capacity (0 disables caching)")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	// Production profiling: pprof lives on its own listener (never the
+	// service address), off by default, and only ever bound when asked.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			ps := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := ps.ListenAndServe(); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	size := *cacheSize
 	if size == 0 {

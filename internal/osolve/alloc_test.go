@@ -1,0 +1,69 @@
+package osolve
+
+import (
+	"testing"
+)
+
+// TestWarmSatWithAllocationFree pins the steady-path allocation count of
+// component-scoped queries on a warm solver (the currencyd cached-
+// reasoner scenario) to zero: once the per-component base verdicts are
+// memoized and the state pool is primed, SatWith must run entirely on
+// pooled arenas and stack-backed scratch. A regression here silently
+// reintroduces GC pressure on the serving hot path, so this is a test,
+// not just a benchmark.
+func TestWarmSatWithAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race makes sync.Pool drop items; allocation pins don't hold")
+	}
+	s := consistentWorkload(8)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent() // memoize every component's base verdict
+	lit, ok, err := sv.LitFor("R0", "A0", 0, 1)
+	if err != nil || !ok {
+		t.Fatalf("LitFor: %v %v", ok, err)
+	}
+	assume := []Lit{lit}
+	inverse := []Lit{{Block: lit.Block, I: lit.J, J: lit.I}}
+	sv.SatWith(assume) // prime the state pool
+	sv.SatWith(inverse)
+
+	if avg := testing.AllocsPerRun(200, func() {
+		sv.SatWith(assume)
+	}); avg != 0 {
+		t.Errorf("warm SatWith allocates %.1f objects/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		sv.SatWith(inverse)
+	}); avg != 0 {
+		t.Errorf("warm SatWith (inverse) allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestWarmCertainPairAllocationFree extends the pin to the public COP
+// primitive: the name/attribute → literal-ID boundary translation (map
+// probes, slice-indexed Block.Pos) must not allocate either, so a warm
+// CertainOrder through core.Reasoner costs zero allocations per pair.
+func TestWarmCertainPairAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race makes sync.Pool drop items; allocation pins don't hold")
+	}
+	s := consistentWorkload(8)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent()
+	if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm CertainPair allocates %.1f objects/op, want 0", avg)
+	}
+}

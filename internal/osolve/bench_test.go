@@ -27,40 +27,41 @@ func monolithicSatWith(sv *Solver, assume []Lit) bool {
 	if st == nil {
 		return false
 	}
-	find := func() (Lit, bool) {
+	defer sv.putState(st)
+	find := func() (int32, bool) {
 		for _, c := range sv.comps {
-			for _, l := range c.constrained {
-				n := len(sv.blocks[l.Block].Members)
-				if st.m[l.Block][l.I*n+l.J] == unknown {
-					return l, true
+			for _, id := range c.constrained {
+				if st.a[id] == unknown {
+					return id, true
 				}
 			}
 		}
-		for bi, b := range sv.blocks {
-			n := len(b.Members)
-			row := st.m[bi]
-			for i := 0; i < n; i++ {
+		for bi := range sv.blocks {
+			off, n := sv.litOff[bi], sv.blockN[bi]
+			for i := int32(0); i < n; i++ {
 				for j := i + 1; j < n; j++ {
-					if row[i*n+j] == unknown {
-						return Lit{Block: bi, I: i, J: j}, true
+					if st.a[off+i*n+j] == unknown {
+						return off + i*n + j, true
 					}
 				}
 			}
 		}
-		return Lit{}, false
+		return 0, false
 	}
 	var rec func() bool
 	rec = func() bool {
-		l, ok := find()
+		id, ok := find()
 		if !ok {
 			return true
 		}
 		mark := st.mark()
-		if sv.propagate(st, []Lit{l}) && rec() {
+		st.q = append(st.q[:0], id)
+		if sv.propagate(st) && rec() {
 			return true
 		}
 		sv.undoTo(st, mark)
-		if sv.propagate(st, []Lit{{Block: l.Block, I: l.J, J: l.I}}) && rec() {
+		st.q = append(st.q[:0], sv.litInv[id])
+		if sv.propagate(st) && rec() {
 			return true
 		}
 		sv.undoTo(st, mark)
@@ -129,6 +130,7 @@ func BenchmarkSatWithWarm(b *testing.B) {
 		}
 		assume := []Lit{lit}
 		b.Run(fmt.Sprintf("decomposed/entities=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sv.SatWith(assume)
 			}

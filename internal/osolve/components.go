@@ -11,7 +11,6 @@ package osolve
 // systems exploit, applied to the exact engine.
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -19,14 +18,14 @@ import (
 // component is one connected component of the cross-block rule graph.
 type component struct {
 	blocks []int // block indices, ascending
-	// constrained lists the pairs of this component mentioned by any rule,
-	// in a canonical orientation. The search decides these first: once
-	// every constrained pair is oriented, all rules are settled, so
-	// decisions on the remaining (unconstrained) pairs never participate
-	// in conflicts — avoiding the exponential re-exploration that
-	// interleaving them with constrained decisions would cause under
-	// chronological backtracking.
-	constrained []Lit
+	// constrained lists the literal IDs of this component's pairs
+	// mentioned by any rule, in a canonical orientation (I < J). The
+	// search decides these first: once every constrained pair is
+	// oriented, all rules are settled, so decisions on the remaining
+	// (unconstrained) pairs never participate in conflicts — avoiding the
+	// exponential re-exploration that interleaving them with constrained
+	// decisions would cause under chronological backtracking.
+	constrained []int32
 
 	// searches counts search entries on this component, for the
 	// instrumentation tests and benchmarks that prove query scoping.
@@ -34,11 +33,13 @@ type component struct {
 
 	// baseOnce memoizes the component's verdict against the base state:
 	// whether its sub-problem is satisfiable with no assumptions, and if
-	// so one completed orientation row per block (aligned with blocks).
-	// Long-lived solvers (the currencyd reasoner cache) answer repeated
-	// scoped queries without ever re-searching untouched components.
-	// done flips after the memo is filled, letting readers check the
-	// verdict with one atomic load instead of entering the Once.
+	// so one completed orientation span per block (aligned with blocks,
+	// private copies — the search state they came from goes back to the
+	// pool). Long-lived solvers (the currencyd reasoner cache) answer
+	// repeated scoped queries without ever re-searching untouched
+	// components. done flips after the memo is filled, letting readers
+	// check the verdict with one atomic load instead of entering the
+	// Once.
 	baseOnce sync.Once
 	done     atomic.Bool
 	baseSat  bool
@@ -66,17 +67,18 @@ func (sv *Solver) buildComponents() {
 			parent[ra] = rb
 		}
 	}
-	for _, ru := range sv.rules {
+	for ri := int32(0); ri < int32(sv.ruleCount()); ri++ {
 		anchor := -1
-		for _, l := range ru.body {
+		for _, id := range sv.ruleBodyOf(ri) {
+			bi := int(sv.litBlk[id])
 			if anchor < 0 {
-				anchor = l.Block
+				anchor = bi
 			} else {
-				union(anchor, l.Block)
+				union(anchor, bi)
 			}
 		}
-		if !ru.headFalse && len(ru.body) > 0 {
-			union(anchor, ru.head.Block)
+		if h := sv.ruleHead[ri]; h != headNone {
+			union(anchor, int(sv.litBlk[h]))
 		}
 	}
 
@@ -95,52 +97,60 @@ func (sv *Solver) buildComponents() {
 	}
 
 	// Constrained pairs, canonicalized and deduplicated, in rule order
-	// within each component.
-	seen := make(map[Lit]bool)
-	addPair := func(l Lit) {
-		if l.I > l.J {
-			l.I, l.J = l.J, l.I
+	// within each component. The canonical orientation of a pair is the
+	// smaller of the two IDs encoding it (i*n+j < j*n+i iff i < j).
+	seen := make([]bool, sv.numLits)
+	addPair := func(id int32) {
+		if inv := sv.litInv[id]; inv < id {
+			id = inv
 		}
-		if !seen[l] {
-			seen[l] = true
-			c := sv.comps[sv.compOf[l.Block]]
-			c.constrained = append(c.constrained, l)
-		}
-	}
-	for _, ru := range sv.rules {
-		for _, l := range ru.body {
-			addPair(l)
-		}
-		if !ru.headFalse && len(ru.body) > 0 {
-			addPair(ru.head)
+		if !seen[id] {
+			seen[id] = true
+			c := sv.comps[sv.compOf[sv.litBlk[id]]]
+			c.constrained = append(c.constrained, id)
 		}
 	}
-	for _, ru := range sv.unitRules {
-		if !ru.headFalse {
-			addPair(ru.head)
+	for ri := int32(0); ri < int32(sv.ruleCount()); ri++ {
+		for _, id := range sv.ruleBodyOf(ri) {
+			addPair(id)
 		}
+		if h := sv.ruleHead[ri]; h != headNone {
+			addPair(h)
+		}
+	}
+	for _, h := range sv.unitHeads {
+		addPair(h)
 	}
 }
 
-// touchedComps returns the distinct components the assumption literals
-// fall into, in ascending order (assumption lists are tiny).
-func (sv *Solver) touchedComps(assume []Lit) []int {
-	var out []int
+// touchedCompsInto appends the distinct components the assumption
+// literals fall into to buf, keeping ascending order (assumption lists
+// are tiny, so insertion into the sorted prefix beats sorting). Callers
+// pass a stack-backed buffer so the warm query path performs no
+// allocation.
+func (sv *Solver) touchedCompsInto(buf []int, assume []Lit) []int {
 	for _, l := range assume {
 		ci := sv.compOf[l.Block]
+		pos := len(buf)
 		dup := false
-		for _, c := range out {
+		for k, c := range buf {
 			if c == ci {
 				dup = true
 				break
 			}
+			if c > ci {
+				pos = k
+				break
+			}
 		}
-		if !dup {
-			out = append(out, ci)
+		if dup {
+			continue
 		}
+		buf = append(buf, 0)
+		copy(buf[pos+1:], buf[pos:])
+		buf[pos] = ci
 	}
-	sort.Ints(out)
-	return out
+	return buf
 }
 
 // Components reports how many independent sub-problems the decomposition

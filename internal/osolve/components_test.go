@@ -65,17 +65,15 @@ func TestComponentPartitionInvariants(t *testing.T) {
 		if len(seen) != len(sv.blocks) {
 			t.Fatalf("seed %d: components cover %d blocks, want %d", seed, len(seen), len(sv.blocks))
 		}
-		for ri, ru := range sv.rules {
-			if len(ru.body) == 0 {
-				continue
-			}
-			want := sv.compOf[ru.body[0].Block]
-			for _, l := range ru.body {
-				if sv.compOf[l.Block] != want {
+		for ri := int32(0); ri < int32(sv.ruleCount()); ri++ {
+			body := sv.ruleBodyOf(ri)
+			want := sv.compOf[sv.litBlk[body[0]]]
+			for _, id := range body {
+				if sv.compOf[sv.litBlk[id]] != want {
 					t.Fatalf("seed %d: rule %d body spans components", seed, ri)
 				}
 			}
-			if !ru.headFalse && sv.compOf[ru.head.Block] != want {
+			if h := sv.ruleHead[ri]; h != headNone && sv.compOf[sv.litBlk[h]] != want {
 				t.Fatalf("seed %d: rule %d head leaves its body's component", seed, ri)
 			}
 		}

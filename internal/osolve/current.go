@@ -39,6 +39,18 @@ func (sv *Solver) maxAssumptions(bi, m int) []Lit {
 	return out
 }
 
+// pushMaxAssumptions seeds st.q with the literal IDs forcing member
+// position m to be the greatest element of block bi — the ID-level
+// equivalent of maxAssumptions for in-place enumeration.
+func (sv *Solver) pushMaxAssumptions(st *state, bi, m int) {
+	off, n := sv.litOff[bi], sv.blockN[bi]
+	for p := int32(0); p < n; p++ {
+		if p != int32(m) {
+			st.q = append(st.q, off+p*n+int32(m))
+		}
+	}
+}
+
 // PossibleMaxTuples returns the tuple indices that are the most current
 // tuple of block bi in at least one consistent completion.
 func (sv *Solver) PossibleMaxTuples(bi int) []int {
@@ -73,6 +85,7 @@ func (sv *Solver) EnumerateCurrentDBs(limit int, rels ...string) ([]CurrentDB, b
 	if st0 == nil {
 		return nil, true
 	}
+	defer sv.putState(st0)
 	include := func(rel string) bool { return true }
 	if len(rels) > 0 {
 		set := make(map[string]bool, len(rels))
@@ -135,18 +148,16 @@ func (sv *Solver) EnumerateCurrentDBs(limit int, rels ...string) ([]CurrentDB, b
 			return true
 		}
 		bi := branch[d]
-		b := sv.blocks[bi]
-		n := len(b.Members)
-		row := st.m[bi]
+		off, n := sv.litOff[bi], sv.blockN[bi]
 		// Members carrying the same attribute value yield identical
 		// current values, but feasibility can differ per member, so every
 		// member is tried; deduplication happens on the final key.
-		for m := 0; m < n; m++ {
+		for m := int32(0); m < n; m++ {
 			// Skip members already known to be dominated: if some p has
 			// m ≺ p, m cannot be the maximum.
 			dominated := false
-			for p := 0; p < n; p++ {
-				if p != m && row[m*n+p] == less {
+			for p := int32(0); p < n; p++ {
+				if p != m && st.a[off+m*n+p] == less {
 					dominated = true
 					break
 				}
@@ -155,7 +166,8 @@ func (sv *Solver) EnumerateCurrentDBs(limit int, rels ...string) ([]CurrentDB, b
 				continue
 			}
 			mark := st.mark()
-			if !sv.propagate(st, sv.maxAssumptions(bi, m)) {
+			sv.pushMaxAssumptions(st, bi, int(m))
+			if !sv.propagate(st) {
 				sv.undoTo(st, mark)
 				continue
 			}

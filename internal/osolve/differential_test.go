@@ -5,6 +5,7 @@ import (
 
 	"currency/internal/gen"
 	"currency/internal/parse"
+	"currency/internal/spec"
 )
 
 // tinyConfig yields specs small enough for brute-force enumeration of all
@@ -26,11 +27,42 @@ func tinyConfig(seed int64) gen.Config {
 	return cfg
 }
 
+// modelInBruteSet reports whether the engine's model is one of the
+// brute-force models: every same-entity pair of every attribute must
+// order identically in some enumerated completion.
+func modelInBruteSet(s *spec.Spec, models []spec.Model, got spec.Model) bool {
+	matches := func(want spec.Model) bool {
+		for _, r := range s.Relations {
+			name := r.Schema.Name
+			for _, ai := range r.Schema.NonEIDIndexes() {
+				for _, g := range r.Entities() {
+					for x := 0; x < len(g.Members); x++ {
+						for y := x + 1; y < len(g.Members); y++ {
+							i, j := g.Members[x], g.Members[y]
+							if got[name].Less(ai, i, j) != want[name].Less(ai, i, j) {
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	for _, want := range models {
+		if matches(want) {
+			return true
+		}
+	}
+	return false
+}
+
 // TestRandomSourceDifferential round-trips tiny random specs through the
 // textual wire format (gen.RandomSource → parse.ParseFile — the exact
-// bytes a currencyd client would POST) and checks the decomposed engine
+// bytes a currencyd client would POST) and checks the interned engine
 // against brute-force enumeration of all completions: the consistency
-// verdict and every same-entity certain pair must agree.
+// verdict, every same-entity certain pair, and the models SolveWith
+// returns (with and without assumptions) must agree.
 func TestRandomSourceDifferential(t *testing.T) {
 	for seed := int64(0); seed < 40; seed++ {
 		src := gen.RandomSource(tinyConfig(seed))
@@ -76,6 +108,40 @@ func TestRandomSourceDifferential(t *testing.T) {
 							}
 						}
 					}
+				}
+			}
+		}
+
+		// SolveWith must return a model exactly when Mod(S) is non-empty,
+		// and the model must be one of the brute-force completions — not
+		// merely constraint-satisfying (that would miss base-order bugs).
+		model, ok := sv.SolveWith(nil)
+		if ok != (len(models) > 0) {
+			t.Errorf("seed %d: SolveWith(nil) ok=%v, brute |Mod|=%d", seed, ok, len(models))
+		}
+		if ok && !modelInBruteSet(s, models, model) {
+			t.Errorf("seed %d: SolveWith(nil) model is not a brute-force completion", seed)
+		}
+		// Under each orientation of the first pair of every block: the
+		// assumption must be honored and the model must still come from
+		// Mod(S) (untouched components are filled from the memo, so this
+		// exercises the memo-row copy path too).
+		for bi := range sv.Blocks() {
+			for _, assume := range [][]Lit{
+				{{Block: bi, I: 0, J: 1}},
+				{{Block: bi, I: 1, J: 0}},
+			} {
+				model, ok := sv.SolveWith(assume)
+				if !ok {
+					continue // that orientation may be unsatisfiable
+				}
+				b := sv.Blocks()[bi]
+				i, j := b.Members[assume[0].I], b.Members[assume[0].J]
+				if !model[b.Key.Rel].Less(b.Key.Attr, i, j) {
+					t.Errorf("seed %d: SolveWith model violates its assumption on block %d", seed, bi)
+				}
+				if !modelInBruteSet(s, models, model) {
+					t.Errorf("seed %d: SolveWith(assume) model is not a brute-force completion", seed)
 				}
 			}
 		}

@@ -3,13 +3,17 @@ package osolve
 // Grounding layer — the first of the engine's four layers (see the
 // package comment). It turns the specification into the solver's internal
 // vocabulary: blocks, one per (relation, attribute, entity) currency
-// order with at least two tuples; ground Horn rules over order literals,
-// instantiated from denial constraints and copy-function compatibility
-// conditions; and the per-literal watch index the propagation layer fires
-// rules from.
+// order with at least two tuples; a dense literal-ID space interning
+// every ordered member pair of every block; ground Horn rules over those
+// literal IDs, instantiated from denial constraints and copy-function
+// compatibility conditions, stored in CSR form (one flat body arena plus
+// start offsets); and the CSR watch index the propagation layer fires
+// rules from. After grounding, the hot path never touches a map or a
+// per-rule slice header: every probe is an index into a flat array.
 
 import (
 	"fmt"
+	"math"
 
 	"currency/internal/dc"
 	"currency/internal/relation"
@@ -26,45 +30,96 @@ type BlockKey struct {
 // Block is the solver's view of one currency order to complete.
 type Block struct {
 	Key     BlockKey
-	Members []int       // tuple indices, ascending
-	Pos     map[int]int // tuple index -> member position
+	Members []int // tuple indices, ascending
+	// Pos maps tuple index -> member position, indexed by tuple index
+	// (dense over the relation's tuples; -1 for singleton-entity
+	// tuples). A slice instead of a map keeps the translation boundary
+	// O(1) with no hashing. Entity groups are attribute-independent, so
+	// all blocks of one relation share a single table — total Pos memory
+	// is O(tuples) per relation, not O(blocks × tuples).
+	Pos []int
 }
 
 // Lit asserts that member I precedes (is less current than) member J in
-// the given block.
+// the given block. It is the engine's public literal form; internally
+// every (Block, I, J) triple is interned into a dense int32 ID (see
+// litID) and all hot-path structures are indexed by that ID.
 type Lit struct {
 	Block int
 	I, J  int // member positions within the block
 }
 
-// rule is a ground Horn implication over order literals: body → head, or
-// body → ⊥ when headFalse.
-type rule struct {
-	body      []Lit
-	head      Lit
-	headFalse bool
-	origin    string
-}
-
-// buildBlocks materializes one block per multi-tuple currency order.
-func (sv *Solver) buildBlocks() {
+// buildBlocks materializes one block per multi-tuple currency order and
+// assigns the literal-ID space: block bi owns the contiguous ID range
+// [litOff[bi], litOff[bi]+n*n) with ID litOff[bi]+i*n+j meaning "member i
+// precedes member j" (diagonal IDs are unused padding — the waste is n
+// bytes per block and buys a divide-free encode/decode). The per-literal
+// decode tables (litBlk, litInv) are filled alongside. It errors when the
+// literal space would overflow the int32 ID type.
+func (sv *Solver) buildBlocks() error {
 	for _, r := range sv.Spec.Relations {
 		sv.relOf[r.Schema.Name] = r
+		groups := r.Entities()
+		// One position table per relation, shared by every block of the
+		// relation: entity grouping doesn't depend on the attribute.
+		pos := make([]int, len(r.Tuples))
+		for i := range pos {
+			pos[i] = -1
+		}
+		for _, g := range groups {
+			if len(g.Members) < 2 {
+				continue
+			}
+			for p, ti := range g.Members {
+				pos[ti] = p
+			}
+		}
 		for _, ai := range r.Schema.NonEIDIndexes() {
-			for _, g := range r.Entities() {
+			for _, g := range groups {
 				if len(g.Members) < 2 {
 					continue
 				}
 				key := BlockKey{Rel: r.Schema.Name, Attr: ai, EID: g.EID}
-				b := &Block{Key: key, Members: g.Members, Pos: make(map[int]int, len(g.Members))}
-				for p, ti := range g.Members {
-					b.Pos[ti] = p
-				}
+				b := &Block{Key: key, Members: g.Members, Pos: pos}
 				sv.blockOf[key] = len(sv.blocks)
 				sv.blocks = append(sv.blocks, b)
 			}
 		}
 	}
+	sv.litOff = make([]int32, len(sv.blocks)+1)
+	sv.blockN = make([]int32, len(sv.blocks))
+	off := int64(0)
+	for bi, b := range sv.blocks {
+		n := int64(len(b.Members))
+		sv.litOff[bi] = int32(off)
+		sv.blockN[bi] = int32(n)
+		off += n * n
+		if off > math.MaxInt32 {
+			return fmt.Errorf("osolve: literal space overflows int32 (%d blocks need >%d literals)",
+				len(sv.blocks), math.MaxInt32)
+		}
+	}
+	sv.litOff[len(sv.blocks)] = int32(off)
+	sv.numLits = int(off)
+	sv.litBlk = make([]int32, sv.numLits)
+	sv.litInv = make([]int32, sv.numLits)
+	for bi := range sv.blocks {
+		base, n := sv.litOff[bi], sv.blockN[bi]
+		for i := int32(0); i < n; i++ {
+			for j := int32(0); j < n; j++ {
+				id := base + i*n + j
+				sv.litBlk[id] = int32(bi)
+				sv.litInv[id] = base + j*n + i
+			}
+		}
+	}
+	return nil
+}
+
+// litID interns a public literal into its dense ID.
+func (sv *Solver) litID(l Lit) int32 {
+	n := sv.blockN[l.Block]
+	return sv.litOff[l.Block] + int32(l.I)*n + int32(l.J)
 }
 
 // litFor translates a (relation, attribute index, tuple i ≺ tuple j) order
@@ -90,9 +145,35 @@ func (sv *Solver) litFor(rel string, attr, i, j int) (Lit, bool, error) {
 	return Lit{Block: bi, I: b.Pos[i], J: b.Pos[j]}, true, nil
 }
 
+// headNone marks a rule head of ⊥: a rule whose body becoming true is a
+// conflict. A rule's body occupies ruleBody[ruleStart[r]:ruleStart[r+1]];
+// its head is ruleHead[r].
+const headNone = int32(-1)
+
+// addRule appends one ground rule, routing body-less rules to the unit
+// tables applied once during base propagation. Rule provenance is not
+// retained: origins are recomputable from the spec, and one string per
+// ground rule is exactly the kind of per-rule baggage this layer sheds.
+func (sv *Solver) addRule(body []int32, head int32) {
+	sv.nRules++
+	if len(body) == 0 {
+		if head == headNone {
+			sv.unitConflict = true
+		} else {
+			sv.unitHeads = append(sv.unitHeads, head)
+		}
+		return
+	}
+	sv.ruleBody = append(sv.ruleBody, body...)
+	sv.ruleStart = append(sv.ruleStart, int32(len(sv.ruleBody)))
+	sv.ruleHead = append(sv.ruleHead, head)
+}
+
 // groundRules instantiates denial constraints and copy-function
-// compatibility conditions into Horn rules over literals.
+// compatibility conditions into CSR Horn rules over literal IDs.
 func (sv *Solver) groundRules() error {
+	sv.ruleStart = append(sv.ruleStart, 0)
+	var body []int32
 	for _, c := range sv.Spec.Constraints {
 		r := sv.relOf[c.Relation]
 		grs, err := dc.Ground(c, r)
@@ -100,7 +181,8 @@ func (sv *Solver) groundRules() error {
 			return err
 		}
 		for _, gr := range grs {
-			ru := rule{origin: gr.Origin, headFalse: gr.HeadFalse}
+			body = body[:0]
+			head := headNone
 			ok := true
 			for _, b := range gr.Body {
 				lit, sameEntity, err := sv.litFor(c.Relation, b.Attr, b.I, b.J)
@@ -111,7 +193,7 @@ func (sv *Solver) groundRules() error {
 					ok = false // body atom across entities can never hold
 					break
 				}
-				ru.body = append(ru.body, lit)
+				body = append(body, sv.litID(lit))
 			}
 			if !ok {
 				continue
@@ -121,15 +203,13 @@ func (sv *Solver) groundRules() error {
 				if err != nil {
 					return err
 				}
-				if !sameEntity {
-					// Head across entities can never be satisfied: the rule
-					// denies its body.
-					ru.headFalse = true
-				} else {
-					ru.head = lit
+				// A head across entities can never be satisfied: the rule
+				// denies its body (head stays headNone).
+				if sameEntity {
+					head = sv.litID(lit)
 				}
 			}
-			sv.rules = append(sv.rules, ru)
+			sv.addRule(body, head)
 		}
 	}
 	for _, cf := range sv.Spec.Copies {
@@ -147,47 +227,75 @@ func (sv *Solver) groundRules() error {
 			if !sameEntity {
 				continue
 			}
-			ru := rule{origin: "compat:" + cf.Name, body: []Lit{srcLit}}
-			if cr.TI == cr.TJ {
-				ru.headFalse = true
-			} else {
+			body = append(body[:0], sv.litID(srcLit))
+			head := headNone
+			if cr.TI != cr.TJ {
 				tgtLit, sameEntity, err := sv.litFor(cf.Target, cr.TAttr, cr.TI, cr.TJ)
 				if err != nil {
 					return err
 				}
-				if !sameEntity {
-					ru.headFalse = true
-				} else {
-					ru.head = tgtLit
+				if sameEntity {
+					head = sv.litID(tgtLit)
 				}
 			}
-			sv.rules = append(sv.rules, ru)
+			sv.addRule(body, head)
 		}
 	}
 	return nil
 }
 
-// indexRules splits out body-less unit rules (applied once during base
-// propagation) and builds the watched-literal index: rulesByLit[l] lists
-// the rules with l in their body. A rule can only become fully satisfied
-// at the moment one of its body literals is set, so the propagation layer
-// re-checks exactly the rules watching that literal — with the short
-// bodies DC grounding produces, watching every body literal is the
-// degenerate form of the two-watched-literal scheme, and replaces the
-// per-block scan-and-fire loop of the monolithic solver.
+// ruleCount reports the number of CSR (non-unit) rules.
+func (sv *Solver) ruleCount() int { return len(sv.ruleHead) }
+
+// ruleBodyOf returns rule ri's body literal IDs (a view into the arena).
+func (sv *Solver) ruleBodyOf(ri int32) []int32 {
+	return sv.ruleBody[sv.ruleStart[ri]:sv.ruleStart[ri+1]]
+}
+
+// indexRules builds the watched-literal index in CSR form: the rules
+// watching literal id are watchRules[watchStart[id]:watchStart[id+1]]. A
+// rule can only become fully satisfied at the moment one of its body
+// literals is set, so the propagation layer re-checks exactly the rules
+// watching that literal — with the short bodies DC grounding produces,
+// watching every body literal is the degenerate form of the
+// two-watched-literal scheme. Duplicate body literals within one rule are
+// watched once (bodies are tiny, so the dedup is a linear scan, not a
+// map).
 func (sv *Solver) indexRules() {
-	sv.rulesByLit = make(map[Lit][]int)
-	for ri, ru := range sv.rules {
-		if len(ru.body) == 0 {
-			sv.unitRules = append(sv.unitRules, ru)
-			continue
-		}
-		seen := make(map[Lit]bool, len(ru.body))
-		for _, l := range ru.body {
-			if !seen[l] {
-				seen[l] = true
-				sv.rulesByLit[l] = append(sv.rulesByLit[l], ri)
+	counts := make([]int32, sv.numLits+1)
+	forEachWatch := func(ri int32, f func(id int32)) {
+		body := sv.ruleBodyOf(ri)
+		for k, id := range body {
+			dup := false
+			for _, prev := range body[:k] {
+				if prev == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				f(id)
 			}
 		}
+	}
+	for ri := int32(0); ri < int32(sv.ruleCount()); ri++ {
+		forEachWatch(ri, func(id int32) { counts[id]++ })
+	}
+	sv.watchStart = make([]int32, sv.numLits+1)
+	sum := int32(0)
+	for id := 0; id <= sv.numLits; id++ {
+		sv.watchStart[id] = sum
+		if id < sv.numLits {
+			sum += counts[id]
+		}
+	}
+	sv.watchRules = make([]int32, sum)
+	fill := make([]int32, sv.numLits)
+	copy(fill, sv.watchStart[:sv.numLits])
+	for ri := int32(0); ri < int32(sv.ruleCount()); ri++ {
+		forEachWatch(ri, func(id int32) {
+			sv.watchRules[fill[id]] = ri
+			fill[id]++
+		})
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package osolve
+
+// raceEnabled mirrors race_test.go for ordinary builds.
+const raceEnabled = false

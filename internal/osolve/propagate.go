@@ -1,12 +1,15 @@
 package osolve
 
 // Propagation layer — the third of the engine's four layers (see the
-// package comment). It maintains one orientation matrix per block with a
-// trail for O(1) backtracking, and closes states under two inferences:
-// transitive closure inside a block, and Horn-rule firing across blocks.
-// Rule firing is driven by the per-literal watch index built by the
-// grounding layer: setting a pair re-checks exactly the rules watching
-// that literal, instead of scanning every rule touching the block.
+// package comment). It maintains one flat orientation arena per state
+// with a trail for O(1) backtracking, and closes states under two
+// inferences: transitive closure inside a block, and Horn-rule firing
+// across blocks. Rule firing is driven by the CSR watch index built by
+// the grounding layer: setting a pair re-checks exactly the rules
+// watching that literal. Every probe on the hot path — orientation
+// lookup, inverse literal, watched rules, rule bodies — is an index into
+// a flat array keyed by the dense literal ID; no maps, no per-block or
+// per-rule slice headers.
 
 const (
 	unknown byte = 0
@@ -14,151 +17,163 @@ const (
 	greater byte = 2
 )
 
-// state holds one orientation matrix per block: m[b][i*n+j] describes the
-// relation between member positions i and j. The trail records every pair
-// set since the state's creation, enabling O(1) backtracking by undo.
+// state is one orientation assignment: a single flat byte arena over the
+// literal-ID space (a[id] is the orientation of the pair id encodes; a
+// block's matrix is the contiguous span [litOff[bi], litOff[bi+1])). The
+// trail records every literal set since the last reset, enabling O(1)
+// backtracking by undo; q is the propagation queue, retained so steady-
+// state propagation never reallocates. States are recycled through the
+// solver's pool: a scoped state's arena holds stale bytes outside the
+// spans its query copies in, which is safe because rules never cross
+// components — a scoped search provably only reads the touched
+// components' spans.
 type state struct {
-	m     [][]byte
-	trail []Lit
+	a     []byte
+	trail []int32
+	q     []int32
 }
 
-// clone copies every block row; the clone's trail starts empty.
-func (st *state) clone() *state {
-	out := &state{m: make([][]byte, len(st.m))}
-	for i, row := range st.m {
-		out.m[i] = append([]byte(nil), row...)
-	}
-	return out
+// getState fetches a pooled state with empty trail and queue. The arena
+// contents are unspecified; callers must initialize every span they will
+// read (scopedClone, stateWith).
+func (sv *Solver) getState() *state {
+	st := sv.statePool.Get().(*state)
+	st.trail = st.trail[:0]
+	st.q = st.q[:0]
+	return st
 }
+
+// putState recycles a state for reuse by a later query.
+func (sv *Solver) putState(st *state) { sv.statePool.Put(st) }
 
 // mark returns the current trail position for later undo.
 func (st *state) mark() int { return len(st.trail) }
 
-// scopedClone builds a state whose rows are private copies for the blocks
-// of the listed components and shared (read-only) references to the base
-// rows for every other block. Rules never cross components, so searching
-// the listed components can only ever write the private rows — a query
-// touching one component pays a clone proportional to that component, not
-// to the whole problem.
+// span returns block bi's arena span bounds.
+func (sv *Solver) span(bi int) (lo, hi int32) {
+	return sv.litOff[bi], sv.litOff[bi+1]
+}
+
+// scopedClone builds a pooled state whose arena holds copies of the base
+// spans for the blocks of the listed components; every other span is left
+// stale. Rules never cross components, so searching the listed components
+// only ever reads or writes the copied spans — a query touching one
+// component pays a span copy proportional to that component, not to the
+// whole problem, and no allocation at all once the pool is warm.
 func (sv *Solver) scopedClone(comps []int) *state {
-	m := make([][]byte, len(sv.blocks))
-	copy(m, sv.base.m)
+	st := sv.getState()
 	for _, ci := range comps {
 		for _, bi := range sv.comps[ci].blocks {
-			m[bi] = append([]byte(nil), sv.base.m[bi]...)
+			lo, hi := sv.span(bi)
+			copy(st.a[lo:hi], sv.base.a[lo:hi])
 		}
 	}
-	return &state{m: m}
+	return st
 }
 
 // initBase builds the base state: the given partial orders, closed under
 // transitivity and rule propagation.
 func (sv *Solver) initBase() {
-	st := &state{m: make([][]byte, len(sv.blocks))}
-	for bi, b := range sv.blocks {
-		st.m[bi] = make([]byte, len(b.Members)*len(b.Members))
-	}
+	st := &state{a: make([]byte, sv.numLits)}
 	sv.base = st
-	var queue []Lit
+	if sv.unitConflict {
+		sv.baseConflict = true
+		return
+	}
 	for bi, b := range sv.blocks {
 		r := sv.relOf[b.Key.Rel]
 		ps := r.Orders[b.Key.Attr]
 		if ps == nil {
 			continue
 		}
+		n := sv.blockN[bi]
 		for _, p := range ps.Pairs() {
-			pi, iok := b.Pos[p.A]
-			pj, jok := b.Pos[p.B]
-			if !iok || !jok {
+			// Pos is shared across the relation's blocks (positions are
+			// within each tuple's own entity group), so a position is
+			// only meaningful here if the tuple really is one of this
+			// block's members — the order also carries other entities'
+			// pairs, which other blocks pick up.
+			pi, pj := b.Pos[p.A], b.Pos[p.B]
+			if pi < 0 || pj < 0 || int32(pi) >= n || int32(pj) >= n ||
+				b.Members[pi] != p.A || b.Members[pj] != p.B {
 				continue
 			}
-			queue = append(queue, Lit{Block: bi, I: pi, J: pj})
+			st.q = append(st.q, sv.litOff[bi]+int32(pi)*n+int32(pj))
 		}
 	}
-	for _, ru := range sv.unitRules {
-		if ru.headFalse {
-			sv.baseConflict = true
-			return
-		}
-		queue = append(queue, ru.head)
-	}
-	if !sv.propagate(st, queue) {
+	st.q = append(st.q, sv.unitHeads...)
+	if !sv.propagate(st) {
 		sv.baseConflict = true
 	}
-}
-
-// set records lit as "less" in st, returning (changed, conflict).
-func (sv *Solver) set(st *state, l Lit) (bool, bool) {
-	n := len(sv.blocks[l.Block].Members)
-	cur := st.m[l.Block][l.I*n+l.J]
-	switch cur {
-	case less:
-		return false, false
-	case greater:
-		return false, true
-	}
-	st.m[l.Block][l.I*n+l.J] = less
-	st.m[l.Block][l.J*n+l.I] = greater
-	st.trail = append(st.trail, l)
-	return true, false
+	st.trail = nil // the base is never undone; free the init trail
+	st.q = nil
 }
 
 // undoTo reverts every pair set after the given trail mark.
 func (sv *Solver) undoTo(st *state, mark int) {
-	for i := len(st.trail) - 1; i >= mark; i-- {
-		l := st.trail[i]
-		n := len(sv.blocks[l.Block].Members)
-		st.m[l.Block][l.I*n+l.J] = unknown
-		st.m[l.Block][l.J*n+l.I] = unknown
+	for k := len(st.trail) - 1; k >= mark; k-- {
+		id := st.trail[k]
+		st.a[id] = unknown
+		st.a[sv.litInv[id]] = unknown
 	}
 	st.trail = st.trail[:mark]
 }
 
-// propagate processes the queue to a fixpoint: transitive closure inside
-// blocks and Horn-rule firing via the watch index. Returns false on
-// conflict.
-func (sv *Solver) propagate(st *state, queue []Lit) bool {
-	for len(queue) > 0 {
-		l := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		changed, conflict := sv.set(st, l)
-		if conflict {
-			return false
-		}
-		if !changed {
+// propagate drains st.q to a fixpoint: transitive closure inside blocks
+// and Horn-rule firing via the watch index. Callers seed st.q with the
+// literal IDs to assert. Returns false on conflict; either way the queue
+// is empty on return, and the trail records exactly the pairs set (so a
+// failed propagation is undone by undoTo to the caller's mark).
+func (sv *Solver) propagate(st *state) bool {
+	stack := st.q
+	conflict := func() bool {
+		st.q = stack[:0]
+		return false
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		switch st.a[id] {
+		case less:
 			continue
+		case greater:
+			return conflict()
 		}
-		// Transitive closure: predecessors of I × successors of J.
-		b := sv.blocks[l.Block]
-		n := len(b.Members)
-		row := st.m[l.Block]
-		for p := 0; p < n; p++ {
-			if p != l.I && row[p*n+l.I] != less {
+		st.a[id] = less
+		st.a[sv.litInv[id]] = greater
+		st.trail = append(st.trail, id)
+
+		// Transitive closure: predecessors of I × successors of J, walked
+		// directly in the block's arena span.
+		bi := sv.litBlk[id]
+		off := sv.litOff[bi]
+		n := sv.blockN[bi]
+		rem := id - off
+		i, j := rem/n, rem%n
+		row := st.a[off : off+n*n]
+		for p := int32(0); p < n; p++ {
+			if p != i && row[p*n+i] != less {
 				continue
 			}
-			for q := 0; q < n; q++ {
-				if q != l.J && row[l.J*n+q] != less {
+			for s := int32(0); s < n; s++ {
+				if s != j && row[j*n+s] != less {
 					continue
 				}
-				if p == q {
-					return false // cycle through the new edge
+				if p == s {
+					return conflict() // cycle through the new edge
 				}
-				if row[p*n+q] != less {
-					queue = append(queue, Lit{Block: l.Block, I: p, J: q})
+				if row[p*n+s] != less {
+					stack = append(stack, off+p*n+s)
 				}
 			}
 		}
+
 		// Rule firing: only the rules watching the literal that just
 		// became true can have become fully satisfied.
-		for _, ri := range sv.rulesByLit[l] {
-			ru := &sv.rules[ri]
+		for _, ri := range sv.watchRules[sv.watchStart[id]:sv.watchStart[id+1]] {
 			sat := true
-			for _, bl := range ru.body {
-				if bl == l {
-					continue
-				}
-				nn := len(sv.blocks[bl.Block].Members)
-				if st.m[bl.Block][bl.I*nn+bl.J] != less {
+			for _, bl := range sv.ruleBody[sv.ruleStart[ri]:sv.ruleStart[ri+1]] {
+				if bl != id && st.a[bl] != less {
 					sat = false
 					break
 				}
@@ -166,28 +181,35 @@ func (sv *Solver) propagate(st *state, queue []Lit) bool {
 			if !sat {
 				continue
 			}
-			if ru.headFalse {
-				return false
+			h := sv.ruleHead[ri]
+			if h == headNone {
+				return conflict()
 			}
-			nn := len(sv.blocks[ru.head.Block].Members)
-			if st.m[ru.head.Block][ru.head.I*nn+ru.head.J] != less {
-				queue = append(queue, ru.head)
+			if st.a[h] != less {
+				stack = append(stack, h)
 			}
 		}
 	}
+	st.q = stack[:0]
 	return true
 }
 
-// stateWith returns a full clone of the base state extended with the
-// assumptions and propagated, or nil on conflict. Component-scoped
+// stateWith returns a pooled full clone of the base state extended with
+// the assumptions and propagated, or nil on conflict. Component-scoped
 // queries use scopedClone instead; the full clone remains for
-// whole-problem procedures (current-database enumeration).
+// whole-problem procedures (current-database enumeration). The caller
+// owns the state and must putState it when done.
 func (sv *Solver) stateWith(assume []Lit) *state {
 	if sv.baseConflict {
 		return nil
 	}
-	st := sv.base.clone()
-	if !sv.propagate(st, append([]Lit(nil), assume...)) {
+	st := sv.getState()
+	copy(st.a, sv.base.a)
+	for _, l := range assume {
+		st.q = append(st.q, sv.litID(l))
+	}
+	if !sv.propagate(st) {
+		sv.putState(st)
 		return nil
 	}
 	return st

@@ -1,0 +1,8 @@
+//go:build race
+
+package osolve
+
+// raceEnabled reports that this test binary was built with -race, which
+// makes sync.Pool intentionally drop items to widen the race window —
+// the allocation-count pins are meaningless there and skip themselves.
+const raceEnabled = true

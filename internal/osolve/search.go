@@ -6,7 +6,9 @@ package osolve
 // specification is satisfiable iff every component is, and a query whose
 // assumptions fall into k components searches exactly those k (the
 // verdicts of the rest are memoized against the base state). Cold full
-// verdicts fan the components over a bounded worker pool.
+// verdicts fan the components over a persistent bounded semaphore. Warm
+// scoped queries run entirely on pooled states and stack-backed scratch,
+// so a SatWith/CertainPair against a memoized solver allocates nothing.
 
 import (
 	"sync"
@@ -19,32 +21,31 @@ import (
 // findUnknownIn locates an unoriented pair of component ci, or ok=false
 // when the component is fully oriented. Rule-constrained pairs are
 // returned first; see component.constrained for why.
-func (sv *Solver) findUnknownIn(st *state, ci int) (Lit, bool) {
+func (sv *Solver) findUnknownIn(st *state, ci int) (int32, bool) {
 	c := sv.comps[ci]
-	for _, l := range c.constrained {
-		n := len(sv.blocks[l.Block].Members)
-		if st.m[l.Block][l.I*n+l.J] == unknown {
-			return l, true
+	for _, id := range c.constrained {
+		if st.a[id] == unknown {
+			return id, true
 		}
 	}
 	for _, bi := range c.blocks {
-		n := len(sv.blocks[bi].Members)
-		row := st.m[bi]
-		for i := 0; i < n; i++ {
+		off, n := sv.litOff[bi], sv.blockN[bi]
+		for i := int32(0); i < n; i++ {
+			row := st.a[off+i*n : off+(i+1)*n]
 			for j := i + 1; j < n; j++ {
-				if row[i*n+j] == unknown {
-					return Lit{Block: bi, I: i, J: j}, true
+				if row[j] == unknown {
+					return off + i*n + j, true
 				}
 			}
 		}
 	}
-	return Lit{}, false
+	return 0, false
 }
 
 // searchComp extends component ci of st in place to a full completion,
-// backtracking via the trail. On success the component's rows hold the
+// backtracking via the trail. On success the component's spans hold the
 // completion and searchComp returns true; on failure they are restored to
-// their entry state. The caller must hold private rows for the
+// their entry state. The caller must hold private spans for the
 // component's blocks (scopedClone or a full clone).
 func (sv *Solver) searchComp(st *state, ci int) bool {
 	sv.comps[ci].searches.Add(1)
@@ -52,16 +53,18 @@ func (sv *Solver) searchComp(st *state, ci int) bool {
 }
 
 func (sv *Solver) searchRec(st *state, ci int) bool {
-	l, ok := sv.findUnknownIn(st, ci)
+	id, ok := sv.findUnknownIn(st, ci)
 	if !ok {
 		return true
 	}
 	mark := st.mark()
-	if sv.propagate(st, []Lit{l}) && sv.searchRec(st, ci) {
+	st.q = append(st.q[:0], id)
+	if sv.propagate(st) && sv.searchRec(st, ci) {
 		return true
 	}
 	sv.undoTo(st, mark)
-	if sv.propagate(st, []Lit{{Block: l.Block, I: l.J, J: l.I}}) && sv.searchRec(st, ci) {
+	st.q = append(st.q[:0], sv.litInv[id])
+	if sv.propagate(st) && sv.searchRec(st, ci) {
 		return true
 	}
 	sv.undoTo(st, mark)
@@ -85,7 +88,7 @@ func (sv *Solver) searchAll(st *state) bool {
 }
 
 // baseComp memoizes component ci's verdict against the base state: its
-// satisfiability, and on success one completed orientation row per block
+// satisfiability, and on success one completed orientation span per block
 // (aligned with comps[ci].blocks, private to the memo).
 func (sv *Solver) baseComp(ci int) (bool, [][]byte) {
 	c := sv.comps[ci]
@@ -95,9 +98,11 @@ func (sv *Solver) baseComp(ci int) (bool, [][]byte) {
 			c.baseSat = true
 			c.baseRows = make([][]byte, len(c.blocks))
 			for k, bi := range c.blocks {
-				c.baseRows[k] = st.m[bi]
+				lo, hi := sv.span(bi)
+				c.baseRows[k] = append([]byte(nil), st.a[lo:hi]...)
 			}
 		}
+		sv.putState(st)
 	})
 	// Publish after Do returns: the memo writes are visible to this
 	// goroutine here, and the atomic store makes them visible to any
@@ -107,21 +112,27 @@ func (sv *Solver) baseComp(ci int) (bool, [][]byte) {
 }
 
 // baseSatExcept reports whether every component outside skip is
-// base-satisfiable. Memoized verdicts are read with one atomic load;
-// only components still pending their first verdict are searched, over a
-// bounded worker pool when there is more than one.
+// base-satisfiable. Once every component has been verified satisfiable
+// the verdict is one atomic flag load; before that, memoized verdicts are
+// read with one atomic load each, and only components still pending their
+// first verdict are searched — concurrently when there is more than one,
+// bounded by the solver's persistent semaphore (shared across queries, so
+// the engine's total parallelism stays at SetWorkers no matter how many
+// cold verdicts race).
 func (sv *Solver) baseSatExcept(skip []int) bool {
-	skipped := func(ci int) bool {
-		for _, s := range skip {
-			if s == ci {
-				return true
-			}
-		}
-		return false
+	if sv.allBaseSat.Load() {
+		return true
 	}
 	var pending []int
 	for ci, c := range sv.comps {
-		if skipped(ci) {
+		skipped := false
+		for _, s := range skip {
+			if s == ci {
+				skipped = true
+				break
+			}
+		}
+		if skipped {
 			continue
 		}
 		if c.done.Load() {
@@ -133,43 +144,69 @@ func (sv *Solver) baseSatExcept(skip []int) bool {
 		pending = append(pending, ci)
 	}
 	if len(pending) == 0 {
+		// Nothing to search: don't touch the semaphore — this is the
+		// warm scoped-query path, which must never serialize behind a
+		// cold verdict running elsewhere.
+		if len(skip) == 0 {
+			sv.allBaseSat.Store(true)
+		}
 		return true
 	}
+	// Capture the semaphore once so acquire and release always pair on
+	// the same channel even if a (contract-violating) SetWorkers swaps
+	// sv.sem mid-flight.
+	sem := sv.sem
 	workers := sv.workers
 	if workers > len(pending) {
 		workers = len(pending)
 	}
-	if workers <= 1 {
+	if workers > 1 {
+		// One strided worker per slot, each holding the persistent
+		// semaphore for its lifetime: the semaphore (not a per-call pool)
+		// is what bounds total engine parallelism when queries race.
+		var unsat atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(w int) {
+				defer func() {
+					<-sem
+					wg.Done()
+				}()
+				for idx := w; idx < len(pending); idx += workers {
+					if unsat.Load() {
+						return
+					}
+					if sat, _ := sv.baseComp(pending[idx]); !sat {
+						unsat.Store(true)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if unsat.Load() {
+			return false
+		}
+	} else {
+		// The sequential path holds a semaphore slot too: the SetWorkers
+		// bound is on the engine, so N callers racing single-component
+		// cold verdicts still run at most cap(sem) searches at once.
+		sem <- struct{}{}
 		for _, ci := range pending {
 			if sat, _ := sv.baseComp(ci); !sat {
+				<-sem
 				return false
 			}
 		}
-		return true
+		<-sem
 	}
-	var unsat atomic.Bool
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ci := range jobs {
-				if unsat.Load() {
-					continue
-				}
-				if sat, _ := sv.baseComp(ci); !sat {
-					unsat.Store(true)
-				}
-			}
-		}()
+	if len(skip) == 0 {
+		// Every component is now memoized satisfiable; later calls
+		// short-circuit on one flag load regardless of their skip list.
+		sv.allBaseSat.Store(true)
 	}
-	for _, ci := range pending {
-		jobs <- ci
-	}
-	close(jobs)
-	wg.Wait()
-	return !unsat.Load()
+	return true
 }
 
 // Consistent reports whether Mod(S) is non-empty.
@@ -182,21 +219,30 @@ func (sv *Solver) Consistent() bool {
 
 // SatWith reports whether some consistent completion satisfies all the
 // assumption literals. Only the components containing assumed literals
-// are searched; the rest contribute their memoized base verdicts.
+// are searched; the rest contribute their memoized base verdicts. On a
+// memoized solver the call is allocation-free: the touched-component set
+// lives in a stack buffer and the search state comes from the pool.
 func (sv *Solver) SatWith(assume []Lit) bool {
 	if sv.baseConflict {
 		return false
 	}
-	touched := sv.touchedComps(assume)
+	var tbuf [8]int
+	touched := sv.touchedCompsInto(tbuf[:0], assume)
 	if len(touched) > 0 {
 		st := sv.scopedClone(touched)
-		if !sv.propagate(st, append([]Lit(nil), assume...)) {
-			return false
+		for _, l := range assume {
+			st.q = append(st.q, sv.litID(l))
 		}
+		ok := sv.propagate(st)
 		for _, ci := range touched {
-			if !sv.searchComp(st, ci) {
-				return false
+			if !ok {
+				break
 			}
+			ok = sv.searchComp(st, ci)
+		}
+		sv.putState(st)
+		if !ok {
+			return false
 		}
 	}
 	return sv.baseSatExcept(touched)
@@ -204,14 +250,20 @@ func (sv *Solver) SatWith(assume []Lit) bool {
 
 // SolveWith returns one consistent completion (as a spec.Model) satisfying
 // the assumptions, or ok=false. Touched components are searched under the
-// assumptions; untouched components reuse their memoized base completions.
+// assumptions; untouched components are filled from their memoized base
+// completions.
 func (sv *Solver) SolveWith(assume []Lit) (spec.Model, bool) {
 	if sv.baseConflict {
 		return nil, false
 	}
-	touched := sv.touchedComps(assume)
+	var tbuf [8]int
+	touched := sv.touchedCompsInto(tbuf[:0], assume)
 	st := sv.scopedClone(touched)
-	if !sv.propagate(st, append([]Lit(nil), assume...)) {
+	defer sv.putState(st)
+	for _, l := range assume {
+		st.q = append(st.q, sv.litID(l))
+	}
+	if !sv.propagate(st) {
 		return nil, false
 	}
 	for _, ci := range touched {
@@ -235,10 +287,12 @@ func (sv *Solver) SolveWith(assume []Lit) (spec.Model, bool) {
 			continue
 		}
 		_, rows := sv.baseComp(ci)
-		// The memo rows are immutable; sharing them into the local state
-		// is safe because modelFrom only reads.
+		// Copy the memo spans into the local arena (the state is pooled,
+		// so sharing the memo's backing arrays is not an option — and the
+		// copy keeps the memo immutable).
 		for k, bi := range c.blocks {
-			st.m[bi] = rows[k]
+			lo, hi := sv.span(bi)
+			copy(st.a[lo:hi], rows[k])
 		}
 	}
 	return sv.modelFrom(st), true
@@ -252,12 +306,11 @@ func (sv *Solver) modelFrom(st *state) spec.Model {
 	}
 	for bi, b := range sv.blocks {
 		comp := model[b.Key.Rel]
-		n := len(b.Members)
-		row := st.m[bi]
+		off, n := sv.litOff[bi], sv.blockN[bi]
 		for i, ti := range b.Members {
 			rank := 0
-			for j := 0; j < n; j++ {
-				if row[j*n+i] == less {
+			for j := int32(0); j < n; j++ {
+				if st.a[off+j*n+int32(i)] == less {
 					rank++
 				}
 			}

@@ -2,18 +2,21 @@
 // task of the paper, structured as a four-layer engine:
 //
 //   - grounding (ground.go): blocks — one per (relation, attribute,
-//     entity) currency order with at least two tuples — and ground Horn
-//     rules from denial constraints and copy-function ≺-compatibility,
-//     plus the per-literal rule watch index;
+//     entity) currency order with at least two tuples — interned into a
+//     dense literal-ID space, and ground Horn rules from denial
+//     constraints and copy-function ≺-compatibility stored in CSR form,
+//     plus the CSR per-literal rule watch index;
 //   - decomposition (components.go): blocks are partitioned into
 //     connected components of the cross-block rule graph; components
 //     share no rules and are independent sub-problems;
-//   - propagation (propagate.go): orientation matrices with trail-based
-//     backtracking; each set pair triggers transitive closure inside its
-//     block and exactly the rules watching that literal;
+//   - propagation (propagate.go): one flat orientation arena per state
+//     with trail-based backtracking; each set pair triggers transitive
+//     closure inside its block and exactly the rules watching that
+//     literal, all via flat-array indexing on literal IDs;
 //   - search (search.go): DPLL per component with memoized base verdicts
-//     and a bounded worker pool; queries with assumptions search only the
-//     components the assumptions touch.
+//     and a persistent bounded semaphore; queries with assumptions search
+//     only the components the assumptions touch, on pooled states —
+//     allocation-free once the solver is warm.
 //
 // Consistent completions of a specification are total orders per block
 // that extend the given partial currency orders and satisfy (a) the
@@ -27,6 +30,8 @@ package osolve
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"currency/internal/relation"
 	"currency/internal/spec"
@@ -37,34 +42,69 @@ import (
 // respect to the specification and safe for concurrent reuse: after New,
 // the blocks, rules, components and propagated base state are immutable;
 // every query (SatWith, SolveWith, EnumerateCurrentDBs, ...) works on a
-// private scoped clone of the base state; and the per-component verdict
-// memos are synchronized. Callers must not mutate the specification while
-// queries run.
+// private pooled state initialized from the base arena; and the
+// per-component verdict memos are synchronized. Callers must not mutate
+// the specification while queries run.
 type Solver struct {
 	Spec    *spec.Spec
 	blocks  []*Block
 	blockOf map[BlockKey]int
 	relOf   map[string]*relation.TemporalInstance
-	rules   []rule
-	// rulesByLit is the watch index: for each body literal, the rules it
-	// can complete (see indexRules).
-	rulesByLit map[Lit][]int
-	unitRules  []rule // rules with empty bodies
+
+	// Literal interning (see buildBlocks): block bi owns the dense ID
+	// range [litOff[bi], litOff[bi+1]) with ID litOff[bi]+i*n+j meaning
+	// "member i precedes member j"; blockN caches n per block; litBlk and
+	// litInv decode an ID to its block and its inverse (j, i) literal.
+	litOff  []int32
+	blockN  []int32
+	litBlk  []int32
+	litInv  []int32
+	numLits int
+
+	// Ground rules in CSR form: rule ri's body literal IDs are
+	// ruleBody[ruleStart[ri]:ruleStart[ri+1]] (one flat arena, no
+	// per-rule slice headers); its head is ruleHead[ri], headNone for
+	// body → ⊥. Body-less rules live in unitHeads/unitConflict and are
+	// applied once during base propagation.
+	ruleBody     []int32
+	ruleStart    []int32
+	ruleHead     []int32
+	unitHeads    []int32
+	unitConflict bool
+	nRules       int // total ground rules, including unit rules
+
+	// Watch index in CSR form: the rules watching literal id are
+	// watchRules[watchStart[id]:watchStart[id+1]].
+	watchStart []int32
+	watchRules []int32
+
 	// comps/compOf are the decomposition: connected components of the
 	// cross-block rule graph, and each block's component.
 	comps  []*component
 	compOf []int
-	// workers bounds component-level parallelism for cold full verdicts.
+
+	// workers bounds component-level parallelism for cold full verdicts;
+	// sem is the persistent semaphore enforcing it across concurrent
+	// queries (no per-call goroutine pools).
 	workers int
+	sem     chan struct{}
+
+	// statePool recycles search states (arena + trail + queue) so warm
+	// scoped queries allocate nothing.
+	statePool sync.Pool
 
 	base         *state
 	baseConflict bool
+	// allBaseSat flips once every component is memoized satisfiable; from
+	// then on baseSatExcept is a single atomic load.
+	allBaseSat atomic.Bool
 }
 
 // New builds a solver for the specification. It validates the
-// specification, grounds all denial constraints and compatibility rules,
-// decomposes the blocks into components, and performs initial propagation
-// of the given partial orders.
+// specification, grounds all denial constraints and compatibility rules
+// into the interned CSR representation, decomposes the blocks into
+// components, and performs initial propagation of the given partial
+// orders.
 func New(s *spec.Spec) (*Solver, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -73,27 +113,38 @@ func New(s *spec.Spec) (*Solver, error) {
 		Spec:    s,
 		blockOf: make(map[BlockKey]int),
 		relOf:   make(map[string]*relation.TemporalInstance),
-		workers: runtime.GOMAXPROCS(0),
 	}
-	sv.buildBlocks()
+	sv.SetWorkers(runtime.GOMAXPROCS(0))
+	if err := sv.buildBlocks(); err != nil {
+		return nil, err
+	}
 	if err := sv.groundRules(); err != nil {
 		return nil, err
 	}
 	sv.indexRules()
 	sv.buildComponents()
+	sv.statePool.New = func() any {
+		return &state{
+			a:     make([]byte, sv.numLits),
+			trail: make([]int32, 0, 64),
+			q:     make([]int32, 0, 64),
+		}
+	}
 	sv.initBase()
 	return sv, nil
 }
 
-// SetWorkers bounds the worker pool used for cold whole-specification
+// SetWorkers bounds the semaphore used for cold whole-specification
 // verdicts (Consistent and the first SolveWith). n < 1 is ignored. Call
-// before the solver is shared between goroutines; the bound applies per
-// query, so callers fanning queries out over their own pool (the
-// currencyd batch path) should set it to keep the product of the two
-// pools near GOMAXPROCS.
+// before the solver is shared between goroutines; the bound applies to
+// the engine as a whole — concurrent queries share the one semaphore —
+// so callers fanning queries out over their own pool (the currencyd
+// batch path) get at most n component searches in flight regardless of
+// their fan-out.
 func (sv *Solver) SetWorkers(n int) {
 	if n >= 1 {
 		sv.workers = n
+		sv.sem = make(chan struct{}, n)
 	}
 }
 
@@ -130,6 +181,6 @@ func (sv *Solver) CertainPair(rel, attr string, i, j int) (bool, error) {
 // Blocks exposes the solver's block table (read-only).
 func (sv *Solver) Blocks() []*Block { return sv.blocks }
 
-// RuleCount reports how many ground rules the solver manages, for
-// diagnostics and benchmarks.
-func (sv *Solver) RuleCount() int { return len(sv.rules) }
+// RuleCount reports how many ground rules the solver manages (including
+// body-less unit rules), for diagnostics and benchmarks.
+func (sv *Solver) RuleCount() int { return sv.nRules }

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"currency/internal/core"
 )
@@ -41,8 +42,10 @@ type ReasonerCache struct {
 	ll    *list.List // front = most recently used; values are *cacheEntry
 	items map[reasonerKey]*list.Element
 
-	hits   uint64
-	misses uint64
+	// hits/misses are atomics so the counters never extend the critical
+	// section and the disabled-cache path stays lock-free.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // NewReasonerCache returns a cache holding at most capacity reasoners.
@@ -60,15 +63,15 @@ func NewReasonerCache(capacity int) *ReasonerCache {
 // index, never the grounding).
 func (c *ReasonerCache) Get(key reasonerKey, build func() (*core.Reasoner, error)) (*core.Reasoner, error) {
 	if c.cap <= 0 {
-		c.mu.Lock()
-		c.misses++
-		c.mu.Unlock()
+		// cap is immutable after NewReasonerCache, so the disabled mode
+		// never needs the mutex at all.
+		c.misses.Add(1)
 		return build()
 	}
 
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
-		c.hits++
+		c.hits.Add(1)
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
@@ -78,7 +81,7 @@ func (c *ReasonerCache) Get(key reasonerKey, build func() (*core.Reasoner, error
 		}
 		return e.r, nil
 	}
-	c.misses++
+	c.misses.Add(1)
 	e := &cacheEntry{key: key}
 	el := c.ll.PushFront(e)
 	c.items[key] = el
@@ -122,6 +125,7 @@ func (c *ReasonerCache) InvalidateSpec(id string) {
 // Stats returns (entries, capacity, hits, misses).
 func (c *ReasonerCache) Stats() (entries, capacity int, hits, misses uint64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len(), c.cap, c.hits, c.misses
+	entries = c.ll.Len()
+	c.mu.Unlock()
+	return entries, c.cap, c.hits.Load(), c.misses.Load()
 }
