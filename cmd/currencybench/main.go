@@ -333,7 +333,7 @@ func tableSolver() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		components := probe.Solver.Components()
+		components := probe.Engine().Components()
 
 		coldGround := timed(func() {
 			if _, err := core.NewReasoner(s); err != nil {
@@ -345,7 +345,7 @@ func tableSolver() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			r.Solver.SetWorkers(1)
+			r.Engine().SetWorkers(1)
 			r.Consistent()
 		})
 		coldPar := timed(func() {
@@ -392,6 +392,99 @@ func tableSolver() {
 			"warm_cop_ns": perQuery.Nanoseconds(), "warm_allocs": warmAllocs,
 		}, "%-10d %-12d %-14v %-14v %-16v %-16v %-12.2f\n",
 			n, components, coldGround, coldSeq, coldPar, perQuery, warmAllocs)
+	}
+}
+
+// tableIncremental measures the live-update path: applying a small delta
+// (≤5% of the tuples) to a warm reasoner via the incremental engine
+// patch (Reasoner.Patched → osolve.ApplyDelta) vs re-grounding the
+// patched specification from scratch and re-searching every component —
+// what a spec update cost before the delta pipeline. Emitted rows extend
+// BENCH_solver.json (columns: full_reground_ns, delta_apply_ns, speedup,
+// touched_comps, reused_comps, warm_allocs after the patch).
+func tableIncremental() {
+	header("Incremental — delta apply vs full re-ground")
+	prose("delta = ≤5%% tuple inserts + one order reveal against a warm reasoner\n")
+	prose("%-10s %-14s %-14s %-14s %-10s %-14s %-12s\n",
+		"entities", "delta tuples", "full reground", "delta apply", "speedup", "touched comps", "allocs/query")
+	const queries = 200
+	for _, n := range []int{16, 64} {
+		s := hardWorkload(n)
+		tuples := 0
+		for _, r := range s.Relations {
+			tuples += r.Len()
+		}
+		k := tuples * 5 / 100
+		if k < 1 {
+			k = 1
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		d := gen.RandomDelta(rng, s, gen.DeltaConfig{Inserts: k, NewEntity: 0.2, Orders: 1})
+
+		warm, err := core.NewReasoner(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		warm.Consistent()
+
+		patchedSpec, _, err := d.Apply(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fullReground := timed(func() {
+			r, err := core.NewReasoner(patchedSpec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.Consistent()
+		})
+		// The delta is µs-scale; average a small loop per timed run so a
+		// single GC pause cannot dominate the measurement.
+		const applyReps = 8
+		deltaApply := timed(func() {
+			for i := 0; i < applyReps; i++ {
+				if _, err := warm.Patched(d); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}) / applyReps
+
+		patched, err := warm.Patched(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, _ := patched.Engine().PatchStats()
+
+		// Post-patch warm query allocations, as in tableSolver.
+		req := []core.OrderRequirement{{Rel: "R0", Attr: "A0", I: 0, J: 1}}
+		runWarm := func() {
+			for q := 0; q < queries; q++ {
+				req[0].I, req[0].J = q%3, (q+1)%3
+				if _, err := patched.CertainOrder(req); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		runWarm() // prime the patched solver's state pool
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		runWarm()
+		runtime.ReadMemStats(&after)
+		warmAllocs := float64(after.Mallocs-before.Mallocs) / queries
+
+		speedup := float64(fullReground.Nanoseconds()) / float64(deltaApply.Nanoseconds())
+		emit(map[string]any{
+			"table": "incremental", "experiment": "delta-vs-reground",
+			"entities": n, "tuples": tuples, "delta_tuples": k,
+			"full_reground_ns": fullReground.Nanoseconds(),
+			"delta_apply_ns":   deltaApply.Nanoseconds(),
+			"speedup":          speedup,
+			"touched_comps":    stats.RebuiltComps, "reused_comps": stats.ReusedComps,
+			"copied_rules": stats.CopiedRules, "reground_rules": stats.RegroundRules,
+			"warm_allocs": warmAllocs,
+		}, "%-10d %-14d %-14v %-14v %-10.1f %-14s %-12.2f\n",
+			n, k, fullReground, deltaApply, speedup,
+			fmt.Sprintf("%d/%d", stats.RebuiltComps, stats.RebuiltComps+stats.ReusedComps), warmAllocs)
 	}
 }
 
@@ -469,7 +562,7 @@ func figures() {
 
 func main() {
 	log.SetFlags(0)
-	table := flag.String("table", "all", "which experiments: II, III, figures, solver, all")
+	table := flag.String("table", "all", "which experiments: II, III, figures, solver, incremental, all")
 	flag.BoolVar(&jsonMode, "json", false, "emit one JSON object per experiment row")
 	flag.Parse()
 	prose("currencybench — reproducing the evaluation of \"Determining the Currency of Data\"\n")
@@ -482,10 +575,13 @@ func main() {
 		figures()
 	case "solver":
 		tableSolver()
+	case "incremental":
+		tableIncremental()
 	default:
 		tableII()
 		tableIII()
 		figures()
 		tableSolver()
+		tableIncremental()
 	}
 }

@@ -2,7 +2,12 @@
 // specifications in the textual format of internal/parse, then query the
 // paper's decision problems against them. Grounded reasoners are cached
 // per spec version, so repeated queries skip constraint grounding; a
-// bounded worker pool serves batched decision lists.
+// bounded worker pool serves batched decision lists. Live updates arrive
+// as PATCH /specs/{id} deltas (tuple inserts/deletes, order reveals,
+// constraint and copy-function changes): the registry bumps the version
+// and the cache patches the grounded reasoner incrementally — only the
+// engine components the delta touches are re-ground and re-searched (see
+// the README's "Live updates" section for the wire format).
 //
 // Usage:
 //
@@ -17,6 +22,7 @@
 //	curl -X POST localhost:8411/specs -d '{"id":"emp","source":"relation R(eid, a)\ninstance R { t0: (\"e\", 1) t1: (\"e\", 2) order a: t0 < t1 }"}'
 //	curl -X POST localhost:8411/specs/emp/consistent
 //	curl -X POST localhost:8411/specs/emp/certain-order -d '{"orders":[{"rel":"R","attr":"a","i":"t0","j":"t1"}]}'
+//	curl -X PATCH localhost:8411/specs/emp -d '{"insertTuples":[{"rel":"R","label":"t2","values":["e",3]}],"addOrders":[{"rel":"R","attr":"a","i":"t1","j":"t2"}]}'
 package main
 
 import (

@@ -74,6 +74,10 @@ type (
 	Result = query.Result
 	// CurrentDB maps relation names to current instances.
 	CurrentDB = osolve.CurrentDB
+	// Delta is an incremental change to a specification (tuple inserts
+	// and deletes, order reveals, constraint and copy-function adds and
+	// drops), applied through Reasoner.Update.
+	Delta = spec.Delta
 	// OrderRequirement is one pair of a certain-order check.
 	OrderRequirement = core.OrderRequirement
 	// ExtensionAtom is one elementary copy-function extension.
@@ -133,8 +137,17 @@ func NewReasoner(s *Specification) (*Reasoner, error) {
 	return &Reasoner{inner: r}, nil
 }
 
-// Spec returns the underlying specification.
-func (r *Reasoner) Spec() *Specification { return r.inner.Spec }
+// Spec returns the underlying specification (the patched one after an
+// Update).
+func (r *Reasoner) Spec() *Specification { return r.inner.Spec() }
+
+// Update applies an incremental Delta to the reasoner in place: the
+// grounded engine is patched — only the components the delta touches are
+// re-grounded and re-searched — and swapped in atomically, so concurrent
+// readers always see a consistent engine. See internal/spec.Delta for
+// the change vocabulary and the README's "Live updates" section for the
+// server-side counterpart (PATCH /specs/{id}).
+func (r *Reasoner) Update(d *Delta) error { return r.inner.Update(d) }
 
 // Consistent decides CPS: whether Mod(S) is non-empty.
 func (r *Reasoner) Consistent() bool { return r.inner.Consistent() }

@@ -12,7 +12,9 @@ import (
 
 	"currency"
 	"currency/internal/copyfn"
+	"currency/internal/dc"
 	"currency/internal/relation"
+	"currency/internal/spec"
 	"currency/internal/tractable"
 )
 
@@ -93,4 +95,43 @@ func main() {
 	}
 	fmt.Println("\nposs(CRM) — the certain current tuple per entity:")
 	fmt.Print(posses["CRM"])
+
+	// The exact engine handles the same dynamics — with denial
+	// constraints in play — through Reasoner.Update: the delta pipeline
+	// patches the grounded engine in place of a full re-ground, keeping
+	// the memos of every component the update leaves untouched.
+	exact := currency.NewSpecification()
+	emp := relation.NewTemporal(relation.MustSchema("Emp", "eid", "salary"))
+	e1 := emp.MustAdd(currency.Tuple{currency.String("bob"), currency.Int(50)})
+	e2 := emp.MustAdd(currency.Tuple{currency.String("bob"), currency.Int(80)})
+	if err := exact.AddRelation(emp); err != nil {
+		log.Fatal(err)
+	}
+	mono := &currency.Constraint{
+		Name: "mono", Relation: "Emp", Vars: []string{"s", "t"},
+		Cmps: []dc.Comparison{{L: dc.AttrOp("s", "salary"), Op: dc.OpGt, R: dc.AttrOp("t", "salary")}},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "salary"},
+	}
+	if err := exact.AddConstraint(mono); err != nil {
+		log.Fatal(err)
+	}
+	r, err := currency.NewReasoner(exact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, _ := r.CertainOrder([]currency.OrderRequirement{{Rel: "Emp", Attr: "salary", I: e1, J: e2}})
+	fmt.Printf("\nexact engine: e1 ≺salary e2 certain=%v (higher salary is more current)\n", cert)
+
+	// A raise arrives: one delta inserts the tuple and the engine patch
+	// re-grounds only Bob's component.
+	if err := r.Update(&currency.Delta{
+		Inserts: []spec.TupleInsert{{
+			Rel:   "Emp",
+			Tuple: currency.Tuple{currency.String("bob"), currency.Int(95)},
+		}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	cert, _ = r.CertainOrder([]currency.OrderRequirement{{Rel: "Emp", Attr: "salary", I: e2, J: 2}})
+	fmt.Printf("after Update(insert 95): e2 ≺salary new tuple certain=%v\n", cert)
 }

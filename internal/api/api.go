@@ -62,6 +62,80 @@ type SpecList struct {
 	Specs []SpecInfo `json:"specs"`
 }
 
+// TupleInsert appends one tuple to a relation: Values holds one entry per
+// schema attribute (JSON strings for string values, numbers for integer
+// values). Label optionally names the tuple for later reference.
+type TupleInsert struct {
+	Rel    string `json:"rel"`
+	Label  string `json:"label,omitempty"`
+	Values []any  `json:"values"`
+}
+
+// TupleRef addresses one tuple of a relation, by declared label or
+// zero-based decimal index.
+type TupleRef struct {
+	Rel string `json:"rel"`
+	Ref string `json:"ref"`
+}
+
+// CopyAdd declares one new copy function. Map lists target <- source
+// tuple pairs (label- or index-addressed, post-delta indices); the
+// copying condition (value agreement on the correlated attributes) is
+// validated server-side.
+type CopyAdd struct {
+	Name        string      `json:"name"`
+	Target      string      `json:"target"`
+	Source      string      `json:"source"`
+	TargetAttrs []string    `json:"targetAttrs"`
+	SourceAttrs []string    `json:"sourceAttrs"`
+	Map         [][2]string `json:"map,omitempty"`
+}
+
+// DeltaRequest is the body of PATCH /specs/{id}: an incremental change
+// to a registered specification. Pieces apply in a fixed order — tuple
+// deletes (addressed pre-delta), inserts (appended), order adds
+// (addressed post-delta, so freshly inserted tuples can be ordered),
+// constraint drops, constraint adds, copy drops, copy adds. Added
+// constraints travel in the textual declaration syntax ("constraint c on
+// R forall s, t: ... -> ..."). The registry bumps the spec version and
+// the reasoner cache patches the existing grounded engine incrementally
+// instead of re-grounding from scratch (see PatchInfo).
+type DeltaRequest struct {
+	// BaseVersion guards against concurrent updates: when non-zero, the
+	// patch applies only if the registered version still matches,
+	// otherwise the server answers 409 Conflict.
+	BaseVersion     int           `json:"baseVersion,omitempty"`
+	DeleteTuples    []TupleRef    `json:"deleteTuples,omitempty"`
+	InsertTuples    []TupleInsert `json:"insertTuples,omitempty"`
+	AddOrders       []OrderPair   `json:"addOrders,omitempty"`
+	DropConstraints []string      `json:"dropConstraints,omitempty"`
+	AddConstraints  []string      `json:"addConstraints,omitempty"`
+	DropCopies      []string      `json:"dropCopies,omitempty"`
+	AddCopies       []CopyAdd     `json:"addCopies,omitempty"`
+}
+
+// PatchInfo reports how the reasoner cache absorbed a spec patch.
+type PatchInfo struct {
+	// Patched is true when a cached grounded reasoner was patched
+	// incrementally; false when the new version grounds from scratch on
+	// demand (no grounded predecessor was cached).
+	Patched bool `json:"patched"`
+	// ReusedComps / RebuiltComps report the engine components carried
+	// over vs invalidated by the patch (zero when not patched).
+	ReusedComps  int `json:"reusedComps,omitempty"`
+	RebuiltComps int `json:"rebuiltComps,omitempty"`
+	// CopiedRules / RegroundRules report ground-rule provenance after the
+	// patch (zero when not patched).
+	CopiedRules   int `json:"copiedRules,omitempty"`
+	RegroundRules int `json:"regroundRules,omitempty"`
+}
+
+// PatchResult is the response of PATCH /specs/{id}.
+type PatchResult struct {
+	SpecInfo
+	Patch PatchInfo `json:"patch"`
+}
+
 // QueryRef identifies the query of a decision request: either the Name of
 // a query declared in the registered specification, or inline Source in
 // the textual query format ("query Q(x) := ..."). Exactly one must be set.
@@ -160,7 +234,13 @@ type Stats struct {
 	CacheCapacity int    `json:"cacheCapacity"`
 	CacheHits     uint64 `json:"cacheHits"`
 	CacheMisses   uint64 `json:"cacheMisses"`
-	Workers       int    `json:"workers"`
+	// CachePatched counts spec updates absorbed by patching a cached
+	// grounded reasoner in place of a cold re-ground; CacheRegrounded
+	// counts updates that fell back to grounding from scratch (no
+	// grounded predecessor cached, or caching disabled).
+	CachePatched    uint64 `json:"cachePatched"`
+	CacheRegrounded uint64 `json:"cacheRegrounded"`
+	Workers         int    `json:"workers"`
 }
 
 // Error is the JSON error envelope for non-2xx responses.

@@ -98,6 +98,16 @@ func (c *Client) DeleteSpec(id string) error {
 	return c.do(http.MethodDelete, "/specs/"+id, nil, nil)
 }
 
+// PatchSpec applies an incremental delta to a registered spec (PATCH
+// /specs/{id}): the server bumps the version and patches its cached
+// grounded reasoner instead of re-grounding. Set req.BaseVersion to
+// guard against concurrent updates (409 on mismatch).
+func (c *Client) PatchSpec(id string, req api.DeltaRequest) (api.PatchResult, error) {
+	var res api.PatchResult
+	err := c.do(http.MethodPatch, "/specs/"+id, req, &res)
+	return res, err
+}
+
 // decision posts one decision request to its endpoint.
 func (c *Client) decision(id string, req api.DecisionRequest) (api.DecisionResult, error) {
 	var res api.DecisionResult

@@ -233,15 +233,18 @@ func (r *Reasoner) CurrencyPreservingMatching(q *query.Query) (bool, error) {
 }
 
 // CurrencyPreservingIn decides CPP over a caller-chosen extension space.
+// The whole walk runs against one engine snapshot, so a concurrent
+// Update cannot mix old and new specifications mid-decision.
 func (r *Reasoner) CurrencyPreservingIn(q *query.Query, space AtomSpace) (bool, error) {
-	return r.currencyPreservingWith(q, space(r.Spec))
+	st := r.snap()
+	return st.currencyPreservingWith(q, space(st.spec))
 }
 
-func (r *Reasoner) currencyPreservingWith(q *query.Query, atoms []ExtensionAtom) (bool, error) {
-	if !r.Consistent() {
+func (st *engineState) currencyPreservingWith(q *query.Query, atoms []ExtensionAtom) (bool, error) {
+	if !st.ok() {
 		return false, nil
 	}
-	baseRes, _, err := r.CertainAnswers(q)
+	baseRes, _, err := st.certainAnswers(q)
 	if err != nil {
 		return false, err
 	}
@@ -287,7 +290,7 @@ func (r *Reasoner) currencyPreservingWith(q *query.Query, atoms []ExtensionAtom)
 		}
 		return walk(i+1, next, true)
 	}
-	return walk(0, r.Spec, false)
+	return walk(0, st.spec, false)
 }
 
 // CurrencyPreservingForAll decides the multi-query generalization of CPP
@@ -296,18 +299,19 @@ func (r *Reasoner) currencyPreservingWith(q *query.Query, atoms []ExtensionAtom)
 // changes the certain answers of ANY query in the workload. A single
 // subset-lattice walk serves all queries.
 func (r *Reasoner) CurrencyPreservingForAll(queries []*query.Query, space AtomSpace) (bool, error) {
-	if !r.Consistent() {
+	st := r.snap()
+	if !st.ok() {
 		return false, nil
 	}
 	base := make([]string, len(queries))
 	for i, q := range queries {
-		res, _, err := r.CertainAnswers(q)
+		res, _, err := st.certainAnswers(q)
 		if err != nil {
 			return false, err
 		}
 		base[i] = certainKey(res, false)
 	}
-	atoms := space(r.Spec)
+	atoms := space(st.spec)
 	var walk func(i int, cur *spec.Spec, changed bool) (bool, error)
 	walk = func(i int, cur *spec.Spec, changed bool) (bool, error) {
 		if changed {
@@ -345,7 +349,7 @@ func (r *Reasoner) CurrencyPreservingForAll(queries []*query.Query, space AtomSp
 		}
 		return walk(i+1, next, true)
 	}
-	return walk(0, r.Spec, false)
+	return walk(0, st.spec, false)
 }
 
 // ExtensionExists decides ECP for a consistent specification: per
@@ -363,12 +367,13 @@ func (r *Reasoner) ExtensionExists() bool {
 // consistent. The result imports as much as consistently possible, so no
 // further extension can change certain answers.
 func (r *Reasoner) MaximalExtension() (*spec.Spec, []ExtensionAtom, error) {
-	if !r.Consistent() {
+	st := r.snap()
+	if !st.ok() {
 		return nil, nil, fmt.Errorf("core: inconsistent specifications have no currency-preserving extension")
 	}
-	cur := r.Spec.Clone()
+	cur := st.spec.Clone()
 	var kept []ExtensionAtom
-	for _, a := range ExtensionAtoms(r.Spec) {
+	for _, a := range ExtensionAtoms(st.spec) {
 		trial := cur.Clone()
 		ch, err := ApplyAtom(trial, a)
 		if err != nil {
@@ -406,14 +411,15 @@ func (r *Reasoner) BoundedCopyingMatching(q *query.Query, k int) (bool, []Extens
 // BoundedCopyingIn decides BCP over a caller-chosen extension space; the
 // inner currency-preservation checks use the same space.
 func (r *Reasoner) BoundedCopyingIn(q *query.Query, k int, space AtomSpace) (bool, []ExtensionAtom, error) {
-	if !r.Consistent() {
+	st := r.snap()
+	if !st.ok() {
 		return false, nil, nil
 	}
-	atoms := space(r.Spec)
+	atoms := space(st.spec)
 	// The empty extension imports zero tuples, so per Theorem 5.3 it is a
 	// valid witness for every k ≥ 0: if the copy functions are already
 	// currency preserving for q, BCP holds — wherever CPP is true, BCP is.
-	preserving, err := r.currencyPreservingWith(q, atoms)
+	preserving, err := st.currencyPreservingWith(q, atoms)
 	if err != nil {
 		return false, nil, err
 	}
@@ -430,7 +436,7 @@ func (r *Reasoner) BoundedCopyingIn(q *query.Query, k int, space AtomSpace) (boo
 				return false, err
 			}
 			if re.Consistent() {
-				preserving, err := re.currencyPreservingWith(q, space(cur))
+				preserving, err := re.snap().currencyPreservingWith(q, space(cur))
 				if err != nil {
 					return false, err
 				}
@@ -468,7 +474,7 @@ func (r *Reasoner) BoundedCopyingIn(q *query.Query, k int, space AtomSpace) (boo
 		}
 		return false, nil
 	}
-	ok, err := rec(0, k, r.Spec, false)
+	ok, err := rec(0, k, st.spec, false)
 	if err != nil {
 		return false, nil, err
 	}

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"currency/internal/osolve"
 	"currency/internal/query"
@@ -24,35 +25,56 @@ import (
 	"currency/internal/spec"
 )
 
+// engineState is one immutable (specification, grounded solver) pair,
+// plus the reasoner-level consistency memo. Every decision method loads
+// one state at entry and runs wholly against it, so a concurrent Update
+// can never hand a request a torn mix of old and new engines.
+type engineState struct {
+	spec   *spec.Spec
+	solver *osolve.Solver
+
+	// consistentOnce memoizes Consistent at the state level. The engine
+	// already memoizes per-component verdicts; this keeps even the
+	// O(#components) memo sweep off the hot path, since CPS is asked by
+	// nearly every decision method.
+	consistentOnce sync.Once
+	consistent     bool
+}
+
+func (st *engineState) ok() bool {
+	st.consistentOnce.Do(func() { st.consistent = st.solver.Consistent() })
+	return st.consistent
+}
+
 // Reasoner bundles a specification with its solver and answers the
 // reasoning problems of Sections 3–5.
 //
 // Concurrency: a Reasoner is safe for concurrent use by multiple
-// goroutines, provided the underlying specification is not mutated while
-// queries run. Every decision method is a pure read — the solver works on
-// private scoped clones of its propagated base state per query (see
+// goroutines, including concurrently with Update. Every decision method
+// is a pure read against one atomic engine snapshot — the solver works
+// on private scoped clones of its propagated base state per query (see
 // osolve.Solver), and the extension-space procedures
 // (CurrencyPreserving*, BoundedCopying*, MaximalExtension) clone the
-// specification before applying extension atoms. The one mutating entry
-// point is the package-level ApplyAtom, which callers must not invoke on
-// a specification shared with live readers — clone first (ApplyExtension
-// does).
+// specification before applying extension atoms. Update swaps the whole
+// snapshot via one atomic pointer store: readers in flight finish
+// against the engine they loaded — a consistent old view — and later
+// requests see the patched one; no request ever observes a torn engine.
+// The one mutating entry point besides Update is the package-level
+// ApplyAtom, which callers must not invoke on a specification shared
+// with live readers — clone first (ApplyExtension does).
 //
 // The solver is the decomposed engine of internal/osolve: it partitions
 // the specification into independent components and memoizes their base
 // verdicts, so on a long-lived Reasoner (the currencyd cache) repeated
 // ordering queries (CertainOrder, Deterministic) search only the
-// component each queried pair lives in.
+// component each queried pair lives in — and Update patches the engine
+// incrementally, keeping the memos of every component the delta leaves
+// untouched.
 type Reasoner struct {
-	Spec   *spec.Spec
-	Solver *osolve.Solver
-
-	// consistentOnce memoizes Consistent at the Reasoner level. The
-	// engine already memoizes per-component verdicts; this keeps even the
-	// O(#components) memo sweep off the hot path, since CPS is asked by
-	// nearly every decision method.
-	consistentOnce sync.Once
-	consistent     bool
+	st atomic.Pointer[engineState]
+	// mu serializes Update/Patched so concurrent patches cannot both
+	// derive from the same predecessor and silently drop one delta.
+	mu sync.Mutex
 }
 
 // NewReasoner validates the specification and grounds its constraints.
@@ -61,15 +83,70 @@ func NewReasoner(s *spec.Spec) (*Reasoner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reasoner{Spec: s, Solver: sv}, nil
+	r := &Reasoner{}
+	r.st.Store(&engineState{spec: s, solver: sv})
+	return r, nil
+}
+
+// snap loads the current engine snapshot.
+func (r *Reasoner) snap() *engineState { return r.st.Load() }
+
+// Spec returns the current specification. After an Update it returns the
+// patched one; specifications handed out are immutable.
+func (r *Reasoner) Spec() *spec.Spec { return r.snap().spec }
+
+// Engine returns the current grounded solver, for diagnostics,
+// benchmarks and worker configuration.
+func (r *Reasoner) Engine() *osolve.Solver { return r.snap().solver }
+
+// Update applies an incremental delta to the reasoner in place: the
+// engine is patched (osolve.ApplyDelta — only components the delta
+// touches lose their memos), re-warmed, and swapped in atomically.
+// Readers in flight keep the old engine; the receiver's next queries see
+// the new one. Concurrent Updates are serialized.
+func (r *Reasoner) Update(d *spec.Delta) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, err := r.snap().patched(d)
+	if err != nil {
+		return err
+	}
+	r.st.Store(st)
+	return nil
+}
+
+// Patched returns a new Reasoner with the delta applied, leaving the
+// receiver untouched — the form the currencyd cache uses, where the old
+// (id, version) entry must keep answering for requests that resolved it
+// before the patch.
+func (r *Reasoner) Patched(d *spec.Delta) (*Reasoner, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, err := r.snap().patched(d)
+	if err != nil {
+		return nil, err
+	}
+	out := &Reasoner{}
+	out.st.Store(st)
+	return out, nil
+}
+
+// patched derives the successor state: patch the engine and warm it (the
+// warm-up searches only the components the delta rebuilt; reused ones
+// answer from their transferred memos).
+func (st *engineState) patched(d *spec.Delta) (*engineState, error) {
+	sv, err := st.solver.ApplyDelta(d)
+	if err != nil {
+		return nil, err
+	}
+	ns := &engineState{spec: sv.Spec, solver: sv}
+	ns.ok()
+	return ns, nil
 }
 
 // Consistent decides CPS: is Mod(S) non-empty? The verdict is computed
-// once and memoized (safe under concurrent use).
-func (r *Reasoner) Consistent() bool {
-	r.consistentOnce.Do(func() { r.consistent = r.Solver.Consistent() })
-	return r.consistent
-}
+// once per engine snapshot and memoized (safe under concurrent use).
+func (r *Reasoner) Consistent() bool { return r.snap().ok() }
 
 // OrderRequirement is one pair of a currency order Ot: tuple I of relation
 // Rel must precede tuple J in attribute Attr.
@@ -82,8 +159,9 @@ type OrderRequirement struct {
 // CertainOrder decides COP: does every consistent completion contain all
 // the required pairs? Vacuously true when Mod(S) is empty.
 func (r *Reasoner) CertainOrder(reqs []OrderRequirement) (bool, error) {
+	st := r.snap()
 	for _, req := range reqs {
-		ok, err := r.Solver.CertainPair(req.Rel, req.Attr, req.I, req.J)
+		ok, err := st.solver.CertainPair(req.Rel, req.Attr, req.I, req.J)
 		if err != nil {
 			return false, err
 		}
@@ -119,16 +197,18 @@ func (r *Reasoner) CertainOrderInstance(ot *relation.TemporalInstance) (bool, er
 // agree across all consistent completions? Vacuously true when Mod(S) is
 // empty.
 func (r *Reasoner) Deterministic(rel string) (bool, error) {
-	if _, ok := r.Spec.Relation(rel); !ok {
+	st := r.snap()
+	if _, ok := st.spec.Relation(rel); !ok {
 		return false, fmt.Errorf("core: unknown relation %s", rel)
 	}
-	return r.Solver.DeterministicCurrent(rel), nil
+	return st.solver.DeterministicCurrent(rel), nil
 }
 
 // DeterministicAll decides DCIP for every relation of the specification.
 func (r *Reasoner) DeterministicAll() bool {
-	for _, rel := range r.Spec.Relations {
-		if !r.Solver.DeterministicCurrent(rel.Schema.Name) {
+	st := r.snap()
+	for _, rel := range st.spec.Relations {
+		if !st.solver.DeterministicCurrent(rel.Schema.Name) {
 			return false
 		}
 	}
@@ -139,7 +219,7 @@ func (r *Reasoner) DeterministicAll() bool {
 // {LST(Dc) : Dc ∈ Mod(S)}. limit > 0 caps the enumeration; the bool
 // reports exhaustiveness.
 func (r *Reasoner) CurrentDBs(limit int) ([]osolve.CurrentDB, bool) {
-	return r.Solver.EnumerateCurrentDBs(limit)
+	return r.snap().solver.EnumerateCurrentDBs(limit)
 }
 
 // CertainAnswers computes the certain current answers to q w.r.t. S: the
@@ -151,7 +231,11 @@ func (r *Reasoner) CurrentDBs(limit int) ([]osolve.CurrentDB, bool) {
 // current databases projected onto those relations are exactly the inputs
 // the query can distinguish.
 func (r *Reasoner) CertainAnswers(q *query.Query) (*query.Result, bool, error) {
-	dbs, complete := r.Solver.EnumerateCurrentDBs(0, q.Relations()...)
+	return r.snap().certainAnswers(q)
+}
+
+func (st *engineState) certainAnswers(q *query.Query) (*query.Result, bool, error) {
+	dbs, complete := st.solver.EnumerateCurrentDBs(0, q.Relations()...)
 	if !complete {
 		return nil, false, fmt.Errorf("core: current-database enumeration was truncated")
 	}
@@ -193,7 +277,8 @@ func (r *Reasoner) IsCertainAnswer(q *query.Query, t relation.Tuple) (bool, erro
 // completions — the "possible current answers", a useful companion to
 // certain answers for diagnostics.
 func (r *Reasoner) PossibleAnswers(q *query.Query) (*query.Result, error) {
-	dbs, complete := r.Solver.EnumerateCurrentDBs(0, q.Relations()...)
+	st := r.snap()
+	dbs, complete := st.solver.EnumerateCurrentDBs(0, q.Relations()...)
 	if !complete {
 		return nil, fmt.Errorf("core: current-database enumeration was truncated")
 	}

@@ -26,16 +26,6 @@ type GroundRule struct {
 	Origin string
 }
 
-// resolve evaluates an operand under a variable assignment.
-func resolve(o Operand, inst *relation.Instance, varIdx map[string]int, asg []int) relation.Value {
-	if o.IsConst {
-		return o.Const
-	}
-	ti := asg[varIdx[o.Var]]
-	ai, _ := inst.Schema.AttrIndex(o.Attr)
-	return inst.Tuples[ti][ai]
-}
-
 // Ground instantiates the constraint over every assignment of its tuple
 // variables to same-entity tuples of inst, keeping only assignments whose
 // value comparisons hold, and returns the resulting order-implication
@@ -50,6 +40,34 @@ func resolve(o Operand, inst *relation.Instance, varIdx map[string]int, asg []in
 // carry many variables each pinned by equalities — the effective cost
 // collapses to the number of surviving rules.
 func Ground(c *Constraint, inst *relation.TemporalInstance) ([]GroundRule, error) {
+	return GroundFor(c, inst, nil)
+}
+
+// GroundFor is Ground restricted to the entity groups accepted by want
+// (nil = every group). Grounding assigns all tuple variables within one
+// entity group at a time — the implicit same-EID condition — so the rules
+// of one entity are independent of every other entity's tuples; the
+// incremental re-grounding path of internal/osolve exploits this to
+// re-ground only the entities a delta touched.
+func GroundFor(c *Constraint, inst *relation.TemporalInstance, want func(relation.Value) bool) ([]GroundRule, error) {
+	groups := inst.Entities()
+	if want != nil {
+		kept := groups[:0:0]
+		for _, g := range groups {
+			if want(g.EID) {
+				kept = append(kept, g)
+			}
+		}
+		groups = kept
+	}
+	return GroundGroups(c, inst, groups)
+}
+
+// GroundGroups grounds the constraint over exactly the given entity
+// groups of inst. Callers that already hold the grouping (the solver's
+// block table, or a delta's touched-entity scan) skip the per-call
+// entity sweep of Ground/GroundFor.
+func GroundGroups(c *Constraint, inst *relation.TemporalInstance, groups []relation.EntityGroup) ([]GroundRule, error) {
 	if err := c.Validate(inst.Schema); err != nil {
 		return nil, err
 	}
@@ -60,6 +78,31 @@ func Ground(c *Constraint, inst *relation.TemporalInstance) ([]GroundRule, error
 	attrIdx := func(a string) int {
 		i, _ := inst.Schema.AttrIndex(a)
 		return i
+	}
+
+	// Compile operands once: variable positions and attribute indexes are
+	// resolved here, not per assignment — grounding evaluates predicates
+	// O(|I_e|^k) times and the name lookups would dominate.
+	type operand struct {
+		isConst   bool
+		val       relation.Value
+		pos, attr int
+	}
+	compile := func(o Operand) operand {
+		if o.IsConst {
+			return operand{isConst: true, val: o.Const}
+		}
+		return operand{pos: varIdx[o.Var], attr: attrIdx(o.Attr)}
+	}
+	eval := func(o operand, asg []int) relation.Value {
+		if o.isConst {
+			return o.val
+		}
+		return inst.Tuples[asg[o.pos]][o.attr]
+	}
+	type cmpc struct {
+		l, r operand
+		op   Op
 	}
 
 	// Bucket each comparison by the latest variable position it mentions,
@@ -75,7 +118,7 @@ func Ground(c *Constraint, inst *relation.TemporalInstance) ([]GroundRule, error
 		}
 		return level
 	}
-	cmpsAt := make([][]Comparison, len(c.Vars))
+	cmpsAt := make([][]cmpc, len(c.Vars))
 	for _, cmp := range c.Cmps {
 		lv := cmpLevel(cmp)
 		if lv < 0 {
@@ -85,29 +128,36 @@ func Ground(c *Constraint, inst *relation.TemporalInstance) ([]GroundRule, error
 			}
 			continue
 		}
-		cmpsAt[lv] = append(cmpsAt[lv], cmp)
+		cmpsAt[lv] = append(cmpsAt[lv], cmpc{l: compile(cmp.L), r: compile(cmp.R), op: cmp.Op})
 	}
+	type orderc struct {
+		u, v, attr int
+	}
+	bodyAtoms := make([]orderc, len(c.Orders))
+	for i, oa := range c.Orders {
+		bodyAtoms[i] = orderc{u: varIdx[oa.U], v: varIdx[oa.V], attr: attrIdx(oa.Attr)}
+	}
+	head := orderc{u: varIdx[c.Head.U], v: varIdx[c.Head.V], attr: attrIdx(c.Head.Attr)}
 
 	var rules []GroundRule
 	asg := make([]int, len(c.Vars))
-	groups := inst.Entities()
 
 	var rec func(pos int, members []int) error
 	rec = func(pos int, members []int) error {
 		if pos == len(c.Vars) {
 			rule := GroundRule{Origin: c.Name}
-			for _, oa := range c.Orders {
-				i, j := asg[varIdx[oa.U]], asg[varIdx[oa.V]]
+			for _, oa := range bodyAtoms {
+				i, j := asg[oa.u], asg[oa.v]
 				if i == j {
 					return nil // irreflexive: body unsatisfiable
 				}
-				rule.Body = append(rule.Body, GroundAtom{Attr: attrIdx(oa.Attr), I: i, J: j})
+				rule.Body = append(rule.Body, GroundAtom{Attr: oa.attr, I: i, J: j})
 			}
-			hi, hj := asg[varIdx[c.Head.U]], asg[varIdx[c.Head.V]]
+			hi, hj := asg[head.u], asg[head.v]
 			if hi == hj {
 				rule.HeadFalse = true
 			} else {
-				rule.Head = GroundAtom{Attr: attrIdx(c.Head.Attr), I: hi, J: hj}
+				rule.Head = GroundAtom{Attr: head.attr, I: hi, J: hj}
 				for _, b := range rule.Body {
 					if b == rule.Head {
 						return nil // head in body: trivially satisfied
@@ -121,9 +171,7 @@ func Ground(c *Constraint, inst *relation.TemporalInstance) ([]GroundRule, error
 		for _, ti := range members {
 			asg[pos] = ti
 			for _, cmp := range cmpsAt[pos] {
-				l := resolve(cmp.L, inst.Instance, varIdx, asg)
-				r := resolve(cmp.R, inst.Instance, varIdx, asg)
-				if !cmp.Op.Eval(l, r) {
+				if !cmp.op.Eval(eval(cmp.l, asg), eval(cmp.r, asg)) {
 					continue next
 				}
 			}

@@ -2,6 +2,8 @@ package osolve
 
 import (
 	"testing"
+
+	"currency/internal/spec"
 )
 
 // TestWarmSatWithAllocationFree pins the steady-path allocation count of
@@ -65,5 +67,55 @@ func TestWarmCertainPairAllocationFree(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Errorf("warm CertainPair allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestWarmQueryAllocationFreeAfterDelta extends the allocation pin to the
+// post-delta state: a patched solver (ApplyDelta), once re-warmed and
+// with its state pool primed, must answer scoped queries without
+// allocating — the delta pipeline must not cost the serving hot path its
+// allocation-free property.
+func TestWarmQueryAllocationFreeAfterDelta(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race makes sync.Pool drop items; allocation pins don't hold")
+	}
+	s := consistentWorkload(8)
+	base, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Consistent()
+
+	r0 := s.Relations[0]
+	d := &spec.Delta{
+		Inserts: []spec.TupleInsert{{Rel: r0.Schema.Name, Tuple: r0.Tuples[0].Clone()}},
+		Orders:  []spec.OrderAdd{{Rel: r0.Schema.Name, Attr: r0.Schema.Attrs[1], I: 0, J: r0.Len()}},
+	}
+	sv, err := base.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent() // re-warm: searches only the rebuilt components
+
+	lit, ok, err := sv.LitFor("R0", "A0", 0, 1)
+	if err != nil || !ok {
+		t.Fatalf("LitFor: %v %v", ok, err)
+	}
+	assume := []Lit{lit}
+	sv.SatWith(assume) // prime the fresh state pool
+	if avg := testing.AllocsPerRun(200, func() {
+		sv.SatWith(assume)
+	}); avg != 0 {
+		t.Errorf("post-delta warm SatWith allocates %.1f objects/op, want 0", avg)
+	}
+	if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("post-delta warm CertainPair allocates %.1f objects/op, want 0", avg)
 	}
 }

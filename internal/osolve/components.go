@@ -47,9 +47,13 @@ type component struct {
 }
 
 // buildComponents unions blocks connected by rules and distributes the
-// rule-constrained pairs to their components.
+// rule-constrained pairs to their components. Components, their block
+// lists and their constrained-pair lists are carved out of three arenas:
+// the layer is rebuilt on every incremental patch (ApplyDelta), so its
+// allocation count is on the update path, not just the cold one.
 func (sv *Solver) buildComponents() {
-	parent := make([]int, len(sv.blocks))
+	n := len(sv.blocks)
+	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = i
 	}
@@ -82,32 +86,54 @@ func (sv *Solver) buildComponents() {
 		}
 	}
 
-	sv.compOf = make([]int, len(sv.blocks))
-	index := make(map[int]int)
-	for bi := range sv.blocks {
+	// Number components in first-block order; roots index a dense table
+	// instead of a map.
+	sv.compOf = make([]int, n)
+	rootComp := make([]int, n)
+	for i := range rootComp {
+		rootComp[i] = -1
+	}
+	nComps := 0
+	for bi := 0; bi < n; bi++ {
 		root := find(bi)
-		ci, ok := index[root]
-		if !ok {
-			ci = len(sv.comps)
-			index[root] = ci
-			sv.comps = append(sv.comps, &component{})
+		if rootComp[root] < 0 {
+			rootComp[root] = nComps
+			nComps++
 		}
-		sv.compOf[bi] = ci
-		sv.comps[ci].blocks = append(sv.comps[ci].blocks, bi)
+		sv.compOf[bi] = rootComp[root]
+	}
+	arena := make([]component, nComps)
+	sv.comps = make([]*component, nComps)
+	for ci := range sv.comps {
+		sv.comps[ci] = &arena[ci]
+	}
+	blkCount := make([]int, nComps)
+	for bi := 0; bi < n; bi++ {
+		blkCount[sv.compOf[bi]]++
+	}
+	blkArena := make([]int, n)
+	off := 0
+	for ci, c := range sv.comps {
+		c.blocks = blkArena[off : off : off+blkCount[ci]]
+		off += blkCount[ci]
+	}
+	for bi := 0; bi < n; bi++ {
+		c := sv.comps[sv.compOf[bi]]
+		c.blocks = append(c.blocks, bi)
 	}
 
 	// Constrained pairs, canonicalized and deduplicated, in rule order
 	// within each component. The canonical orientation of a pair is the
 	// smaller of the two IDs encoding it (i*n+j < j*n+i iff i < j).
 	seen := make([]bool, sv.numLits)
+	var pairIDs []int32
 	addPair := func(id int32) {
 		if inv := sv.litInv[id]; inv < id {
 			id = inv
 		}
 		if !seen[id] {
 			seen[id] = true
-			c := sv.comps[sv.compOf[sv.litBlk[id]]]
-			c.constrained = append(c.constrained, id)
+			pairIDs = append(pairIDs, id)
 		}
 	}
 	for ri := int32(0); ri < int32(sv.ruleCount()); ri++ {
@@ -120,6 +146,20 @@ func (sv *Solver) buildComponents() {
 	}
 	for _, h := range sv.unitHeads {
 		addPair(h)
+	}
+	cCount := make([]int, nComps)
+	for _, id := range pairIDs {
+		cCount[sv.compOf[sv.litBlk[id]]]++
+	}
+	cArena := make([]int32, len(pairIDs))
+	off = 0
+	for ci, c := range sv.comps {
+		c.constrained = cArena[off : off : off+cCount[ci]]
+		off += cCount[ci]
+	}
+	for _, id := range pairIDs {
+		c := sv.comps[sv.compOf[sv.litBlk[id]]]
+		c.constrained = append(c.constrained, id)
 	}
 }
 

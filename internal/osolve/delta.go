@@ -1,0 +1,815 @@
+package osolve
+
+// Incremental re-grounding — ApplyDelta patches a live solver with a
+// spec.Delta instead of rebuilding it from scratch. The scheme rests on
+// two structural facts of the grounding layer:
+//
+//   - denial-constraint rules never cross entities (dc grounding assigns
+//     all tuple variables within one entity group), and copy rules
+//     connect exactly one source entity to one target entity;
+//   - literals are (block, position, position) triples, and a delta
+//     leaves the member sequence — hence every position — of untouched
+//     entities intact, so their literals survive a rebuild modulo a
+//     per-block offset shift.
+//
+// ApplyDelta therefore computes the set of DIRTY entities (tuples
+// inserted or deleted; entities mentioned by rules of added, dropped or
+// changed constraints and copy functions), copies every old rule whose
+// literals lie wholly in clean entities into the new arenas by offset
+// remap, and re-derives only the rules of dirty entities (dc.GroundFor
+// with an entity filter; copy-rule re-derivation filtered per rule).
+// Components whose blocks are all clean — and whose old component had
+// exactly the same blocks — keep their propagated base spans (copied
+// across arenas) and their memoized verdicts and sub-models (shared, the
+// memos are immutable), so after a small delta the patched solver is
+// warm everywhere except the components the delta actually touched.
+//
+// The receiver is not mutated: readers in flight keep a consistent old
+// engine, and the caller swaps the patched one in when ready (see
+// core.Reasoner.Update).
+
+import (
+	"maps"
+
+	"currency/internal/copyfn"
+	"currency/internal/dc"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// PatchStats reports what ApplyDelta reused and what it rebuilt.
+type PatchStats struct {
+	// FullRebuild marks the fallback: the old engine held no reusable
+	// state (base conflict), so the patched solver was built from scratch.
+	FullRebuild bool
+	// TouchedBlocks counts blocks whose base state was rebuilt.
+	TouchedBlocks int
+	// ReusedComps / RebuiltComps partition the patched solver's
+	// components: reused ones kept their base spans (and, when already
+	// computed, their verdict memos); rebuilt ones were re-propagated and
+	// must be re-searched.
+	ReusedComps, RebuiltComps int
+	// MemoComps counts reused components whose base verdict memo
+	// transferred (the old component had already been searched).
+	MemoComps int
+	// CopiedRules / RegroundRules partition the ground rules of the
+	// patched solver by provenance: copied by literal remap vs re-derived
+	// from the specification.
+	CopiedRules, RegroundRules int
+}
+
+// PatchStats returns the patch record when this solver was produced by
+// ApplyDelta (ok=false for solvers built by New).
+func (sv *Solver) PatchStats() (PatchStats, bool) {
+	if sv.patch == nil {
+		return PatchStats{}, false
+	}
+	return *sv.patch, true
+}
+
+// entKey identifies one (relation, entity) group — the granularity of
+// incremental invalidation.
+type entKey struct {
+	rel string
+	eid relation.Value
+}
+
+// litEnt returns the entity of a literal (via its block).
+func (sv *Solver) litEnt(id int32) entKey {
+	b := sv.blocks[sv.litBlk[id]]
+	return entKey{b.Key.Rel, b.Key.EID}
+}
+
+// patchCtx carries the dense per-block translation tables of one
+// ApplyDelta run.
+type patchCtx struct {
+	obMap    []int32 // old block -> new block index, -1 when gone
+	noMap    []int32 // new block -> old block index, -1 when new
+	oldDirty []bool  // old block's entity is rule-dirty
+	newDirty []bool  // new block's entity is rule-dirty
+}
+
+// ApplyDelta applies the delta to the solver's specification and returns
+// a patched solver, leaving the receiver fully usable (concurrent
+// queries on it remain safe). Only entities the delta touches lose their
+// ground rules, base propagation and component memos; everything else is
+// carried over. The patched solver's touched components are cold until
+// the next whole-specification verdict (Consistent) searches them.
+func (sv *Solver) ApplyDelta(d *spec.Delta) (*Solver, error) {
+	newSpec, info, err := d.Apply(sv.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if sv.baseConflict {
+		// A conflicted engine never searched anything: there is no state
+		// worth carrying over (and unit conflicts are not attributable to
+		// entities), so rebuild from scratch.
+		out, err := New(newSpec)
+		if err != nil {
+			return nil, err
+		}
+		out.SetWorkers(sv.workers)
+		out.patch = &PatchStats{
+			FullRebuild: true, TouchedBlocks: len(out.blocks),
+			RebuiltComps: len(out.comps), RegroundRules: out.nRules,
+		}
+		return out, nil
+	}
+
+	out := &Solver{
+		Spec:    newSpec,
+		blockOf: make(map[BlockKey]int),
+		relOf:   make(map[string]*relation.TemporalInstance),
+	}
+	out.SetWorkers(sv.workers)
+	if err := out.buildBlocksFrom(sv, info); err != nil {
+		return nil, err
+	}
+	stats := &PatchStats{}
+	out.patch = stats
+
+	dirty, added, err := out.dirtyEntities(sv, d)
+	if err != nil {
+		return nil, err
+	}
+	if dirty == nil {
+		// An added constraint denies unconditionally (empty body, false
+		// head): the patched spec is inconsistent regardless of orders,
+		// and the conflict has no entity to attribute. Rebuild cold.
+		out, err := New(newSpec)
+		if err != nil {
+			return nil, err
+		}
+		out.SetWorkers(sv.workers)
+		out.patch = &PatchStats{
+			FullRebuild: true, TouchedBlocks: len(out.blocks),
+			RebuiltComps: len(out.comps), RegroundRules: out.nRules,
+		}
+		return out, nil
+	}
+
+	// Dense old↔new block translation and per-block dirtiness, computed
+	// once: the rule, component and base phases below are all indexed by
+	// block, and per-probe map hashing would dominate the patch cost.
+	ctx := &patchCtx{
+		obMap:    make([]int32, len(sv.blocks)),
+		noMap:    make([]int32, len(out.blocks)),
+		oldDirty: make([]bool, len(sv.blocks)),
+		newDirty: make([]bool, len(out.blocks)),
+	}
+	for i := range ctx.noMap {
+		ctx.noMap[i] = -1
+	}
+	for obi, b := range sv.blocks {
+		if nbi, ok := out.blockOf[b.Key]; ok {
+			ctx.obMap[obi] = int32(nbi)
+			ctx.noMap[nbi] = int32(obi)
+		} else {
+			ctx.obMap[obi] = -1
+		}
+	}
+	// Dirty sets are small; mark their blocks by key lookup instead of
+	// probing the hash per block.
+	for k := range dirty {
+		r := out.relOf[k.rel]
+		for _, ai := range r.Schema.NonEIDIndexes() {
+			key := BlockKey{Rel: k.rel, Attr: ai, EID: k.eid}
+			if nbi, ok := out.blockOf[key]; ok {
+				ctx.newDirty[nbi] = true
+			}
+			if obi, ok := sv.blockOf[key]; ok {
+				ctx.oldDirty[obi] = true
+			}
+		}
+	}
+
+	if err := out.rebuildRules(sv, d, info, dirty, added, ctx, stats); err != nil {
+		return nil, err
+	}
+	out.indexRules()
+	out.buildComponents()
+	// Share the predecessor's warm state pool: states are sized on Get,
+	// so queries against either generation recycle the same arenas.
+	out.statePool = sv.statePool
+
+	stateDirty := out.stateDirtyBlocks(d, ctx)
+	reuse := out.planReuse(sv, ctx, stateDirty)
+	out.initBaseFrom(sv, ctx, reuse)
+	out.transferMemos(sv, ctx, reuse, stats)
+
+	reusedBlocks := 0
+	for _, ru := range reuse {
+		reusedBlocks += len(out.comps[ru.nci].blocks)
+	}
+	stats.TouchedBlocks = len(out.blocks) - reusedBlocks
+	stats.ReusedComps = len(reuse)
+	stats.RebuiltComps = len(out.comps) - len(reuse)
+	return out, nil
+}
+
+// buildBlocksFrom rebuilds the block table, reusing the old solver's
+// work wherever the delta allows: relations the delta left untouched
+// (COW pointer equality) share every block descriptor; relations that
+// only gained tuples and order pairs merge — untouched entities share
+// their descriptors, entities with appended tuples get fresh ones built
+// from a single scan; only relations with deletes pay the full
+// entity-grouping sweep. Descriptors are immutable once built; the
+// solver-local index tables (blockOf, literal space) are laid out fresh.
+func (out *Solver) buildBlocksFrom(old *Solver, info *spec.ApplyInfo) error {
+	if len(info.TupleMap) == 0 {
+		// No deletes anywhere: every surviving block keeps its old index,
+		// so the whole block table and key index carry over — descriptors
+		// of entities with appended tuples are swapped in place, brand-new
+		// blocks append at the end. This skips both the entity-grouping
+		// sweep and the per-block key-map rebuild.
+		out.blocks = append(make([]*Block, 0, len(old.blocks)+4), old.blocks...)
+		out.blockOf = maps.Clone(old.blockOf)
+		for _, r := range out.Spec.Relations {
+			out.relOf[r.Schema.Name] = r
+			if old.relOf[r.Schema.Name] != r {
+				out.patchRelationBlocks(old, r, old.relOf[r.Schema.Name].Len())
+			}
+		}
+		return out.assignLitSpace()
+	}
+	// General path: deletes reshuffle tuple indices, rebuild per relation
+	// (untouched relations still share their descriptors wholesale).
+	byRel := make(map[string][]*Block, len(old.Spec.Relations))
+	for _, b := range old.blocks {
+		byRel[b.Key.Rel] = append(byRel[b.Key.Rel], b)
+	}
+	for _, r := range out.Spec.Relations {
+		name := r.Schema.Name
+		if old.relOf[name] == r {
+			out.relOf[name] = r
+			for _, b := range byRel[name] {
+				out.blockOf[b.Key] = len(out.blocks)
+				out.blocks = append(out.blocks, b)
+			}
+			continue
+		}
+		out.buildRelationBlocks(r)
+	}
+	return out.assignLitSpace()
+}
+
+// patchRelationBlocks handles a relation whose delta only appended
+// tuples (and possibly added order pairs): the tuple prefix — hence the
+// membership of every entity without appended tuples — is unchanged, so
+// those blocks stay shared at their old indices; entities with appended
+// tuples get new descriptors over a shared fresh position table.
+func (out *Solver) patchRelationBlocks(old *Solver, r *relation.TemporalInstance, oldLen int) {
+	// Members of every entity an appended tuple belongs to, in index
+	// order (one pass over the prefix, one over the suffix). The eid
+	// index map sees one insert per touched entity; member appends go to
+	// the group slice, not through the map.
+	idx := make(map[relation.Value]int, r.Len()-oldLen)
+	groups := make([][]int, 0, r.Len()-oldLen)
+	var eids []relation.Value
+	for i := oldLen; i < r.Len(); i++ {
+		if _, ok := idx[r.EID(i)]; !ok {
+			idx[r.EID(i)] = len(groups)
+			groups = append(groups, nil)
+			eids = append(eids, r.EID(i))
+		}
+	}
+	// Prefix members come from the old block descriptors where one
+	// exists; only entities that were singletons (or brand new) need the
+	// prefix scan, and those are rare.
+	firstAttr := r.Schema.NonEIDIndexes()[0]
+	var scanEids []relation.Value
+	for gi, eid := range eids {
+		if obi, ok := old.blockOf[BlockKey{Rel: r.Schema.Name, Attr: firstAttr, EID: eid}]; ok {
+			m := old.blocks[obi].Members
+			groups[gi] = append(make([]int, 0, len(m)+1), m...)
+		} else {
+			scanEids = append(scanEids, eid)
+		}
+	}
+	for i := 0; i < oldLen && len(scanEids) > 0; i++ {
+		eid := r.EID(i)
+		for _, want := range scanEids {
+			if eid == want {
+				gi := idx[eid]
+				groups[gi] = append(groups[gi], i)
+				break
+			}
+		}
+	}
+	for i := oldLen; i < r.Len(); i++ {
+		groups[idx[r.EID(i)]] = append(groups[idx[r.EID(i)]], i)
+	}
+	var pos []int
+	posFor := func() []int {
+		if pos == nil {
+			pos = make([]int, r.Len())
+			for i := range pos {
+				pos[i] = -1
+			}
+			for _, members := range groups {
+				if len(members) < 2 {
+					continue
+				}
+				for p, ti := range members {
+					pos[ti] = p
+				}
+			}
+		}
+		return pos
+	}
+	for gi, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		for _, ai := range r.Schema.NonEIDIndexes() {
+			key := BlockKey{Rel: r.Schema.Name, Attr: ai, EID: eids[gi]}
+			b := &Block{Key: key, Members: members, Pos: posFor()}
+			if obi, ok := old.blockOf[key]; ok {
+				out.blocks[obi] = b // grown entity: swap in place
+			} else {
+				out.blockOf[key] = len(out.blocks)
+				out.blocks = append(out.blocks, b)
+			}
+		}
+	}
+}
+
+// addedRules caches the grounding of the delta's added sources: they are
+// derived once during dirty discovery and assembled into the arenas by
+// rebuildRules, instead of grounding the same sources twice.
+type addedRules struct {
+	constraints map[string][]dc.GroundRule
+	copies      map[string][]copyfn.CompatRule
+}
+
+// dirtyEntities computes the entities whose ground rules may differ
+// between the old and the patched solver, and the ground rules of the
+// delta's added sources (see addedRules). A nil map (with nil error)
+// signals an unconditional conflict from an added constraint that cannot
+// be attributed to any entity — the caller falls back to a full rebuild.
+func (out *Solver) dirtyEntities(sv *Solver, d *spec.Delta) (map[entKey]bool, *addedRules, error) {
+	dirty := make(map[entKey]bool)
+	added := &addedRules{
+		constraints: make(map[string][]dc.GroundRule),
+		copies:      make(map[string][]copyfn.CompatRule),
+	}
+
+	// Membership changes.
+	for _, ti := range d.Inserts {
+		r := out.relOf[ti.Rel]
+		dirty[entKey{ti.Rel, ti.Tuple[r.Schema.EIDIndex]}] = true
+	}
+	for _, td := range d.Deletes {
+		dirty[entKey{td.Rel, sv.relOf[td.Rel].EID(td.Index)}] = true
+	}
+
+	// Dropped sources: the entities their old rules mention.
+	dropC := make(map[string]bool, len(d.DropConstraints))
+	for _, n := range d.DropConstraints {
+		dropC[n] = true
+	}
+	dropCf := make(map[string]bool, len(d.DropCopies))
+	for _, n := range d.DropCopies {
+		dropCf[n] = true
+	}
+	for _, seg := range sv.segs {
+		if (seg.kind == segConstraint && !dropC[seg.name]) ||
+			(seg.kind == segCopy && !dropCf[seg.name]) {
+			continue
+		}
+		for ri := seg.ruleStart; ri < seg.ruleEnd; ri++ {
+			for _, id := range sv.ruleBodyOf(ri) {
+				dirty[sv.litEnt(id)] = true
+			}
+			if h := sv.ruleHead[ri]; h != headNone {
+				dirty[sv.litEnt(h)] = true
+			}
+		}
+		for ui := seg.unitStart; ui < seg.unitEnd; ui++ {
+			dirty[sv.litEnt(sv.unitHeads[ui])] = true
+		}
+	}
+
+	// Added sources: the entities their new rules mention. Grounding here
+	// is over the added sources only — re-derivation of surviving
+	// sources' rules on these entities happens in rebuildRules.
+	for _, c := range d.AddConstraints {
+		grs, err := out.groundAdded(c.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		added.constraints[c.Name] = grs
+		for _, gr := range grs {
+			if len(gr.Body) > 0 {
+				dirty[entKey{c.Relation, out.relOf[c.Relation].EID(gr.Body[0].I)}] = true
+			} else if gr.HeadFalse {
+				return nil, nil, nil // unconditional conflict: full rebuild
+			} else {
+				dirty[entKey{c.Relation, out.relOf[c.Relation].EID(gr.Head.I)}] = true
+			}
+		}
+	}
+	for _, cf := range d.AddCopies {
+		cf, ok := out.copyByName(cf.Name)
+		if !ok {
+			continue
+		}
+		crs, err := cf.CompatRules(out.relOf[cf.Target], out.relOf[cf.Source])
+		if err != nil {
+			return nil, nil, err
+		}
+		added.copies[cf.Name] = crs
+		for _, cr := range crs {
+			dirty[entKey{cf.Target, out.relOf[cf.Target].EID(cr.TI)}] = true
+			dirty[entKey{cf.Source, out.relOf[cf.Source].EID(cr.SI)}] = true
+		}
+	}
+	return dirty, added, nil
+}
+
+// groundAdded grounds the named constraint of the patched specification.
+func (out *Solver) groundAdded(name string) ([]dc.GroundRule, error) {
+	for _, c := range out.Spec.Constraints {
+		if c.Name == name {
+			return dc.Ground(c, out.relOf[c.Relation])
+		}
+	}
+	return nil, nil
+}
+
+// copyByName finds a copy function of the patched specification.
+func (out *Solver) copyByName(name string) (*copyfn.CopyFunction, bool) {
+	for _, cf := range out.Spec.Copies {
+		if cf.Name == name {
+			return cf, true
+		}
+	}
+	return nil, false
+}
+
+// rebuildRules assembles the patched solver's rule arenas in canonical
+// source order: per surviving source, clean-entity rules are copied from
+// the old arenas by literal remap and dirty-entity rules re-derived;
+// added sources are derived in full. Copy functions whose mappings
+// survived verbatim (no deletes in either relation) copy their whole
+// segment: inserts never create mappings, so no compat rule can have
+// appeared or vanished.
+func (out *Solver) rebuildRules(sv *Solver, d *spec.Delta, info *spec.ApplyInfo, dirty map[entKey]bool, added *addedRules, ctx *patchCtx, stats *PatchStats) error {
+	// Presize the arenas to the old solver's — most rules carry over.
+	out.ruleBody = make([]int32, 0, len(sv.ruleBody)+16)
+	out.ruleHead = make([]int32, 0, len(sv.ruleHead)+8)
+	out.ruleStart = make([]int32, 0, len(sv.ruleStart)+8)
+	out.ruleStart = append(out.ruleStart, 0)
+
+	// remap translates a literal of a position-stable block: member
+	// positions carry over verbatim (deltas only append members), but the
+	// within-block offset encoding i·n+j depends on the block SIZE, so a
+	// literal of a grown block (insert into its entity — the
+	// whole-segment copy path below hits this) must be re-encoded with
+	// the new n, not offset-shifted.
+	obMap := ctx.obMap
+	remap := func(id int32) int32 {
+		obi := sv.litBlk[id]
+		nbi := obMap[obi]
+		rem := id - sv.litOff[obi]
+		if nOld, nNew := sv.blockN[obi], out.blockN[nbi]; nOld != nNew {
+			i, j := rem/nOld, rem%nOld
+			rem = i*nNew + j
+		}
+		return out.litOff[nbi] + rem
+	}
+	copyRule := func(ri int32) {
+		for _, id := range sv.ruleBodyOf(ri) {
+			out.ruleBody = append(out.ruleBody, remap(id))
+		}
+		out.ruleStart = append(out.ruleStart, int32(len(out.ruleBody)))
+		h := sv.ruleHead[ri]
+		if h != headNone {
+			h = remap(h)
+		}
+		out.ruleHead = append(out.ruleHead, h)
+		out.nRules++
+		stats.CopiedRules++
+	}
+	ruleClean := func(ri int32) bool {
+		for _, id := range sv.ruleBodyOf(ri) {
+			if ctx.oldDirty[sv.litBlk[id]] {
+				return false
+			}
+		}
+		if h := sv.ruleHead[ri]; h != headNone && ctx.oldDirty[sv.litBlk[h]] {
+			return false
+		}
+		return true
+	}
+
+	oldSeg := make(map[string]*ruleSeg, len(sv.segs))
+	for i := range sv.segs {
+		seg := &sv.segs[i]
+		oldSeg[segID(seg.kind, seg.name)] = seg
+	}
+	addedC := make(map[string]bool, len(d.AddConstraints))
+	for _, c := range d.AddConstraints {
+		addedC[c.Name] = true
+	}
+	addedCf := make(map[string]bool, len(d.AddCopies))
+	for _, cf := range d.AddCopies {
+		addedCf[cf.Name] = true
+	}
+	relDirty := make(map[string]bool)
+	for k := range dirty {
+		relDirty[k.rel] = true
+	}
+	// Dirty entity groups per relation, one tuple scan each — the
+	// re-grounding input (single-tuple entities included: a value-trigger
+	// constraint can deny on one tuple alone).
+	dirtyGroups := make(map[string][]relation.EntityGroup)
+	for _, r := range out.Spec.Relations {
+		name := r.Schema.Name
+		if !relDirty[name] {
+			continue
+		}
+		idx := make(map[relation.Value]int)
+		var groups []relation.EntityGroup
+		for i := range r.Tuples {
+			eid := r.EID(i)
+			if !dirty[entKey{name, eid}] {
+				continue
+			}
+			gi, ok := idx[eid]
+			if !ok {
+				gi = len(groups)
+				idx[eid] = gi
+				groups = append(groups, relation.EntityGroup{EID: eid})
+			}
+			groups[gi].Members = append(groups[gi].Members, i)
+		}
+		dirtyGroups[name] = groups
+	}
+
+	before := out.nRules
+	for _, c := range out.Spec.Constraints {
+		out.beginSeg(segConstraint, c.Name)
+		seg := oldSeg[segID(segConstraint, c.Name)]
+		if addedC[c.Name] || seg == nil {
+			grs, cached := added.constraints[c.Name]
+			if !cached {
+				var err error
+				if grs, err = dc.Ground(c, out.relOf[c.Relation]); err != nil {
+					return err
+				}
+			}
+			if err := out.addConstraintRules(c.Relation, grs); err != nil {
+				return err
+			}
+		} else {
+			for ri := seg.ruleStart; ri < seg.ruleEnd; ri++ {
+				if ruleClean(ri) {
+					copyRule(ri)
+				}
+			}
+			for ui := seg.unitStart; ui < seg.unitEnd; ui++ {
+				uh := sv.unitHeads[ui]
+				if !ctx.oldDirty[sv.litBlk[uh]] {
+					out.unitHeads = append(out.unitHeads, remap(uh))
+					out.nRules++
+					stats.CopiedRules++
+				}
+			}
+			if groups := dirtyGroups[c.Relation]; len(groups) > 0 {
+				grs, err := dc.GroundGroups(c, out.relOf[c.Relation], groups)
+				if err != nil {
+					return err
+				}
+				if err := out.addConstraintRules(c.Relation, grs); err != nil {
+					return err
+				}
+			}
+		}
+		out.endSeg()
+	}
+	for _, cf := range out.Spec.Copies {
+		out.beginSeg(segCopy, cf.Name)
+		seg := oldSeg[segID(segCopy, cf.Name)]
+		if addedCf[cf.Name] || seg == nil {
+			crs, cached := added.copies[cf.Name]
+			if !cached {
+				var err error
+				if crs, err = cf.CompatRules(out.relOf[cf.Target], out.relOf[cf.Source]); err != nil {
+					return err
+				}
+			}
+			if err := out.addCopyRules(cf, crs, nil); err != nil {
+				return err
+			}
+		} else if info.TupleMap[cf.Target] == nil && info.TupleMap[cf.Source] == nil {
+			// Mappings survived verbatim and every mapped tuple kept its
+			// position: the compat rule set is unchanged — copy it whole.
+			for ri := seg.ruleStart; ri < seg.ruleEnd; ri++ {
+				copyRule(ri)
+			}
+		} else {
+			for ri := seg.ruleStart; ri < seg.ruleEnd; ri++ {
+				if ruleClean(ri) {
+					copyRule(ri)
+				}
+			}
+			// Copy rules never produce unit heads (their body is the
+			// source-order literal), so only the CSR range carries over.
+			if relDirty[cf.Target] || relDirty[cf.Source] {
+				tgt, src := out.relOf[cf.Target], out.relOf[cf.Source]
+				crs, err := cf.CompatRules(tgt, src)
+				if err != nil {
+					return err
+				}
+				err = out.addCopyRules(cf, crs, func(cr copyfn.CompatRule) bool {
+					return dirty[entKey{cf.Target, tgt.EID(cr.TI)}] ||
+						dirty[entKey{cf.Source, src.EID(cr.SI)}]
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		out.endSeg()
+	}
+	stats.RegroundRules = out.nRules - before - stats.CopiedRules
+	return nil
+}
+
+// segID keys a segment by kind and source name.
+func segID(kind segKind, name string) string {
+	if kind == segConstraint {
+		return "c:" + name
+	}
+	return "f:" + name
+}
+
+// stateDirtyBlocks marks the patched solver's blocks whose base state
+// must be rebuilt: blocks of rule-dirty entities, plus blocks that only
+// gained base-order pairs (order adds leave rules alone but change the
+// propagated base).
+func (out *Solver) stateDirtyBlocks(d *spec.Delta, ctx *patchCtx) []bool {
+	sd := make([]bool, len(out.blocks))
+	copy(sd, ctx.newDirty)
+	for _, oa := range d.Orders {
+		r := out.relOf[oa.Rel]
+		ai, _ := r.Schema.AttrIndex(oa.Attr)
+		if bi, ok := out.blockOf[BlockKey{Rel: oa.Rel, Attr: ai, EID: r.EID(oa.I)}]; ok {
+			sd[bi] = true
+		}
+	}
+	return sd
+}
+
+// compReuse pairs a patched component with its identical predecessor.
+type compReuse struct {
+	nci, oci int
+}
+
+// planReuse finds the components whose sub-problem is provably unchanged:
+// every block clean, and the old component covering those blocks held
+// exactly the same block set (otherwise rules into since-dirtied blocks
+// were dropped and the base spans may over-approximate).
+func (out *Solver) planReuse(sv *Solver, ctx *patchCtx, stateDirty []bool) []compReuse {
+	var reuse []compReuse
+	for nci, nc := range out.comps {
+		clean := true
+		for _, nbi := range nc.blocks {
+			if stateDirty[nbi] {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		ob0 := ctx.noMap[nc.blocks[0]]
+		if ob0 < 0 {
+			continue
+		}
+		oci := sv.compOf[ob0]
+		oc := sv.comps[oci]
+		if len(oc.blocks) != len(nc.blocks) {
+			continue
+		}
+		match := true
+		for _, obi := range oc.blocks {
+			nbi := ctx.obMap[obi]
+			if nbi < 0 || out.compOf[nbi] != nci {
+				match = false
+				break
+			}
+		}
+		if match {
+			reuse = append(reuse, compReuse{nci: nci, oci: oci})
+		}
+	}
+	return reuse
+}
+
+// initBaseFrom builds the patched base state: reused components' spans
+// are copied byte-for-byte from the old base (identical seeds, identical
+// rules — identical fixpoint), everything else is re-seeded from the
+// patched specification's orders and re-propagated. Unlike the cold
+// initBase, the seeding pass reads each (relation, attribute) pair set
+// once instead of once per block.
+func (out *Solver) initBaseFrom(sv *Solver, ctx *patchCtx, reuse []compReuse) {
+	st := &state{a: make([]byte, out.numLits)}
+	out.base = st
+	if out.unitConflict {
+		out.baseConflict = true
+		return
+	}
+	reused := make([]bool, len(out.blocks))
+	for _, ru := range reuse {
+		for _, nbi := range out.comps[ru.nci].blocks {
+			reused[nbi] = true
+			obi := int(ctx.noMap[nbi])
+			nlo, nhi := out.span(nbi)
+			olo, _ := sv.span(obi)
+			copy(st.a[nlo:nhi], sv.base.a[olo:olo+(nhi-nlo)])
+		}
+	}
+	// Seed from the block side: each non-reused block pulls its members'
+	// order successors from the pair-set adjacency, so the sweep costs
+	// O(touched blocks × their pairs), not O(all pairs × hash probes).
+	// Seed order is irrelevant — the propagation closure is confluent.
+	for bi, b := range out.blocks {
+		if reused[bi] {
+			continue
+		}
+		r := out.relOf[b.Key.Rel]
+		ps := r.Orders[b.Key.Attr]
+		if ps == nil || ps.Len() == 0 {
+			continue
+		}
+		n := out.blockN[bi]
+		for pi, ti := range b.Members {
+			for _, tj := range ps.Succ(ti) {
+				if tj < 0 || tj >= len(b.Pos) {
+					continue
+				}
+				pj := b.Pos[tj]
+				if pj < 0 || int32(pj) >= n || b.Members[pj] != tj {
+					continue
+				}
+				st.q = append(st.q, out.litOff[bi]+int32(pi)*n+int32(pj))
+			}
+		}
+	}
+	// Unit heads: re-asserting into a reused span is a no-op (the value
+	// is already set), so no filtering is needed.
+	st.q = append(st.q, out.unitHeads...)
+	if !out.propagate(st) {
+		out.baseConflict = true
+	}
+	st.trail = nil
+	st.q = nil
+}
+
+// transferMemos pre-fills reused components' base verdicts and sub-model
+// rows from the old solver. Rows are shared, not copied: memos are
+// immutable once published. Components the old solver had not yet
+// searched stay cold (their Once fires on first use as usual).
+func (out *Solver) transferMemos(sv *Solver, ctx *patchCtx, reuse []compReuse, stats *PatchStats) {
+	for _, ru := range reuse {
+		oc := sv.comps[ru.oci]
+		if !oc.done.Load() {
+			continue
+		}
+		nc := out.comps[ru.nci]
+		var rows [][]byte
+		if oc.baseSat {
+			// The common case: both components list their blocks in the
+			// same relative order, so the whole row table is shared.
+			aligned := true
+			for k, nbi := range nc.blocks {
+				if ctx.noMap[nbi] != int32(oc.blocks[k]) {
+					aligned = false
+					break
+				}
+			}
+			if aligned {
+				rows = oc.baseRows
+			} else {
+				rows = make([][]byte, len(nc.blocks))
+				for k, nbi := range nc.blocks {
+					obi := int(ctx.noMap[nbi])
+					for ok, oBlk := range oc.blocks {
+						if oBlk == obi {
+							rows[k] = oc.baseRows[ok]
+							break
+						}
+					}
+				}
+			}
+		}
+		nc.baseOnce.Do(func() {
+			nc.baseSat = oc.baseSat
+			nc.baseRows = rows
+		})
+		nc.done.Store(true)
+		stats.MemoComps++
+	}
+}

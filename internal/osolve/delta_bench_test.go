@@ -1,0 +1,46 @@
+package osolve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"currency/internal/gen"
+)
+
+// BenchmarkApplyDelta measures patching a warm solver with a small delta
+// (≤5% tuple inserts plus one order reveal), including re-warming the
+// rebuilt components — the live-update hot path. Compare with
+// BenchmarkSolverBuild + BenchmarkConsistentCold for the full re-ground
+// it replaces; currencybench -table incremental tracks the same ratio
+// through core.Reasoner in BENCH_solver.json.
+func BenchmarkApplyDelta(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		s := consistentWorkload(n)
+		sv, err := New(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sv.Consistent()
+		tuples := 0
+		for _, r := range s.Relations {
+			tuples += r.Len()
+		}
+		k := tuples * 5 / 100
+		if k < 1 {
+			k = 1
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		d := gen.RandomDelta(rng, s, gen.DeltaConfig{Inserts: k, NewEntity: 0.2, Orders: 1})
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := sv.ApplyDelta(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out.Consistent()
+			}
+		})
+	}
+}

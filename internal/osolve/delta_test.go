@@ -1,0 +1,243 @@
+package osolve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"currency/internal/copyfn"
+	"currency/internal/gen"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// applyOrDie applies a delta, failing the test on error.
+func applyOrDie(t *testing.T, sv *Solver, d *spec.Delta) *Solver {
+	t.Helper()
+	out, err := sv.ApplyDelta(d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	return out
+}
+
+// certainPairsMatch compares every same-entity ordered pair's CertainPair
+// verdict between two solvers over the same specification.
+func certainPairsMatch(t *testing.T, tag string, got, want *Solver) {
+	t.Helper()
+	s := want.Spec
+	for _, r := range s.Relations {
+		name := r.Schema.Name
+		for _, ai := range r.Schema.NonEIDIndexes() {
+			attr := r.Schema.Attrs[ai]
+			for _, g := range r.Entities() {
+				for x := 0; x < len(g.Members); x++ {
+					for y := 0; y < len(g.Members); y++ {
+						if x == y {
+							continue
+						}
+						i, j := g.Members[x], g.Members[y]
+						gv, err := got.CertainPair(name, attr, i, j)
+						if err != nil {
+							t.Fatalf("%s: patched CertainPair: %v", tag, err)
+						}
+						wv, err := want.CertainPair(name, attr, i, j)
+						if err != nil {
+							t.Fatalf("%s: fresh CertainPair: %v", tag, err)
+						}
+						if gv != wv {
+							t.Errorf("%s: certain(%s.%s %d≺%d): patched=%v fresh=%v",
+								tag, name, attr, i, j, gv, wv)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyDeltaDifferential chains random deltas over random tiny specs
+// and checks, after every patch, that the patched solver agrees with a
+// solver grounded from the patched specification from scratch — on the
+// consistency verdict, on every same-entity certain pair, and on model
+// validity (SolveWith results must be consistent completions, checked
+// against brute-force enumeration).
+func TestApplyDeltaDifferential(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		s := gen.Random(tinyConfig(seed))
+		sv, err := New(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed * 31))
+		for step := 0; step < 3; step++ {
+			// Alternate warm and cold receivers: deltas must patch
+			// correctly whether or not memos exist yet.
+			if step%2 == 0 {
+				sv.Consistent()
+			}
+			d := gen.RandomDelta(rng, sv.Spec, gen.DeltaConfig{
+				Inserts: 1 + step%2, NewEntity: 0.3, Deletes: 1, Orders: 1,
+				PConstraint: 0.4, PCopyDrop: 0.3,
+			})
+			sv = applyOrDie(t, sv, d)
+			fresh, err := New(sv.Spec)
+			if err != nil {
+				t.Fatalf("seed %d step %d: fresh ground: %v", seed, step, err)
+			}
+			tag := fmtTag(seed, step)
+
+			models := bruteModels(t, sv.Spec)
+			if got, want := sv.Consistent(), len(models) > 0; got != want {
+				t.Errorf("%s: patched consistent=%v, brute=%v", tag, got, want)
+				continue
+			}
+			if got, want := fresh.Consistent(), len(models) > 0; got != want {
+				t.Errorf("%s: fresh consistent=%v, brute=%v", tag, got, want)
+				continue
+			}
+			certainPairsMatch(t, tag, sv, fresh)
+
+			model, ok := sv.SolveWith(nil)
+			if ok != (len(models) > 0) {
+				t.Errorf("%s: patched SolveWith ok=%v, brute |Mod|=%d", tag, ok, len(models))
+			}
+			if ok && !modelInBruteSet(sv.Spec, models, model) {
+				t.Errorf("%s: patched SolveWith model is not a brute-force completion", tag)
+			}
+		}
+	}
+}
+
+func fmtTag(seed int64, step int) string {
+	return fmt.Sprintf("seed %d step %d", seed, step)
+}
+
+// TestApplyDeltaCopySegmentGrownBlock is the regression test for the
+// whole-segment copy-rule reuse: inserting a tuple into an entity that
+// carries copy rules grows its blocks, and the carried-over literals
+// must be re-encoded with the new block size (the within-block offset is
+// i·n+j). With the old offset-shift remap, the patched engine asserted
+// orders between the wrong members.
+func TestApplyDeltaCopySegmentGrownBlock(t *testing.T) {
+	s := spec.New()
+	tgt := relation.NewTemporal(relation.MustSchema("T", "eid", "a"))
+	tgt.MustAdd(relation.Tuple{relation.S("e"), relation.I(1)})
+	tgt.MustAdd(relation.Tuple{relation.S("e"), relation.I(2)})
+	s.MustAddRelation(tgt)
+	src := relation.NewTemporal(relation.MustSchema("S", "eid", "a"))
+	src.MustAdd(relation.Tuple{relation.S("e"), relation.I(1)})
+	src.MustAdd(relation.Tuple{relation.S("e"), relation.I(2)})
+	s.MustAddRelation(src)
+	cf := copyfn.New("c", "T", "S", []string{"a"}, []string{"a"})
+	cf.Set(0, 0)
+	cf.Set(1, 1)
+	s.MustAddCopy(cf)
+
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent()
+	// Grow the target entity (copy rules live on its blocks) and reveal a
+	// source order the compat rules must mirror into the target.
+	d := &spec.Delta{
+		Inserts: []spec.TupleInsert{{Rel: "T", Tuple: relation.Tuple{relation.S("e"), relation.I(3)}}},
+		Orders:  []spec.OrderAdd{{Rel: "S", Attr: "a", I: 1, J: 0}},
+	}
+	patched := applyOrDie(t, sv, d)
+	fresh, err := New(patched.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certainPairsMatch(t, "copy-grown-block", patched, fresh)
+}
+
+// TestApplyDeltaMemoScoping is the instrumented acceptance check: after a
+// small delta against a warm solver, only the components the delta
+// touched lose their memos — warming the patched solver searches exactly
+// the rebuilt components, while reused ones answer from the transferred
+// memo without a single search entry.
+func TestApplyDeltaMemoScoping(t *testing.T) {
+	s := consistentWorkload(16)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent() // warm every component
+	if sv.Components() < 4 {
+		t.Fatalf("workload has %d components; need several", sv.Components())
+	}
+
+	// Insert one tuple into an existing entity of R0: exactly the
+	// components over that entity (plus copy-linked ones) are touched.
+	r0 := s.Relations[0]
+	d := &spec.Delta{Inserts: []spec.TupleInsert{{Rel: r0.Schema.Name, Tuple: r0.Tuples[0].Clone()}}}
+	patched := applyOrDie(t, sv, d)
+
+	stats, ok := patched.PatchStats()
+	if !ok {
+		t.Fatal("patched solver carries no PatchStats")
+	}
+	if stats.FullRebuild {
+		t.Fatal("small delta fell back to a full rebuild")
+	}
+	if stats.ReusedComps == 0 {
+		t.Fatal("no components reused after a one-tuple insert")
+	}
+	if stats.RebuiltComps >= stats.ReusedComps {
+		t.Errorf("delta touched %d of %d components; expected a small minority",
+			stats.RebuiltComps, stats.ReusedComps+stats.RebuiltComps)
+	}
+	if stats.MemoComps != stats.ReusedComps {
+		t.Errorf("only %d of %d reused components transferred their memo (receiver was fully warm)",
+			stats.MemoComps, stats.ReusedComps)
+	}
+
+	// Warming the patched solver must search exactly the rebuilt
+	// components: reused ones answer from the transferred memo.
+	patched.Consistent()
+	searched := 0
+	for _, c := range patched.comps {
+		if c.searches.Load() > 0 {
+			searched++
+		}
+	}
+	if searched > stats.RebuiltComps {
+		t.Errorf("warming searched %d components, want at most the %d rebuilt ones",
+			searched, stats.RebuiltComps)
+	}
+
+	// And the patched verdicts match a from-scratch grounding.
+	fresh, err := New(patched.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched.Consistent() != fresh.Consistent() {
+		t.Errorf("patched consistent=%v, fresh=%v", patched.Consistent(), fresh.Consistent())
+	}
+}
+
+// TestApplyDeltaRuleReuse checks the grounding ledger: after a one-entity
+// delta most rules are copied by literal remap, not re-derived.
+func TestApplyDeltaRuleReuse(t *testing.T) {
+	s := consistentWorkload(16)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := s.Relations[0]
+	d := &spec.Delta{Inserts: []spec.TupleInsert{{Rel: r0.Schema.Name, Tuple: r0.Tuples[0].Clone()}}}
+	patched := applyOrDie(t, sv, d)
+	stats, _ := patched.PatchStats()
+	if stats.CopiedRules == 0 {
+		t.Fatal("no rules copied")
+	}
+	if stats.RegroundRules >= stats.CopiedRules {
+		t.Errorf("re-derived %d rules vs %d copied; expected copy to dominate",
+			stats.RegroundRules, stats.CopiedRules)
+	}
+	if got := stats.CopiedRules + stats.RegroundRules; got != patched.RuleCount() {
+		t.Errorf("rule ledger %d does not add up to the solver's %d rules", got, patched.RuleCount())
+	}
+}

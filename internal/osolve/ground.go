@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"currency/internal/copyfn"
 	"currency/internal/dc"
 	"currency/internal/relation"
 )
@@ -58,34 +59,47 @@ type Lit struct {
 // literal space would overflow the int32 ID type.
 func (sv *Solver) buildBlocks() error {
 	for _, r := range sv.Spec.Relations {
-		sv.relOf[r.Schema.Name] = r
-		groups := r.Entities()
-		// One position table per relation, shared by every block of the
-		// relation: entity grouping doesn't depend on the attribute.
-		pos := make([]int, len(r.Tuples))
-		for i := range pos {
-			pos[i] = -1
+		sv.buildRelationBlocks(r)
+	}
+	return sv.assignLitSpace()
+}
+
+// buildRelationBlocks appends the blocks of one relation (attribute-major,
+// entity groups in first-occurrence order — ApplyDelta's descriptor
+// sharing relies on this order being a function of the instance alone).
+func (sv *Solver) buildRelationBlocks(r *relation.TemporalInstance) {
+	sv.relOf[r.Schema.Name] = r
+	groups := r.Entities()
+	// One position table per relation, shared by every block of the
+	// relation: entity grouping doesn't depend on the attribute.
+	pos := make([]int, len(r.Tuples))
+	for i := range pos {
+		pos[i] = -1
+	}
+	for _, g := range groups {
+		if len(g.Members) < 2 {
+			continue
 		}
+		for p, ti := range g.Members {
+			pos[ti] = p
+		}
+	}
+	for _, ai := range r.Schema.NonEIDIndexes() {
 		for _, g := range groups {
 			if len(g.Members) < 2 {
 				continue
 			}
-			for p, ti := range g.Members {
-				pos[ti] = p
-			}
-		}
-		for _, ai := range r.Schema.NonEIDIndexes() {
-			for _, g := range groups {
-				if len(g.Members) < 2 {
-					continue
-				}
-				key := BlockKey{Rel: r.Schema.Name, Attr: ai, EID: g.EID}
-				b := &Block{Key: key, Members: g.Members, Pos: pos}
-				sv.blockOf[key] = len(sv.blocks)
-				sv.blocks = append(sv.blocks, b)
-			}
+			key := BlockKey{Rel: r.Schema.Name, Attr: ai, EID: g.EID}
+			b := &Block{Key: key, Members: g.Members, Pos: pos}
+			sv.blockOf[key] = len(sv.blocks)
+			sv.blocks = append(sv.blocks, b)
 		}
 	}
+}
+
+// assignLitSpace lays the dense literal-ID space over the block table and
+// fills the decode tables.
+func (sv *Solver) assignLitSpace() error {
 	sv.litOff = make([]int32, len(sv.blocks)+1)
 	sv.blockN = make([]int32, len(sv.blocks))
 	off := int64(0)
@@ -150,6 +164,43 @@ func (sv *Solver) litFor(rel string, attr, i, j int) (Lit, bool, error) {
 // its head is ruleHead[r].
 const headNone = int32(-1)
 
+// segKind discriminates the two grounding sources.
+type segKind uint8
+
+const (
+	segConstraint segKind = iota
+	segCopy
+)
+
+// ruleSeg records which arena ranges one grounding source (a denial
+// constraint or a copy function, by name) produced: CSR rules
+// [ruleStart, ruleEnd) and unit heads [unitStart, unitEnd). Segments are
+// the unit of incremental re-grounding (ApplyDelta): when a delta leaves
+// a source and the entities its rules mention untouched, the segment's
+// rules are copied into the patched solver by literal remap instead of
+// being re-derived.
+type ruleSeg struct {
+	kind               segKind
+	name               string
+	ruleStart, ruleEnd int32
+	unitStart, unitEnd int32
+}
+
+// beginSeg opens a segment for the named source; endSeg closes it at the
+// current arena positions.
+func (sv *Solver) beginSeg(kind segKind, name string) {
+	sv.segs = append(sv.segs, ruleSeg{
+		kind: kind, name: name,
+		ruleStart: int32(len(sv.ruleHead)), unitStart: int32(len(sv.unitHeads)),
+	})
+}
+
+func (sv *Solver) endSeg() {
+	s := &sv.segs[len(sv.segs)-1]
+	s.ruleEnd = int32(len(sv.ruleHead))
+	s.unitEnd = int32(len(sv.unitHeads))
+}
+
 // addRule appends one ground rule, routing body-less rules to the unit
 // tables applied once during base propagation. Rule provenance is not
 // retained: origins are recomputable from the spec, and one string per
@@ -170,76 +221,100 @@ func (sv *Solver) addRule(body []int32, head int32) {
 }
 
 // groundRules instantiates denial constraints and copy-function
-// compatibility conditions into CSR Horn rules over literal IDs.
+// compatibility conditions into CSR Horn rules over literal IDs, one
+// segment per source.
 func (sv *Solver) groundRules() error {
 	sv.ruleStart = append(sv.ruleStart, 0)
-	var body []int32
 	for _, c := range sv.Spec.Constraints {
-		r := sv.relOf[c.Relation]
-		grs, err := dc.Ground(c, r)
+		sv.beginSeg(segConstraint, c.Name)
+		grs, err := dc.Ground(c, sv.relOf[c.Relation])
 		if err != nil {
 			return err
 		}
-		for _, gr := range grs {
-			body = body[:0]
-			head := headNone
-			ok := true
-			for _, b := range gr.Body {
-				lit, sameEntity, err := sv.litFor(c.Relation, b.Attr, b.I, b.J)
-				if err != nil {
-					return err
-				}
-				if !sameEntity {
-					ok = false // body atom across entities can never hold
-					break
-				}
-				body = append(body, sv.litID(lit))
-			}
-			if !ok {
-				continue
-			}
-			if !gr.HeadFalse {
-				lit, sameEntity, err := sv.litFor(c.Relation, gr.Head.Attr, gr.Head.I, gr.Head.J)
-				if err != nil {
-					return err
-				}
-				// A head across entities can never be satisfied: the rule
-				// denies its body (head stays headNone).
-				if sameEntity {
-					head = sv.litID(lit)
-				}
-			}
-			sv.addRule(body, head)
+		if err := sv.addConstraintRules(c.Relation, grs); err != nil {
+			return err
 		}
+		sv.endSeg()
 	}
 	for _, cf := range sv.Spec.Copies {
-		tgt := sv.relOf[cf.Target]
-		src := sv.relOf[cf.Source]
-		crs, err := cf.CompatRules(tgt, src)
+		sv.beginSeg(segCopy, cf.Name)
+		crs, err := cf.CompatRules(sv.relOf[cf.Target], sv.relOf[cf.Source])
 		if err != nil {
 			return err
 		}
-		for _, cr := range crs {
-			srcLit, sameEntity, err := sv.litFor(cf.Source, cr.SAttr, cr.SI, cr.SJ)
+		if err := sv.addCopyRules(cf, crs, nil); err != nil {
+			return err
+		}
+		sv.endSeg()
+	}
+	return nil
+}
+
+// addConstraintRules interns ground rules of one denial constraint.
+func (sv *Solver) addConstraintRules(rel string, grs []dc.GroundRule) error {
+	var body []int32
+	for _, gr := range grs {
+		body = body[:0]
+		head := headNone
+		ok := true
+		for _, b := range gr.Body {
+			lit, sameEntity, err := sv.litFor(rel, b.Attr, b.I, b.J)
 			if err != nil {
 				return err
 			}
 			if !sameEntity {
-				continue
+				ok = false // body atom across entities can never hold
+				break
 			}
-			body = append(body[:0], sv.litID(srcLit))
-			head := headNone
-			if cr.TI != cr.TJ {
-				tgtLit, sameEntity, err := sv.litFor(cf.Target, cr.TAttr, cr.TI, cr.TJ)
-				if err != nil {
-					return err
-				}
-				if sameEntity {
-					head = sv.litID(tgtLit)
-				}
-			}
-			sv.addRule(body, head)
+			body = append(body, sv.litID(lit))
 		}
+		if !ok {
+			continue
+		}
+		if !gr.HeadFalse {
+			lit, sameEntity, err := sv.litFor(rel, gr.Head.Attr, gr.Head.I, gr.Head.J)
+			if err != nil {
+				return err
+			}
+			// A head across entities can never be satisfied: the rule
+			// denies its body (head stays headNone).
+			if sameEntity {
+				head = sv.litID(lit)
+			}
+		}
+		sv.addRule(body, head)
+	}
+	return nil
+}
+
+// addCopyRules interns ≺-compatibility rules of one copy function. A
+// non-nil keep filter restricts to the rules it accepts — the
+// incremental path re-derives only the rules of delta-touched entities.
+func (sv *Solver) addCopyRules(cf *copyfn.CopyFunction, crs []copyfn.CompatRule, keep func(copyfn.CompatRule) bool) error {
+	var body []int32
+	for _, cr := range crs {
+		if keep != nil && !keep(cr) {
+			continue
+		}
+		srcLit, sameEntity, err := sv.litFor(cf.Source, cr.SAttr, cr.SI, cr.SJ)
+		if err != nil {
+			return err
+		}
+		if !sameEntity {
+			continue
+		}
+		body = append(body[:0], sv.litID(srcLit))
+		head := headNone
+		if cr.TI != cr.TJ {
+			tgtLit, sameEntity, err := sv.litFor(cf.Target, cr.TAttr, cr.TI, cr.TJ)
+			if err != nil {
+				return err
+			}
+			if sameEntity {
+				head = sv.litID(tgtLit)
+			}
+		}
+		sv.addRule(body, head)
 	}
 	return nil
 }

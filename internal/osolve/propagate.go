@@ -11,6 +11,8 @@ package osolve
 // a flat array keyed by the dense literal ID; no maps, no per-block or
 // per-rule slice headers.
 
+import "sync"
+
 const (
 	unknown byte = 0
 	less    byte = 1
@@ -33,11 +35,30 @@ type state struct {
 	q     []int32
 }
 
-// getState fetches a pooled state with empty trail and queue. The arena
-// contents are unspecified; callers must initialize every span they will
-// read (scopedClone, stateWith).
+// newStatePool builds a pool of search states. States carry no
+// generation-specific content — getState sizes the arena and callers
+// initialize every span they read — so ApplyDelta shares the pool with
+// the patched solver and warm queries stay allocation-free across
+// updates.
+func newStatePool() *sync.Pool {
+	return &sync.Pool{New: func() any {
+		return &state{
+			trail: make([]int32, 0, 64),
+			q:     make([]int32, 0, 64),
+		}
+	}}
+}
+
+// getState fetches a pooled state with empty trail and queue, sized to
+// this solver's literal space. The arena contents are unspecified;
+// callers must initialize every span they will read (scopedClone,
+// stateWith).
 func (sv *Solver) getState() *state {
 	st := sv.statePool.Get().(*state)
+	if cap(st.a) < sv.numLits {
+		st.a = make([]byte, sv.numLits)
+	}
+	st.a = st.a[:sv.numLits]
 	st.trail = st.trail[:0]
 	st.q = st.q[:0]
 	return st

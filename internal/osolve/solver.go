@@ -73,6 +73,11 @@ type Solver struct {
 	unitConflict bool
 	nRules       int // total ground rules, including unit rules
 
+	// segs records which CSR and unit ranges each grounding source
+	// produced, in spec order (constraints then copies) — the bookkeeping
+	// the incremental re-grounding of ApplyDelta works from.
+	segs []ruleSeg
+
 	// Watch index in CSR form: the rules watching literal id are
 	// watchRules[watchStart[id]:watchStart[id+1]].
 	watchStart []int32
@@ -90,14 +95,21 @@ type Solver struct {
 	sem     chan struct{}
 
 	// statePool recycles search states (arena + trail + queue) so warm
-	// scoped queries allocate nothing.
-	statePool sync.Pool
+	// scoped queries allocate nothing. It is a pointer so ApplyDelta can
+	// hand the warm pool to the patched solver: states are
+	// generation-agnostic (getState sizes the arena, and every query
+	// initializes the spans it reads).
+	statePool *sync.Pool
 
 	base         *state
 	baseConflict bool
 	// allBaseSat flips once every component is memoized satisfiable; from
 	// then on baseSatExcept is a single atomic load.
 	allBaseSat atomic.Bool
+
+	// patch, when non-nil, records how this solver was derived from its
+	// predecessor by ApplyDelta (see delta.go).
+	patch *PatchStats
 }
 
 // New builds a solver for the specification. It validates the
@@ -123,13 +135,7 @@ func New(s *spec.Spec) (*Solver, error) {
 	}
 	sv.indexRules()
 	sv.buildComponents()
-	sv.statePool.New = func() any {
-		return &state{
-			a:     make([]byte, sv.numLits),
-			trail: make([]int32, 0, 64),
-			q:     make([]int32, 0, 64),
-		}
-	}
+	sv.statePool = newStatePool()
 	sv.initBase()
 	return sv, nil
 }

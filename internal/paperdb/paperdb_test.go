@@ -20,7 +20,7 @@ type verdicts struct {
 func measure(t *testing.T, r *core.Reasoner) verdicts {
 	t.Helper()
 	v := verdicts{consistent: r.Consistent(), deterministic: make(map[string]bool)}
-	for _, rel := range r.Spec.Relations {
+	for _, rel := range r.Spec().Relations {
 		det, err := r.Deterministic(rel.Schema.Name)
 		if err != nil {
 			t.Fatal(err)

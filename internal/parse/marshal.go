@@ -59,7 +59,7 @@ func Marshal(s *spec.Spec, queries ...*query.Query) string {
 	}
 
 	for _, c := range s.Constraints {
-		b.WriteString(marshalConstraint(c))
+		b.WriteString(MarshalConstraint(c))
 		b.WriteString("\n\n")
 	}
 
@@ -79,7 +79,10 @@ func Marshal(s *spec.Spec, queries ...*query.Query) string {
 	return b.String()
 }
 
-func marshalConstraint(c *dc.Constraint) string {
+// MarshalConstraint renders one denial constraint as a standalone
+// declaration in the textual syntax — the form the PATCH delta wire
+// format carries added constraints in.
+func MarshalConstraint(c *dc.Constraint) string {
 	var body []string
 	for _, cmp := range c.Cmps {
 		body = append(body, fmt.Sprintf("%s %s %s", marshalOperand(cmp.L), cmp.Op, marshalOperand(cmp.R)))

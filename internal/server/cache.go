@@ -18,12 +18,25 @@ type reasonerKey struct {
 
 // cacheEntry holds one grounding, performed at most once. Waiters share
 // the result through the sync.Once (singleflight): under a thundering herd
-// on a cold key, exactly one request pays the grounding cost.
+// on a cold key, exactly one request pays the grounding cost. ready flips
+// (inside the Once, so the atomic store publishes r/err) when the build
+// finished — the patch path peeks at predecessors without joining their
+// Once, since joining would ground a version nobody asked for.
 type cacheEntry struct {
-	key  reasonerKey
-	once sync.Once
-	r    *core.Reasoner
-	err  error
+	key   reasonerKey
+	once  sync.Once
+	r     *core.Reasoner
+	err   error
+	ready atomic.Bool
+}
+
+// build runs the entry's singleflight once and reports the result.
+func (e *cacheEntry) build(f func() (*core.Reasoner, error)) (*core.Reasoner, error) {
+	e.once.Do(func() {
+		e.r, e.err = f()
+		e.ready.Store(true)
+	})
+	return e.r, e.err
 }
 
 // ReasonerCache is an LRU cache of grounded core.Reasoners. Grounding
@@ -46,6 +59,10 @@ type ReasonerCache struct {
 	// section and the disabled-cache path stays lock-free.
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// patched/regrounded count how spec updates were absorbed: by
+	// patching a cached grounded predecessor vs grounding from scratch.
+	patched    atomic.Uint64
+	regrounded atomic.Uint64
 }
 
 // NewReasonerCache returns a cache holding at most capacity reasoners.
@@ -75,11 +92,7 @@ func (c *ReasonerCache) Get(key reasonerKey, build func() (*core.Reasoner, error
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
-		e.once.Do(func() { e.r, e.err = build() })
-		if e.err != nil {
-			return nil, e.err
-		}
-		return e.r, nil
+		return e.build(build)
 	}
 	c.misses.Add(1)
 	e := &cacheEntry{key: key}
@@ -92,8 +105,7 @@ func (c *ReasonerCache) Get(key reasonerKey, build func() (*core.Reasoner, error
 	}
 	c.mu.Unlock()
 
-	e.once.Do(func() { e.r, e.err = build() })
-	if e.err != nil {
+	if _, err := e.build(build); err != nil {
 		// Grounding failures are not worth a cache slot; drop the entry so
 		// the next request retries (waiters that already joined this entry
 		// still observe the error through the Once).
@@ -106,6 +118,64 @@ func (c *ReasonerCache) Get(key reasonerKey, build func() (*core.Reasoner, error
 		return nil, e.err
 	}
 	return e.r, nil
+}
+
+// Peek returns the reasoner cached for key when its grounding already
+// completed successfully, without joining any in-flight build. The
+// PATCH path uses it to find a grounded predecessor worth patching.
+func (c *ReasonerCache) Peek(key reasonerKey) (*core.Reasoner, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !e.ready.Load() || e.err != nil {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.r, true
+}
+
+// Install publishes a pre-built reasoner under key and counts how the
+// spec update was absorbed (patched incrementally vs re-grounded from
+// scratch). The PATCH path builds the successor BEFORE the registry
+// publishes the new version, so a failed build leaves every layer
+// untouched; Install only ever records a success. An existing entry for
+// the key is kept (idempotent retries).
+func (c *ReasonerCache) Install(key reasonerKey, r *core.Reasoner, patched bool) {
+	if patched {
+		c.patched.Add(1)
+	} else {
+		c.regrounded.Add(1)
+	}
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &cacheEntry{key: key}
+	// Fire the singleflight with the pre-built reasoner: a later Get joins
+	// this completed Once instead of running its cold build closure (which
+	// would silently overwrite the installed reasoner with a re-ground).
+	e.once.Do(func() {
+		e.r = r
+		e.ready.Store(true)
+	})
+	c.items[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
 }
 
 // InvalidateSpec drops every cached version of the given spec id; called
@@ -122,10 +192,10 @@ func (c *ReasonerCache) InvalidateSpec(id string) {
 	}
 }
 
-// Stats returns (entries, capacity, hits, misses).
-func (c *ReasonerCache) Stats() (entries, capacity int, hits, misses uint64) {
+// Stats returns (entries, capacity, hits, misses, patched, regrounded).
+func (c *ReasonerCache) Stats() (entries, capacity int, hits, misses, patched, regrounded uint64) {
 	c.mu.Lock()
 	entries = c.ll.Len()
 	c.mu.Unlock()
-	return entries, c.cap, c.hits.Load(), c.misses.Load()
+	return entries, c.cap, c.hits.Load(), c.misses.Load(), c.patched.Load(), c.regrounded.Load()
 }

@@ -24,7 +24,7 @@ func TestCacheLRUEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	entries, capacity, hits, misses := c.Stats()
+	entries, capacity, hits, misses, _, _ := c.Stats()
 	if entries != 2 || capacity != 2 {
 		t.Fatalf("entries=%d cap=%d, want 2/2", entries, capacity)
 	}
@@ -106,7 +106,7 @@ func TestCacheErrorNotCached(t *testing.T) {
 	if _, err := c.Get(reasonerKey{id: "s", version: 1}, func() (*core.Reasoner, error) { return nil, boom }); err != boom {
 		t.Fatalf("got %v, want boom", err)
 	}
-	entries, _, _, _ := c.Stats()
+	entries, _, _, _, _, _ := c.Stats()
 	if entries != 0 {
 		t.Fatalf("failed grounding must not occupy a slot, have %d entries", entries)
 	}
@@ -152,5 +152,38 @@ func TestRegistryVersionMonotonicAcrossDelete(t *testing.T) {
 	}
 	if e2.Version <= e1.Version {
 		t.Fatalf("re-registered id reused version %d (was %d)", e2.Version, e1.Version)
+	}
+}
+
+// TestCacheInstallServesWithoutRebuild pins the Install contract: a
+// pre-built reasoner published by the PATCH path must be what later Gets
+// return — if Install leaves the entry's singleflight unfired, the first
+// decision after every patch silently re-grounds from scratch and throws
+// the transferred memos away.
+func TestCacheInstallServesWithoutRebuild(t *testing.T) {
+	c := NewReasonerCache(8)
+	installed, err := buildPaper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := reasonerKey{id: "s", version: 2}
+	c.Install(key, installed, true)
+
+	var rebuilt atomic.Int32
+	got, err := c.Get(key, func() (*core.Reasoner, error) {
+		rebuilt.Add(1)
+		return buildPaper()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Load() != 0 {
+		t.Fatalf("Get after Install rebuilt %d times, want 0", rebuilt.Load())
+	}
+	if got != installed {
+		t.Fatal("Get did not return the installed reasoner")
+	}
+	if r, ok := c.Peek(key); !ok || r != installed {
+		t.Fatal("Peek did not see the installed reasoner")
 	}
 }

@@ -1,0 +1,230 @@
+package server
+
+// Wire-delta resolution: PATCH /specs/{id} bodies arrive with tuples
+// addressed by label or decimal index and constraints in the textual
+// declaration syntax; this file lowers them onto the structured
+// spec.Delta the engine consumes. Deletes address the PRE-delta
+// instance; order adds and copy mappings address the POST-delta one
+// (surviving tuples keep their labels, deleted tuples shift later
+// indices down, inserted tuples append), so one request can insert a
+// tuple and immediately order it against existing ones.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"currency/internal/api"
+	"currency/internal/copyfn"
+	"currency/internal/dc"
+	"currency/internal/parse"
+	"currency/internal/relation"
+	"currency/internal/spec"
+)
+
+// resolveDelta lowers a wire delta against the entry it patches.
+func resolveDelta(e *Entry, req *api.DeltaRequest) (*spec.Delta, error) {
+	d := &spec.Delta{}
+	s := e.File.Spec
+
+	for _, tr := range req.DeleteTuples {
+		r, ok := s.Relation(tr.Rel)
+		if !ok {
+			return nil, fmt.Errorf("delete references unknown relation %q", tr.Rel)
+		}
+		idx, err := resolveTuple(r, tr.Ref)
+		if err != nil {
+			return nil, err
+		}
+		d.Deletes = append(d.Deletes, spec.TupleDelete{Rel: tr.Rel, Index: idx})
+	}
+
+	for _, ti := range req.InsertTuples {
+		r, ok := s.Relation(ti.Rel)
+		if !ok {
+			return nil, fmt.Errorf("insert references unknown relation %q", ti.Rel)
+		}
+		if len(ti.Values) != r.Schema.Arity() {
+			return nil, fmt.Errorf("insert into %s carries %d values, schema has %d attributes",
+				ti.Rel, len(ti.Values), r.Schema.Arity())
+		}
+		t := make(relation.Tuple, len(ti.Values))
+		for i, v := range ti.Values {
+			val, err := wireToValue(v)
+			if err != nil {
+				return nil, fmt.Errorf("insert into %s, value %d: %w", ti.Rel, i, err)
+			}
+			t[i] = val
+		}
+		d.Inserts = append(d.Inserts, spec.TupleInsert{Rel: ti.Rel, Label: ti.Label, Tuple: t})
+	}
+
+	// Post-delta address space per touched relation: label → final index
+	// and the final tuple count, for validating numeric refs.
+	res := newPostResolver(s, d)
+	for _, op := range req.AddOrders {
+		r, ok := s.Relation(op.Rel)
+		if !ok {
+			return nil, fmt.Errorf("order references unknown relation %q", op.Rel)
+		}
+		if _, ok := r.Schema.AttrIndex(op.Attr); !ok {
+			return nil, fmt.Errorf("order references unknown attribute %s.%s", op.Rel, op.Attr)
+		}
+		i, err := res.resolve(op.Rel, op.I)
+		if err != nil {
+			return nil, err
+		}
+		j, err := res.resolve(op.Rel, op.J)
+		if err != nil {
+			return nil, err
+		}
+		d.Orders = append(d.Orders, spec.OrderAdd{Rel: op.Rel, Attr: op.Attr, I: i, J: j})
+	}
+
+	d.DropConstraints = append(d.DropConstraints, req.DropConstraints...)
+	for _, src := range req.AddConstraints {
+		c, err := parseConstraintDecl(s, src)
+		if err != nil {
+			return nil, err
+		}
+		d.AddConstraints = append(d.AddConstraints, c)
+	}
+
+	d.DropCopies = append(d.DropCopies, req.DropCopies...)
+	for _, ca := range req.AddCopies {
+		cf := copyfn.New(ca.Name, ca.Target, ca.Source, ca.TargetAttrs, ca.SourceAttrs)
+		for _, m := range ca.Map {
+			t, err := res.resolve(ca.Target, m[0])
+			if err != nil {
+				return nil, fmt.Errorf("copy %s: %w", ca.Name, err)
+			}
+			sidx, err := res.resolve(ca.Source, m[1])
+			if err != nil {
+				return nil, fmt.Errorf("copy %s: %w", ca.Name, err)
+			}
+			cf.Set(t, sidx)
+		}
+		d.AddCopies = append(d.AddCopies, cf)
+	}
+	return d, nil
+}
+
+// wireToValue converts a JSON value to a relation value: strings as
+// strings, numbers as integers (the textual format carries no floats).
+func wireToValue(v any) (relation.Value, error) {
+	switch x := v.(type) {
+	case string:
+		return relation.S(x), nil
+	case float64:
+		if x != float64(int64(x)) {
+			return relation.Value{}, fmt.Errorf("non-integer number %v", x)
+		}
+		return relation.I(int64(x)), nil
+	case int64:
+		return relation.I(x), nil
+	default:
+		return relation.Value{}, fmt.Errorf("unsupported value %T (want string or integer)", v)
+	}
+}
+
+// postResolver maps tuple refs onto the post-delta index space of each
+// relation the delta touches. The per-relation translation tables (delete
+// remap, insert label positions) are computed once and cached — a delta
+// can carry many order pairs and copy mappings, each with two refs.
+type postResolver struct {
+	s    *spec.Spec
+	d    *spec.Delta
+	rels map[string]*relResolver
+}
+
+type relResolver struct {
+	remap     []int // pre-delta index -> post-delta index, -1 deleted
+	survivors int
+	insertPos map[string]int // insert label -> post-delta index
+	inserted  int
+}
+
+func newPostResolver(s *spec.Spec, d *spec.Delta) *postResolver {
+	return &postResolver{s: s, d: d, rels: make(map[string]*relResolver)}
+}
+
+func (pr *postResolver) relFor(rel string, n int) *relResolver {
+	rr, ok := pr.rels[rel]
+	if ok {
+		return rr
+	}
+	var dels []int
+	for _, td := range pr.d.Deletes {
+		if td.Rel == rel {
+			dels = append(dels, td.Index)
+		}
+	}
+	sort.Ints(dels)
+	rr = &relResolver{remap: make([]int, n), insertPos: make(map[string]int)}
+	next, di := 0, 0
+	for i := 0; i < n; i++ {
+		if di < len(dels) && dels[di] == i {
+			rr.remap[i] = -1
+			di++
+			continue
+		}
+		rr.remap[i] = next
+		next++
+	}
+	rr.survivors = next
+	for _, ti := range pr.d.Inserts {
+		if ti.Rel != rel {
+			continue
+		}
+		if ti.Label != "" {
+			rr.insertPos[ti.Label] = rr.survivors + rr.inserted
+		}
+		rr.inserted++
+	}
+	pr.rels[rel] = rr
+	return rr
+}
+
+// resolve maps a label or decimal index to a post-delta tuple index.
+// Labels match surviving pre-delta tuples (remapped past deletions) or
+// labeled inserts — a label freed by a delete and reused by an insert in
+// the same delta resolves to the insert, mirroring Delta.Apply; numeric
+// refs address the post-delta instance directly.
+func (pr *postResolver) resolve(rel, ref string) (int, error) {
+	r, ok := pr.s.Relation(rel)
+	if !ok {
+		return 0, fmt.Errorf("unknown relation %q", rel)
+	}
+	rr := pr.relFor(rel, r.Len())
+	if idx, ok := r.LabelIndex(ref); ok && rr.remap[idx] >= 0 {
+		return rr.remap[idx], nil
+	}
+	if pos, ok := rr.insertPos[ref]; ok {
+		return pos, nil
+	}
+	i, err := strconv.Atoi(ref)
+	if err != nil || i < 0 || i >= rr.survivors+rr.inserted {
+		return 0, fmt.Errorf("relation %s has no tuple %q after this delta", rel, ref)
+	}
+	return i, nil
+}
+
+// parseConstraintDecl parses one textual constraint declaration against
+// the entry's schemas (the declaration grammar needs the relations in
+// scope).
+func parseConstraintDecl(s *spec.Spec, src string) (*dc.Constraint, error) {
+	var b strings.Builder
+	for _, r := range s.Relations {
+		fmt.Fprintf(&b, "relation %s(%s)\n", r.Schema.Name, strings.Join(r.Schema.Attrs, ", "))
+	}
+	b.WriteString(src)
+	f, err := parse.ParseFile(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("constraint %q: %w", src, err)
+	}
+	if len(f.Spec.Constraints) != 1 || len(f.Queries) != 0 {
+		return nil, fmt.Errorf("constraint source must hold exactly one constraint declaration")
+	}
+	return f.Spec.Constraints[0], nil
+}

@@ -76,6 +76,37 @@ func (g *Registry) Put(id, source string) (*Entry, error) {
 	return e, nil
 }
 
+// ErrVersionConflict is returned by PatchEntry when the caller's base
+// version no longer matches the registered one (a concurrent update won).
+var ErrVersionConflict = fmt.Errorf("spec version conflict")
+
+// PatchEntry publishes a patched specification for id, bumping the
+// version, if the registered version still equals base — the optimistic
+// concurrency check that keeps two concurrent PATCHes from silently
+// dropping one delta. The new entry's canonical source is re-marshaled
+// from the patched file, so GET keeps returning a form that parses back.
+func (g *Registry) PatchEntry(id string, base int, f *parse.File) (*Entry, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur, ok := g.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("no spec %q", id)
+	}
+	if cur.Version != base {
+		return nil, fmt.Errorf("%w: spec %q is at version %d, patch based on %d",
+			ErrVersionConflict, id, cur.Version, base)
+	}
+	g.versions[id]++
+	e := &Entry{
+		ID:      id,
+		Version: g.versions[id],
+		Source:  parse.Marshal(f.Spec, f.Queries...),
+		File:    f,
+	}
+	g.entries[id] = e
+	return e, nil
+}
+
 // Get returns the current entry for id.
 func (g *Registry) Get(id string) (*Entry, bool) {
 	g.mu.RLock()

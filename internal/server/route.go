@@ -252,7 +252,7 @@ func (s *Server) reasoner(e *Entry) (*core.Reasoner, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.Solver.SetWorkers(s.workers)
+		r.Engine().SetWorkers(s.workers)
 		return r, nil
 	})
 }

@@ -22,6 +22,7 @@
 //	POST   /specs                          register (or update) a spec
 //	GET    /specs                          list registered specs
 //	GET    /specs/{id}                     fetch one spec (canonical source)
+//	PATCH  /specs/{id}                     apply an incremental delta
 //	DELETE /specs/{id}                     delete a spec
 //	POST   /specs/{id}/consistent          CPS
 //	POST   /specs/{id}/certain-order       COP
@@ -36,12 +37,15 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
 
 	"currency/internal/api"
+	"currency/internal/core"
+	"currency/internal/parse"
 	"currency/internal/spec"
 )
 
@@ -87,6 +91,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /specs", s.handleRegister)
 	s.mux.HandleFunc("GET /specs", s.handleList)
 	s.mux.HandleFunc("GET /specs/{id}", s.handleGet)
+	s.mux.HandleFunc("PATCH /specs/{id}", s.handlePatch)
 	s.mux.HandleFunc("DELETE /specs/{id}", s.handleDelete)
 	for _, op := range []api.Op{
 		api.OpConsistent, api.OpCertainOrder, api.OpDeterministic,
@@ -287,21 +292,122 @@ func (s *Server) runBatch(e *Entry, reqs []api.DecisionRequest) []api.DecisionRe
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	entries, capacity, hits, misses := s.cache.Stats()
+	entries, capacity, hits, misses, patched, regrounded := s.cache.Stats()
 	writeJSON(w, http.StatusOK, api.Stats{
-		Specs:         s.registry.Len(),
-		CacheEntries:  entries,
-		CacheCapacity: capacity,
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		Workers:       s.workers,
+		Specs:           s.registry.Len(),
+		CacheEntries:    entries,
+		CacheCapacity:   capacity,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CachePatched:    patched,
+		CacheRegrounded: regrounded,
+		Workers:         s.workers,
 	})
+}
+
+// handlePatch applies an incremental delta to a registered spec: the
+// registry publishes the patched entry under a bumped version, and the
+// reasoner cache absorbs the change by patching the cached grounded
+// reasoner (when one exists) instead of evicting it.
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req api.DeltaRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	ne, info, err := s.patchCurrent(id, &req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrVersionConflict) {
+			status = http.StatusConflict
+		}
+		if ne == nil && !errors.Is(err, ErrVersionConflict) {
+			if _, ok := s.registry.Get(id); !ok {
+				status = http.StatusNotFound
+			}
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.PatchResult{SpecInfo: specInfo(ne, false), Patch: info})
+}
+
+// patchCurrent resolves the current entry and applies the delta. A
+// version conflict is surfaced only to guarded requests (BaseVersion
+// set); unguarded patches losing a registry race retry against the new
+// current version — the caller asked for "apply to whatever is
+// current", not for optimistic concurrency.
+func (s *Server) patchCurrent(id string, req *api.DeltaRequest) (*Entry, api.PatchInfo, error) {
+	for attempt := 0; ; attempt++ {
+		e, ok := s.registry.Get(id)
+		if !ok {
+			return nil, api.PatchInfo{}, fmt.Errorf("no spec %q", id)
+		}
+		if req.BaseVersion != 0 && req.BaseVersion != e.Version {
+			return nil, api.PatchInfo{}, fmt.Errorf("%w: spec %q is at version %d, patch based on %d",
+				ErrVersionConflict, id, e.Version, req.BaseVersion)
+		}
+		ne, info, err := s.patch(e, req)
+		if err == nil || req.BaseVersion != 0 || !errors.Is(err, ErrVersionConflict) || attempt >= 3 {
+			return ne, info, err
+		}
+	}
+}
+
+// patch applies a resolved wire delta: the successor reasoner is built
+// first (patching the cached grounded predecessor when one exists), and
+// only on success does the registry publish the bumped version and the
+// cache install the reasoner — a failed delta leaves every layer
+// untouched, so clients can retry without double-applying.
+func (s *Server) patch(e *Entry, req *api.DeltaRequest) (*Entry, api.PatchInfo, error) {
+	d, err := resolveDelta(e, req)
+	if err != nil {
+		return nil, api.PatchInfo{}, err
+	}
+	ns, _, err := d.Apply(e.File.Spec)
+	if err != nil {
+		return nil, api.PatchInfo{}, err
+	}
+	var nr *core.Reasoner
+	usedPatch := false
+	if old, ok := s.cache.Peek(reasonerKey{id: e.ID, version: e.Version}); ok {
+		// The patched reasoner re-derives its spec from the old engine;
+		// it is content-identical to ns.
+		nr, err = old.Patched(d)
+		usedPatch = true
+	} else {
+		nr, err = core.NewReasoner(ns)
+	}
+	if err != nil {
+		return nil, api.PatchInfo{}, err
+	}
+	nr.Engine().SetWorkers(s.workers)
+	ne, err := s.registry.PatchEntry(e.ID, e.Version, &parse.File{Spec: ns, Queries: e.File.Queries})
+	if err != nil {
+		return nil, api.PatchInfo{}, err // concurrent update won; nr is discarded
+	}
+	s.cache.Install(reasonerKey{id: ne.ID, version: ne.Version}, nr, usedPatch)
+	info := api.PatchInfo{}
+	if stats, ok := nr.Engine().PatchStats(); ok && !stats.FullRebuild {
+		info.Patched = true
+		info.ReusedComps = stats.ReusedComps
+		info.RebuiltComps = stats.RebuiltComps
+		info.CopiedRules = stats.CopiedRules
+		info.RegroundRules = stats.RegroundRules
+	}
+	return ne, info, nil
 }
 
 // Register programmatically registers a spec, for embedding the server in
 // tests and tools without HTTP round-trips.
 func (s *Server) Register(id, source string) (*Entry, error) {
 	return s.registry.Put(id, source)
+}
+
+// PatchSpec programmatically applies a wire delta, sharing the HTTP
+// path's registry bump, cache patching and unguarded-retry semantics.
+func (s *Server) PatchSpec(id string, req api.DeltaRequest) (*Entry, api.PatchInfo, error) {
+	return s.patchCurrent(id, &req)
 }
 
 // Decide programmatically runs one decision, sharing the HTTP path's

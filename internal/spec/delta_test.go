@@ -1,0 +1,190 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"currency/internal/copyfn"
+	"currency/internal/dc"
+	"currency/internal/relation"
+)
+
+// liveSpec builds a two-relation spec with orders, a constraint and a
+// copy function, for delta tests.
+func liveSpec(t *testing.T) *Spec {
+	t.Helper()
+	s := New()
+	r := relation.NewTemporal(relation.MustSchema("R", "eid", "a"))
+	r.MustAdd(relation.Tuple{relation.S("e"), relation.I(1)})
+	r.MustAdd(relation.Tuple{relation.S("e"), relation.I(2)})
+	r.MustAdd(relation.Tuple{relation.S("f"), relation.I(3)})
+	r.MustAdd(relation.Tuple{relation.S("f"), relation.I(4)})
+	r.MustAddOrder("a", 0, 1)
+	r.MustAddOrder("a", 2, 3)
+	s.MustAddRelation(r)
+	f := relation.NewTemporal(relation.MustSchema("F", "eid", "a"))
+	f.MustAdd(relation.Tuple{relation.S("e"), relation.I(2)})
+	f.MustAdd(relation.Tuple{relation.S("e"), relation.I(5)})
+	s.MustAddRelation(f)
+	s.MustAddConstraint(&dc.Constraint{
+		Name: "mono", Relation: "R", Vars: []string{"s", "t"},
+		Cmps: []dc.Comparison{{L: dc.AttrOp("s", "a"), Op: dc.OpGt, R: dc.AttrOp("t", "a")}},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "a"},
+	})
+	cf := copyfn.New("rho", "R", "F", []string{"a"}, []string{"a"})
+	cf.Set(1, 0) // R#1 (a=2) imported from F#0 (a=2)
+	s.MustAddCopy(cf)
+	return s
+}
+
+func TestDeltaApplyCopyOnWrite(t *testing.T) {
+	s := liveSpec(t)
+	d := &Delta{Inserts: []TupleInsert{{Rel: "R", Tuple: relation.Tuple{relation.S("e"), relation.I(9)}}}}
+	out, info, err := d.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relations[0] == s.Relations[0] {
+		t.Fatal("touched relation must be cloned")
+	}
+	if out.Relations[1] != s.Relations[1] {
+		t.Fatal("untouched relation must be shared by pointer")
+	}
+	if out.Constraints[0] != s.Constraints[0] || out.Copies[0] != s.Copies[0] {
+		t.Fatal("untouched constraints and copies must be shared by pointer")
+	}
+	if s.Relations[0].Len() != 4 || out.Relations[0].Len() != 5 {
+		t.Fatalf("lengths: old %d new %d, want 4/5", s.Relations[0].Len(), out.Relations[0].Len())
+	}
+	if info.OldIndex("R", 2) != 2 {
+		t.Fatal("insert-only deltas keep old indices")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaApplyDeleteRemapsEverything(t *testing.T) {
+	s := liveSpec(t)
+	// Delete R#1 — the tuple the order 0<1 and the copy mapping reference.
+	d := &Delta{
+		Deletes: []TupleDelete{{Rel: "R", Index: 1}},
+		Orders:  []OrderAdd{{Rel: "R", Attr: "a", I: 1, J: 2}}, // post-delta: old #2 < old #3
+	}
+	out, info, err := d.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Relations[0].Len(); got != 3 {
+		t.Fatalf("length %d, want 3", got)
+	}
+	if info.OldIndex("R", 1) != -1 || info.OldIndex("R", 3) != 2 {
+		t.Fatalf("tuple map wrong: %v", info.TupleMap["R"])
+	}
+	ps := out.Relations[0].Orders[1]
+	if ps.Has(0, 1) {
+		t.Fatal("order pair referencing the deleted tuple must be dropped")
+	}
+	if !ps.Has(1, 2) {
+		t.Fatal("surviving order pair must be remapped to (1,2)")
+	}
+	if out.Copies[0].Len() != 0 {
+		t.Fatalf("copy mapping referencing the deleted tuple must be dropped, have %v", out.Copies[0].Mapping)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The original is untouched.
+	if s.Relations[0].Len() != 4 || s.Copies[0].Len() != 1 {
+		t.Fatal("Apply mutated the base specification")
+	}
+}
+
+func TestDeltaApplyConstraintAndCopyChurn(t *testing.T) {
+	s := liveSpec(t)
+	d := &Delta{
+		DropConstraints: []string{"mono"},
+		AddConstraints: []*dc.Constraint{{
+			Name: "corr", Relation: "R", Vars: []string{"s", "t"},
+			Orders: []dc.OrderAtom{{U: "t", V: "s", Attr: "a"}},
+			Head:   dc.OrderAtom{U: "t", V: "s", Attr: "a"},
+		}},
+		DropCopies: []string{"rho"},
+	}
+	out, _, err := d.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Constraints) != 1 || out.Constraints[0].Name != "corr" {
+		t.Fatalf("constraints: %v", out.Constraints)
+	}
+	if len(out.Copies) != 0 {
+		t.Fatalf("copies: %v", out.Copies)
+	}
+	// Dropping an unknown name fails validation.
+	bad := &Delta{DropConstraints: []string{"nope"}}
+	if _, _, err := bad.Apply(s); err == nil {
+		t.Fatal("dropping an unknown constraint must fail")
+	}
+	// Adding a duplicate name without dropping fails.
+	dup := &Delta{AddConstraints: []*dc.Constraint{s.Constraints[0]}}
+	if _, _, err := dup.Apply(s); err == nil {
+		t.Fatal("adding a duplicate constraint must fail")
+	}
+}
+
+func TestDeltaApplyRejectsCycles(t *testing.T) {
+	s := liveSpec(t)
+	d := &Delta{Orders: []OrderAdd{{Rel: "R", Attr: "a", I: 1, J: 0}}}
+	if _, _, err := d.Apply(s); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cyclic order add: got %v, want cycle error", err)
+	}
+}
+
+func TestDiffRoundTrip(t *testing.T) {
+	s := liveSpec(t)
+	d := &Delta{
+		Deletes: []TupleDelete{{Rel: "R", Index: 2}},
+		Inserts: []TupleInsert{{Rel: "F", Tuple: relation.Tuple{relation.S("e"), relation.I(7)}}},
+		Orders:  []OrderAdd{{Rel: "F", Attr: "a", I: 0, J: 2}},
+		AddConstraints: []*dc.Constraint{{
+			Name: "corr", Relation: "F", Vars: []string{"s", "t"},
+			Orders: []dc.OrderAtom{{U: "t", V: "s", Attr: "a"}},
+			Head:   dc.OrderAtom{U: "t", V: "s", Attr: "a"},
+		}},
+	}
+	want, _, err := d.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Diff(s, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := rec.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural equality: relations tuple-by-tuple, orders, names.
+	for i := range want.Relations {
+		if !want.Relations[i].Instance.Equal(got.Relations[i].Instance) {
+			t.Fatalf("relation %d differs after diff round-trip", i)
+		}
+		for ai := range want.Relations[i].Orders {
+			w, g := want.Relations[i].Orders[ai], got.Relations[i].Orders[ai]
+			if (w == nil) != (g == nil) || (w != nil && !w.Equal(g)) {
+				t.Fatalf("orders of relation %d attr %d differ", i, ai)
+			}
+		}
+	}
+	if len(got.Constraints) != len(want.Constraints) || len(got.Copies) != len(want.Copies) {
+		t.Fatalf("constraint/copy counts differ: %d/%d vs %d/%d",
+			len(got.Constraints), len(got.Copies), len(want.Constraints), len(want.Copies))
+	}
+	// Removed order pairs are not expressible.
+	shrunk := liveSpec(t)
+	shrunk.Relations[0].Orders[1] = nil
+	if _, err := Diff(s, shrunk); err == nil {
+		t.Fatal("diff removing order pairs must fail")
+	}
+}
