@@ -385,7 +385,7 @@ func tableSolver() {
 		warmAllocs := float64(after.Mallocs-before.Mallocs) / queries
 
 		emit(map[string]any{
-			"table": "solver", "experiment": "interned-engine",
+			"table": "solver", "experiment": "contiguous-engine",
 			"entities": n, "components": components, "warm_queries": queries,
 			"cold_ground_ns": coldGround.Nanoseconds(),
 			"cold_seq_ns":    coldSeq.Nanoseconds(), "cold_par_ns": coldPar.Nanoseconds(),
@@ -399,15 +399,20 @@ func tableSolver() {
 // (≤5% of the tuples) to a warm reasoner via the incremental engine
 // patch (Reasoner.Patched → osolve.ApplyDelta) vs re-grounding the
 // patched specification from scratch and re-searching every component —
-// what a spec update cost before the delta pipeline. Emitted rows extend
-// BENCH_solver.json (columns: full_reground_ns, delta_apply_ns, speedup,
-// touched_comps, reused_comps, warm_allocs after the patch).
+// what a spec update cost before the delta pipeline. Two delta shapes
+// per size: insert-only ("delta-vs-reground", the PR 4 row) and
+// delete-only ("delete-vs-reground", the delete-remap row — deletes run
+// entirely on the reverse literal remap, so delta_apply must stay far
+// below a full reground and dropped_rules counts the rules that died
+// with their tuples). Emitted rows extend BENCH_solver.json (columns:
+// full_reground_ns, delta_apply_ns, speedup, touched_comps,
+// reused_comps, copied/reground/dropped rules, warm_allocs after the
+// patch).
 func tableIncremental() {
 	header("Incremental — delta apply vs full re-ground")
-	prose("delta = ≤5%% tuple inserts + one order reveal against a warm reasoner\n")
-	prose("%-10s %-14s %-14s %-14s %-10s %-14s %-12s\n",
-		"entities", "delta tuples", "full reground", "delta apply", "speedup", "touched comps", "allocs/query")
-	const queries = 200
+	prose("delta = ≤5%% tuple inserts (or deletes) + order reveals against a warm reasoner\n")
+	prose("%-10s %-8s %-14s %-14s %-14s %-10s %-14s %-12s\n",
+		"entities", "kind", "delta tuples", "full reground", "delta apply", "speedup", "touched comps", "allocs/query")
 	for _, n := range []int{16, 64} {
 		s := hardWorkload(n)
 		tuples := 0
@@ -419,73 +424,81 @@ func tableIncremental() {
 			k = 1
 		}
 		rng := rand.New(rand.NewSource(int64(n)))
-		d := gen.RandomDelta(rng, s, gen.DeltaConfig{Inserts: k, NewEntity: 0.2, Orders: 1})
+		incrementalRow(s, n, tuples, k, "insert", "delta-vs-reground",
+			gen.RandomDelta(rng, s, gen.DeltaConfig{Inserts: k, NewEntity: 0.2, Orders: 1}))
+		incrementalRow(s, n, tuples, k, "delete", "delete-vs-reground",
+			gen.RandomDelta(rng, s, gen.DeltaConfig{Deletes: k}))
+	}
+}
 
-		warm, err := core.NewReasoner(s)
+// incrementalRow measures one delta shape against one workload.
+func incrementalRow(s *currency.Specification, n, tuples, k int, kind, experiment string, d *currency.Delta) {
+	const queries = 200
+	warm, err := core.NewReasoner(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm.Consistent()
+
+	patchedSpec, _, err := d.Apply(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullReground := timed(func() {
+		r, err := core.NewReasoner(patchedSpec)
 		if err != nil {
 			log.Fatal(err)
 		}
-		warm.Consistent()
-
-		patchedSpec, _, err := d.Apply(s)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fullReground := timed(func() {
-			r, err := core.NewReasoner(patchedSpec)
-			if err != nil {
+		r.Consistent()
+	})
+	// The delta is µs-scale; average a small loop per timed run so a
+	// single GC pause cannot dominate the measurement.
+	const applyReps = 8
+	deltaApply := timed(func() {
+		for i := 0; i < applyReps; i++ {
+			if _, err := warm.Patched(d); err != nil {
 				log.Fatal(err)
 			}
-			r.Consistent()
-		})
-		// The delta is µs-scale; average a small loop per timed run so a
-		// single GC pause cannot dominate the measurement.
-		const applyReps = 8
-		deltaApply := timed(func() {
-			for i := 0; i < applyReps; i++ {
-				if _, err := warm.Patched(d); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}) / applyReps
-
-		patched, err := warm.Patched(d)
-		if err != nil {
-			log.Fatal(err)
 		}
-		stats, _ := patched.Engine().PatchStats()
+	}) / applyReps
 
-		// Post-patch warm query allocations, as in tableSolver.
-		req := []core.OrderRequirement{{Rel: "R0", Attr: "A0", I: 0, J: 1}}
-		runWarm := func() {
-			for q := 0; q < queries; q++ {
-				req[0].I, req[0].J = q%3, (q+1)%3
-				if _, err := patched.CertainOrder(req); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}
-		runWarm() // prime the patched solver's state pool
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		runWarm()
-		runtime.ReadMemStats(&after)
-		warmAllocs := float64(after.Mallocs-before.Mallocs) / queries
-
-		speedup := float64(fullReground.Nanoseconds()) / float64(deltaApply.Nanoseconds())
-		emit(map[string]any{
-			"table": "incremental", "experiment": "delta-vs-reground",
-			"entities": n, "tuples": tuples, "delta_tuples": k,
-			"full_reground_ns": fullReground.Nanoseconds(),
-			"delta_apply_ns":   deltaApply.Nanoseconds(),
-			"speedup":          speedup,
-			"touched_comps":    stats.RebuiltComps, "reused_comps": stats.ReusedComps,
-			"copied_rules": stats.CopiedRules, "reground_rules": stats.RegroundRules,
-			"warm_allocs": warmAllocs,
-		}, "%-10d %-14d %-14v %-14v %-10.1f %-14s %-12.2f\n",
-			n, k, fullReground, deltaApply, speedup,
-			fmt.Sprintf("%d/%d", stats.RebuiltComps, stats.RebuiltComps+stats.ReusedComps), warmAllocs)
+	patched, err := warm.Patched(d)
+	if err != nil {
+		log.Fatal(err)
 	}
+	stats, _ := patched.Engine().PatchStats()
+
+	// Post-patch warm query allocations, as in tableSolver.
+	req := []core.OrderRequirement{{Rel: "R0", Attr: "A0", I: 0, J: 1}}
+	runWarm := func() {
+		for q := 0; q < queries; q++ {
+			req[0].I, req[0].J = q%3, (q+1)%3
+			if _, err := patched.CertainOrder(req); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	runWarm() // prime the patched solver's state pool
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	runWarm()
+	runtime.ReadMemStats(&after)
+	warmAllocs := float64(after.Mallocs-before.Mallocs) / queries
+
+	speedup := float64(fullReground.Nanoseconds()) / float64(deltaApply.Nanoseconds())
+	emit(map[string]any{
+		"table": "incremental", "experiment": experiment, "delta_kind": kind,
+		"entities": n, "tuples": tuples, "delta_tuples": k,
+		"full_reground_ns": fullReground.Nanoseconds(),
+		"delta_apply_ns":   deltaApply.Nanoseconds(),
+		"speedup":          speedup,
+		"touched_comps":    stats.RebuiltComps, "reused_comps": stats.ReusedComps,
+		"copied_rules": stats.CopiedRules, "reground_rules": stats.RegroundRules,
+		"dropped_rules": stats.DroppedRules,
+		"warm_allocs":   warmAllocs,
+	}, "%-10d %-8s %-14d %-14v %-14v %-10.1f %-14s %-12.2f\n",
+		n, kind, k, fullReground, deltaApply, speedup,
+		fmt.Sprintf("%d/%d", stats.RebuiltComps, stats.RebuiltComps+stats.ReusedComps), warmAllocs)
 }
 
 func figures() {

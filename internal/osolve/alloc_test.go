@@ -1,8 +1,10 @@
 package osolve
 
 import (
+	"math/rand"
 	"testing"
 
+	"currency/internal/gen"
 	"currency/internal/spec"
 )
 
@@ -117,5 +119,54 @@ func TestWarmQueryAllocationFreeAfterDelta(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Errorf("post-delta warm CertainPair allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestWarmQueryAllocationFreeAfterDeleteDelta pins the same property for
+// the delete-remap path: tuple deletes shrink blocks, shift literal IDs
+// and reorder components, and none of that may cost the warm query path
+// its zero-allocation property.
+func TestWarmQueryAllocationFreeAfterDeleteDelta(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race makes sync.Pool drop items; allocation pins don't hold")
+	}
+	s := consistentWorkload(8)
+	base, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Consistent()
+
+	rng := rand.New(rand.NewSource(3))
+	d := gen.RandomDelta(rng, s, gen.DeltaConfig{Deletes: 2})
+	if len(d.Deletes) == 0 {
+		t.Fatal("generated delta deletes nothing")
+	}
+	sv, err := base.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent() // re-warm: searches only the rebuilt components
+
+	lit, ok, err := sv.LitFor("R0", "A0", 0, 1)
+	if err != nil || !ok {
+		t.Fatalf("LitFor: %v %v", ok, err)
+	}
+	assume := []Lit{lit}
+	sv.SatWith(assume) // prime the shared state pool
+	if avg := testing.AllocsPerRun(200, func() {
+		sv.SatWith(assume)
+	}); avg != 0 {
+		t.Errorf("post-delete-delta warm SatWith allocates %.1f objects/op, want 0", avg)
+	}
+	if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("post-delete-delta warm CertainPair allocates %.1f objects/op, want 0", avg)
 	}
 }

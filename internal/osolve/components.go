@@ -17,7 +17,12 @@ import (
 
 // component is one connected component of the cross-block rule graph.
 type component struct {
-	blocks []int // block indices, ascending
+	blocks []int // block indices, ascending and CONTIGUOUS (see reorderByComponent)
+	// lo, hi bound the component's literal-ID span: after
+	// reorderByComponent every component's blocks occupy one contiguous
+	// arena range [lo, hi), so cloning or memoizing the component is a
+	// single span operation instead of one per block.
+	lo, hi int32
 	// constrained lists the literal IDs of this component's pairs
 	// mentioned by any rule, in a canonical orientation (I < J). The
 	// search decides these first: once every constrained pair is
@@ -33,17 +38,17 @@ type component struct {
 
 	// baseOnce memoizes the component's verdict against the base state:
 	// whether its sub-problem is satisfiable with no assumptions, and if
-	// so one completed orientation span per block (aligned with blocks,
-	// private copies — the search state they came from goes back to the
-	// pool). Long-lived solvers (the currencyd reasoner cache) answer
-	// repeated scoped queries without ever re-searching untouched
-	// components. done flips after the memo is filled, letting readers
-	// check the verdict with one atomic load instead of entering the
-	// Once.
-	baseOnce sync.Once
-	done     atomic.Bool
-	baseSat  bool
-	baseRows [][]byte
+	// so one completed orientation of the whole component span [lo, hi)
+	// in a single flat slice (a private copy — the search state it came
+	// from goes back to the pool). Long-lived solvers (the currencyd
+	// reasoner cache) answer repeated scoped queries without ever
+	// re-searching untouched components. done flips after the memo is
+	// filled, letting readers check the verdict with one atomic load
+	// instead of entering the Once.
+	baseOnce  sync.Once
+	done      atomic.Bool
+	baseSat   bool
+	baseArena []byte
 }
 
 // buildComponents unions blocks connected by rules and distributes the
@@ -160,6 +165,97 @@ func (sv *Solver) buildComponents() {
 	for _, id := range pairIDs {
 		c := sv.comps[sv.compOf[sv.litBlk[id]]]
 		c.constrained = append(c.constrained, id)
+	}
+}
+
+// reorderByComponent permutes the block table so every component's
+// blocks occupy one contiguous, ascending run of block indices — and
+// therefore one contiguous literal-ID span in every state arena. The
+// grounding layer lays blocks out attribute-major, which interleaves the
+// blocks of one entity (component) across the arena; after the reorder a
+// scoped clone is a single memcpy per touched component and a component
+// memo is one flat slice. It runs after buildComponents and before
+// indexRules (the watch index is built over the final IDs) and rewrites
+// everything already expressed in literal IDs: rule bodies, heads, unit
+// heads and the per-component constrained-pair lists. Block sizes are
+// unchanged, so a literal keeps its within-block offset and only its
+// block's base moves.
+//
+// It returns the applied old→new block permutation, or nil when the
+// blocks were already component-contiguous (ApplyDelta uses the
+// permutation to re-key its old↔new translation tables).
+func (sv *Solver) reorderByComponent() []int32 {
+	n := len(sv.blocks)
+	perm := make([]int32, n) // old block index -> new block index
+	next := int32(0)
+	identity := true
+	for _, c := range sv.comps {
+		for _, bi := range c.blocks {
+			perm[bi] = next
+			if int32(bi) != next {
+				identity = false
+			}
+			next++
+		}
+	}
+	if identity {
+		sv.fillCompSpans()
+		return nil
+	}
+
+	oldOff, oldBlk := sv.litOff, sv.litBlk
+	blocks := make([]*Block, n)
+	compOf := make([]int, n)
+	for bi, b := range sv.blocks {
+		blocks[perm[bi]] = b
+		compOf[perm[bi]] = sv.compOf[bi]
+	}
+	sv.blocks, sv.compOf = blocks, compOf
+	for key, bi := range sv.blockOf {
+		sv.blockOf[key] = int(perm[bi])
+	}
+	// Re-lay the literal space over the new order; the total size is
+	// unchanged, so the overflow check cannot fire.
+	_ = sv.assignLitSpace()
+	remap := func(id int32) int32 {
+		obi := oldBlk[id]
+		return sv.litOff[perm[obi]] + (id - oldOff[obi])
+	}
+	for i, id := range sv.ruleBody {
+		sv.ruleBody[i] = remap(id)
+	}
+	for i, h := range sv.ruleHead {
+		if h != headNone {
+			sv.ruleHead[i] = remap(h)
+		}
+	}
+	for i, h := range sv.unitHeads {
+		sv.unitHeads[i] = remap(h)
+	}
+	for _, c := range sv.comps {
+		// Component blocks were ascending and the permutation assigns
+		// ascending new indices in that same order, so the renumbered
+		// lists stay sorted (and are now contiguous runs).
+		for k, bi := range c.blocks {
+			c.blocks[k] = int(perm[bi])
+		}
+		// The canonical orientation (the smaller ID of a pair) is
+		// preserved: both IDs move by the same block-base shift.
+		for k, id := range c.constrained {
+			c.constrained[k] = remap(id)
+		}
+	}
+	sv.fillCompSpans()
+	return perm
+}
+
+// fillCompSpans records each component's contiguous arena span. Blocks
+// within a component are contiguous after reorderByComponent, so the
+// span is bounded by the first block's offset and the end of the last.
+func (sv *Solver) fillCompSpans() {
+	for _, c := range sv.comps {
+		c.lo = sv.litOff[c.blocks[0]]
+		c.hi = sv.litOff[c.blocks[len(c.blocks)-1]+1]
 	}
 }
 

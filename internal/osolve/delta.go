@@ -7,22 +7,39 @@ package osolve
 //   - denial-constraint rules never cross entities (dc grounding assigns
 //     all tuple variables within one entity group), and copy rules
 //     connect exactly one source entity to one target entity;
-//   - literals are (block, position, position) triples, and a delta
-//     leaves the member sequence — hence every position — of untouched
-//     entities intact, so their literals survive a rebuild modulo a
-//     per-block offset shift.
+//   - literals are (block, position, position) triples, and positions
+//     within an entity survive a delta wherever the surviving members
+//     keep their relative order — inserts append members (positions
+//     stable), and deletes shift positions by a computable per-block
+//     position map — so a surviving rule's literals transfer to the new
+//     arenas by a size- and position-aware re-encode instead of a
+//     re-derivation.
 //
-// ApplyDelta therefore computes the set of DIRTY entities (tuples
-// inserted or deleted; entities mentioned by rules of added, dropped or
-// changed constraints and copy functions), copies every old rule whose
-// literals lie wholly in clean entities into the new arenas by offset
-// remap, and re-derives only the rules of dirty entities (dc.GroundFor
-// with an entity filter; copy-rule re-derivation filtered per rule).
+// ApplyDelta therefore splits the delta-touched entities in two. RE-GROUND
+// entities (tuples inserted) gain rule instantiations no remap can
+// produce: their rules are re-derived (dc.GroundGroups with an entity
+// filter; copy-rule re-derivation filtered per rule) and none of their
+// old rules are copied. REMAP entities (tuples deleted, or entities only
+// mentioned by added/dropped constraints and copy functions) keep every
+// surviving rule: old rules are copied by the position-aware literal
+// remap, and a rule that mentions a deleted member is dropped — exactly
+// the grown-block remap of the insert path run in reverse. Rules of
+// wholly untouched entities copy verbatim (modulo the block-base shift).
+//
+// One subtlety gates the delete remap: a ground rule can depend on a
+// tuple that appears in none of its literals — a variable used only in
+// value comparisons, or the head tuple of a HeadFalse instantiation — so
+// each surviving constraint is classified (constraintSafety) and rules
+// whose hidden dependencies could include a deleted tuple fall back to
+// re-derivation for exactly the affected entities.
+//
 // Components whose blocks are all clean — and whose old component had
-// exactly the same blocks — keep their propagated base spans (copied
-// across arenas) and their memoized verdicts and sub-models (shared, the
-// memos are immutable), so after a small delta the patched solver is
-// warm everywhere except the components the delta actually touched.
+// exactly the same blocks — keep their propagated base spans (one flat
+// copy per component when the block layout aligns) and their memoized
+// verdicts and sub-models (shared, the memos are immutable), so after a
+// small delta the patched solver is warm everywhere except the
+// components the delta actually touched. Deletes keep untouched
+// components' spans, verdicts and sub-models alive exactly like inserts.
 //
 // The receiver is not mutated: readers in flight keep a consistent old
 // engine, and the caller swaps the patched one in when ready (see
@@ -54,8 +71,10 @@ type PatchStats struct {
 	MemoComps int
 	// CopiedRules / RegroundRules partition the ground rules of the
 	// patched solver by provenance: copied by literal remap vs re-derived
-	// from the specification.
-	CopiedRules, RegroundRules int
+	// from the specification. DroppedRules counts old rules the remap
+	// discarded because they mentioned a deleted tuple (they exist in
+	// neither partition).
+	CopiedRules, RegroundRules, DroppedRules int
 }
 
 // PatchStats returns the patch record when this solver was produced by
@@ -81,20 +100,27 @@ func (sv *Solver) litEnt(id int32) entKey {
 }
 
 // patchCtx carries the dense per-block translation tables of one
-// ApplyDelta run.
+// ApplyDelta run. obMap/noMap/newDirty are re-keyed after the patched
+// solver's component reorder so every consumer sees final block indices.
 type patchCtx struct {
 	obMap    []int32 // old block -> new block index, -1 when gone
 	noMap    []int32 // new block -> old block index, -1 when new
-	oldDirty []bool  // old block's entity is rule-dirty
-	newDirty []bool  // new block's entity is rule-dirty
+	oldRe    []bool  // old block's entity is re-ground dirty (rules re-derived)
+	newDirty []bool  // new block's entity is delta-touched (state rebuilt)
+	// posMap, non-nil only when the delta deletes tuples, maps each old
+	// block's member positions to their post-delete positions (-1 =
+	// member deleted); a nil row means the block's positions are stable.
+	posMap [][]int32
 }
 
 // ApplyDelta applies the delta to the solver's specification and returns
 // a patched solver, leaving the receiver fully usable (concurrent
 // queries on it remain safe). Only entities the delta touches lose their
 // ground rules, base propagation and component memos; everything else is
-// carried over. The patched solver's touched components are cold until
-// the next whole-specification verdict (Consistent) searches them.
+// carried over — tuple deletes included, which remap surviving rules and
+// descriptors instead of rebuilding the touched relation. The patched
+// solver's touched components are cold until the next
+// whole-specification verdict (Consistent) searches them.
 func (sv *Solver) ApplyDelta(d *spec.Delta) (*Solver, error) {
 	newSpec, info, err := d.Apply(sv.Spec)
 	if err != nil {
@@ -104,16 +130,7 @@ func (sv *Solver) ApplyDelta(d *spec.Delta) (*Solver, error) {
 		// A conflicted engine never searched anything: there is no state
 		// worth carrying over (and unit conflicts are not attributable to
 		// entities), so rebuild from scratch.
-		out, err := New(newSpec)
-		if err != nil {
-			return nil, err
-		}
-		out.SetWorkers(sv.workers)
-		out.patch = &PatchStats{
-			FullRebuild: true, TouchedBlocks: len(out.blocks),
-			RebuiltComps: len(out.comps), RegroundRules: out.nRules,
-		}
-		return out, nil
+		return sv.fullRebuild(newSpec)
 	}
 
 	out := &Solver{
@@ -128,7 +145,7 @@ func (sv *Solver) ApplyDelta(d *spec.Delta) (*Solver, error) {
 	stats := &PatchStats{}
 	out.patch = stats
 
-	dirty, added, err := out.dirtyEntities(sv, d)
+	dirty, reGround, added, err := out.dirtyEntities(sv, d)
 	if err != nil {
 		return nil, err
 	}
@@ -136,16 +153,7 @@ func (sv *Solver) ApplyDelta(d *spec.Delta) (*Solver, error) {
 		// An added constraint denies unconditionally (empty body, false
 		// head): the patched spec is inconsistent regardless of orders,
 		// and the conflict has no entity to attribute. Rebuild cold.
-		out, err := New(newSpec)
-		if err != nil {
-			return nil, err
-		}
-		out.SetWorkers(sv.workers)
-		out.patch = &PatchStats{
-			FullRebuild: true, TouchedBlocks: len(out.blocks),
-			RebuiltComps: len(out.comps), RegroundRules: out.nRules,
-		}
-		return out, nil
+		return sv.fullRebuild(newSpec)
 	}
 
 	// Dense old↔new block translation and per-block dirtiness, computed
@@ -154,7 +162,7 @@ func (sv *Solver) ApplyDelta(d *spec.Delta) (*Solver, error) {
 	ctx := &patchCtx{
 		obMap:    make([]int32, len(sv.blocks)),
 		noMap:    make([]int32, len(out.blocks)),
-		oldDirty: make([]bool, len(sv.blocks)),
+		oldRe:    make([]bool, len(sv.blocks)),
 		newDirty: make([]bool, len(out.blocks)),
 	}
 	for i := range ctx.noMap {
@@ -177,17 +185,81 @@ func (sv *Solver) ApplyDelta(d *spec.Delta) (*Solver, error) {
 			if nbi, ok := out.blockOf[key]; ok {
 				ctx.newDirty[nbi] = true
 			}
-			if obi, ok := sv.blockOf[key]; ok {
-				ctx.oldDirty[obi] = true
+		}
+	}
+	for k := range reGround {
+		r := out.relOf[k.rel]
+		for _, ai := range r.Schema.NonEIDIndexes() {
+			if obi, ok := sv.blockOf[BlockKey{Rel: k.rel, Attr: ai, EID: k.eid}]; ok {
+				ctx.oldRe[obi] = true
 			}
 		}
 	}
+	// Per-block position maps for the delete remap: survivors keep their
+	// relative order, so a member's new position is the count of
+	// survivors before it.
+	if len(info.TupleMap) > 0 {
+		ctx.posMap = make([][]int32, len(sv.blocks))
+		for obi, b := range sv.blocks {
+			tm := info.TupleMap[b.Key.Rel]
+			if tm == nil {
+				continue
+			}
+			var pm []int32
+			next := int32(0)
+			for p, ti := range b.Members {
+				if tm[ti] < 0 {
+					if pm == nil {
+						pm = make([]int32, len(b.Members))
+						for q := 0; q < p; q++ {
+							pm[q] = int32(q)
+						}
+					}
+					pm[p] = -1
+					continue
+				}
+				if pm != nil {
+					pm[p] = next
+				}
+				next++
+			}
+			ctx.posMap[obi] = pm
+		}
+	}
+	// Entities with deletes but no inserts: their surviving rules remap;
+	// re-ground entities re-derive everything instead.
+	delOnly := make(map[entKey]bool)
+	for _, td := range d.Deletes {
+		k := entKey{td.Rel, sv.relOf[td.Rel].EID(td.Index)}
+		if !reGround[k] {
+			delOnly[k] = true
+		}
+	}
 
-	if err := out.rebuildRules(sv, d, info, dirty, added, ctx, stats); err != nil {
+	if err := out.rebuildRules(sv, d, info, reGround, delOnly, added, ctx, stats); err != nil {
 		return nil, err
 	}
-	out.indexRules()
 	out.buildComponents()
+	// The reorder permutes the patched solver's blocks; re-key the
+	// translation tables so the state phases see final indices.
+	if perm := out.reorderByComponent(); perm != nil {
+		for obi, nbi := range ctx.obMap {
+			if nbi >= 0 {
+				ctx.obMap[obi] = perm[nbi]
+			}
+		}
+		noMap := make([]int32, len(out.blocks))
+		newDirty := make([]bool, len(out.blocks))
+		for i := range noMap {
+			noMap[i] = -1
+		}
+		for nbi, obi := range ctx.noMap {
+			noMap[perm[nbi]] = obi
+			newDirty[perm[nbi]] = ctx.newDirty[nbi]
+		}
+		ctx.noMap, ctx.newDirty = noMap, newDirty
+	}
+	out.indexRules()
 	// Share the predecessor's warm state pool: states are sized on Get,
 	// so queries against either generation recycle the same arenas.
 	out.statePool = sv.statePool
@@ -207,14 +279,30 @@ func (sv *Solver) ApplyDelta(d *spec.Delta) (*Solver, error) {
 	return out, nil
 }
 
+// fullRebuild is ApplyDelta's fallback: ground the patched specification
+// from scratch and record the cold patch stats.
+func (sv *Solver) fullRebuild(newSpec *spec.Spec) (*Solver, error) {
+	out, err := New(newSpec)
+	if err != nil {
+		return nil, err
+	}
+	out.SetWorkers(sv.workers)
+	out.patch = &PatchStats{
+		FullRebuild: true, TouchedBlocks: len(out.blocks),
+		RebuiltComps: len(out.comps), RegroundRules: out.nRules,
+	}
+	return out, nil
+}
+
 // buildBlocksFrom rebuilds the block table, reusing the old solver's
 // work wherever the delta allows: relations the delta left untouched
 // (COW pointer equality) share every block descriptor; relations that
-// only gained tuples and order pairs merge — untouched entities share
-// their descriptors, entities with appended tuples get fresh ones built
-// from a single scan; only relations with deletes pay the full
-// entity-grouping sweep. Descriptors are immutable once built; the
-// solver-local index tables (blockOf, literal space) are laid out fresh.
+// only gained tuples and order pairs keep untouched entities'
+// descriptors and rebuild only grown ones; relations with deletes remap
+// their descriptors through the delta's tuple map (remapRelationBlocks)
+// — no relation ever pays a full entity-grouping sweep. Descriptors are
+// immutable once built; the solver-local index tables (blockOf, literal
+// space) are laid out fresh.
 func (out *Solver) buildBlocksFrom(old *Solver, info *spec.ApplyInfo) error {
 	if len(info.TupleMap) == 0 {
 		// No deletes anywhere: every surviving block keeps its old index,
@@ -232,23 +320,35 @@ func (out *Solver) buildBlocksFrom(old *Solver, info *spec.ApplyInfo) error {
 		}
 		return out.assignLitSpace()
 	}
-	// General path: deletes reshuffle tuple indices, rebuild per relation
-	// (untouched relations still share their descriptors wholesale).
+	// Deletes somewhere: descriptors are rebuilt per relation, but never
+	// from a full sweep — untouched relations share wholesale, deleted
+	// relations remap, appended-only relations patch.
 	byRel := make(map[string][]*Block, len(old.Spec.Relations))
 	for _, b := range old.blocks {
 		byRel[b.Key.Rel] = append(byRel[b.Key.Rel], b)
 	}
 	for _, r := range out.Spec.Relations {
 		name := r.Schema.Name
-		if old.relOf[name] == r {
+		switch {
+		case old.relOf[name] == r:
 			out.relOf[name] = r
 			for _, b := range byRel[name] {
 				out.blockOf[b.Key] = len(out.blocks)
 				out.blocks = append(out.blocks, b)
 			}
-			continue
+		case info.TupleMap[name] != nil:
+			out.remapRelationBlocks(byRel[name], r, info.TupleMap[name])
+		default:
+			// Inserts and order adds only (some other relation had the
+			// deletes): seed the table with the old descriptors, then
+			// swap in fresh ones for grown entities.
+			out.relOf[name] = r
+			for _, b := range byRel[name] {
+				out.blockOf[b.Key] = len(out.blocks)
+				out.blocks = append(out.blocks, b)
+			}
+			out.patchRelationBlocks(old, r, old.relOf[name].Len())
 		}
-		out.buildRelationBlocks(r)
 	}
 	return out.assignLitSpace()
 }
@@ -256,8 +356,10 @@ func (out *Solver) buildBlocksFrom(old *Solver, info *spec.ApplyInfo) error {
 // patchRelationBlocks handles a relation whose delta only appended
 // tuples (and possibly added order pairs): the tuple prefix — hence the
 // membership of every entity without appended tuples — is unchanged, so
-// those blocks stay shared at their old indices; entities with appended
-// tuples get new descriptors over a shared fresh position table.
+// those blocks stay shared at their current indices; entities with
+// appended tuples get new descriptors over a shared fresh position
+// table. The caller must have seeded out.blocks/out.blockOf with the
+// relation's old descriptors.
 func (out *Solver) patchRelationBlocks(old *Solver, r *relation.TemporalInstance, oldLen int) {
 	// Members of every entity an appended tuple belongs to, in index
 	// order (one pass over the prefix, one over the suffix). The eid
@@ -324,13 +426,104 @@ func (out *Solver) patchRelationBlocks(old *Solver, r *relation.TemporalInstance
 		for _, ai := range r.Schema.NonEIDIndexes() {
 			key := BlockKey{Rel: r.Schema.Name, Attr: ai, EID: eids[gi]}
 			b := &Block{Key: key, Members: members, Pos: posFor()}
-			if obi, ok := old.blockOf[key]; ok {
-				out.blocks[obi] = b // grown entity: swap in place
+			if bi, ok := out.blockOf[key]; ok {
+				out.blocks[bi] = b // grown entity: swap in place
 			} else {
 				out.blockOf[key] = len(out.blocks)
 				out.blocks = append(out.blocks, b)
 			}
 		}
+	}
+}
+
+// remapRelationBlocks rebuilds one relation's block descriptors after
+// deletes by translating the old descriptors through the delta's tuple
+// map — the descriptor-level inverse of the grown-block path. Surviving
+// members keep their relative order (untouched entities stay
+// position-stable, which is what keeps their literals remappable),
+// appended tuples extend their entity's member list, and a block whose
+// entity drops below two surviving members disappears. The relation is
+// never re-grouped from a full tuple sweep; only entities that had no
+// block before (singletons, or brand new) and gained appended tuples pay
+// a prefix scan.
+func (out *Solver) remapRelationBlocks(oldBlocks []*Block, r *relation.TemporalInstance, tm []int) {
+	name := r.Schema.Name
+	out.relOf[name] = r
+	nSurvive := 0
+	for _, ni := range tm {
+		if ni >= 0 {
+			nSurvive++
+		}
+	}
+	// Appended tuples per entity (post-delta indices ≥ nSurvive), in
+	// first-appearance order.
+	var appendEids []relation.Value
+	appends := make(map[relation.Value][]int)
+	for i := nSurvive; i < r.Len(); i++ {
+		eid := r.EID(i)
+		if _, ok := appends[eid]; !ok {
+			appendEids = append(appendEids, eid)
+		}
+		appends[eid] = append(appends[eid], i)
+	}
+
+	attrs := r.Schema.NonEIDIndexes()
+	pos := make([]int, r.Len())
+	for i := range pos {
+		pos[i] = -1
+	}
+	emit := func(eid relation.Value, members []int) {
+		if len(members) < 2 {
+			return
+		}
+		for p, ti := range members {
+			pos[ti] = p
+		}
+		for _, ai := range attrs {
+			key := BlockKey{Rel: name, Attr: ai, EID: eid}
+			out.blockOf[key] = len(out.blocks)
+			out.blocks = append(out.blocks, &Block{Key: key, Members: members, Pos: pos})
+		}
+	}
+	// One pass over the first attribute's old blocks (every multi-tuple
+	// entity has exactly one) derives each surviving entity's member
+	// list; every attribute's block shares it.
+	firstAttr := attrs[0]
+	hadBlock := make(map[relation.Value]bool)
+	for _, b := range oldBlocks {
+		if b.Key.Attr != firstAttr {
+			continue
+		}
+		hadBlock[b.Key.EID] = true
+		members := make([]int, 0, len(b.Members)+len(appends[b.Key.EID]))
+		for _, ti := range b.Members {
+			if ni := tm[ti]; ni >= 0 {
+				members = append(members, ni)
+			}
+		}
+		members = append(members, appends[b.Key.EID]...)
+		emit(b.Key.EID, members)
+	}
+	// Entities without an old block but with appended tuples: collect
+	// their surviving prefix members, if any.
+	var scanEids []relation.Value
+	for _, eid := range appendEids {
+		if !hadBlock[eid] {
+			scanEids = append(scanEids, eid)
+		}
+	}
+	prefix := make(map[relation.Value][]int, len(scanEids))
+	for i := 0; i < nSurvive && len(scanEids) > 0; i++ {
+		eid := r.EID(i)
+		for _, want := range scanEids {
+			if eid == want {
+				prefix[eid] = append(prefix[eid], i)
+				break
+			}
+		}
+	}
+	for _, eid := range scanEids {
+		emit(eid, append(prefix[eid], appends[eid]...))
 	}
 }
 
@@ -342,28 +535,38 @@ type addedRules struct {
 	copies      map[string][]copyfn.CompatRule
 }
 
-// dirtyEntities computes the entities whose ground rules may differ
-// between the old and the patched solver, and the ground rules of the
-// delta's added sources (see addedRules). A nil map (with nil error)
-// signals an unconditional conflict from an added constraint that cannot
-// be attributed to any entity — the caller falls back to a full rebuild.
-func (out *Solver) dirtyEntities(sv *Solver, d *spec.Delta) (map[entKey]bool, *addedRules, error) {
+// dirtyEntities computes the entities whose ground rules or base state
+// may differ between the old and the patched solver, the subset whose
+// surviving-segment rules must be re-derived rather than remapped
+// (reGround: entities with inserted tuples — only membership growth
+// creates rule instantiations no remap can produce), and the ground
+// rules of the delta's added sources (see addedRules). A nil dirty map
+// (with nil error) signals an unconditional conflict from an added
+// constraint that cannot be attributed to any entity — the caller falls
+// back to a full rebuild.
+func (out *Solver) dirtyEntities(sv *Solver, d *spec.Delta) (map[entKey]bool, map[entKey]bool, *addedRules, error) {
 	dirty := make(map[entKey]bool)
+	reGround := make(map[entKey]bool)
 	added := &addedRules{
 		constraints: make(map[string][]dc.GroundRule),
 		copies:      make(map[string][]copyfn.CompatRule),
 	}
 
-	// Membership changes.
+	// Membership changes. Inserts re-ground; deletes remap (delta.go's
+	// package comment explains the split).
 	for _, ti := range d.Inserts {
 		r := out.relOf[ti.Rel]
-		dirty[entKey{ti.Rel, ti.Tuple[r.Schema.EIDIndex]}] = true
+		k := entKey{ti.Rel, ti.Tuple[r.Schema.EIDIndex]}
+		dirty[k] = true
+		reGround[k] = true
 	}
 	for _, td := range d.Deletes {
 		dirty[entKey{td.Rel, sv.relOf[td.Rel].EID(td.Index)}] = true
 	}
 
-	// Dropped sources: the entities their old rules mention.
+	// Dropped sources: the entities their old rules mention lose those
+	// rules (segment skipped) and must re-propagate, but their surviving
+	// segments' rules still remap.
 	dropC := make(map[string]bool, len(d.DropConstraints))
 	for _, n := range d.DropConstraints {
 		dropC[n] = true
@@ -390,20 +593,20 @@ func (out *Solver) dirtyEntities(sv *Solver, d *spec.Delta) (map[entKey]bool, *a
 		}
 	}
 
-	// Added sources: the entities their new rules mention. Grounding here
-	// is over the added sources only — re-derivation of surviving
-	// sources' rules on these entities happens in rebuildRules.
+	// Added sources: the entities their new rules mention gain rules and
+	// must re-propagate; the added segments themselves are derived in
+	// full, so surviving segments still remap over these entities.
 	for _, c := range d.AddConstraints {
 		grs, err := out.groundAdded(c.Name)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		added.constraints[c.Name] = grs
 		for _, gr := range grs {
 			if len(gr.Body) > 0 {
 				dirty[entKey{c.Relation, out.relOf[c.Relation].EID(gr.Body[0].I)}] = true
 			} else if gr.HeadFalse {
-				return nil, nil, nil // unconditional conflict: full rebuild
+				return nil, nil, nil, nil // unconditional conflict: full rebuild
 			} else {
 				dirty[entKey{c.Relation, out.relOf[c.Relation].EID(gr.Head.I)}] = true
 			}
@@ -416,7 +619,7 @@ func (out *Solver) dirtyEntities(sv *Solver, d *spec.Delta) (map[entKey]bool, *a
 		}
 		crs, err := cf.CompatRules(out.relOf[cf.Target], out.relOf[cf.Source])
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		added.copies[cf.Name] = crs
 		for _, cr := range crs {
@@ -424,7 +627,7 @@ func (out *Solver) dirtyEntities(sv *Solver, d *spec.Delta) (map[entKey]bool, *a
 			dirty[entKey{cf.Source, out.relOf[cf.Source].EID(cr.SI)}] = true
 		}
 	}
-	return dirty, added, nil
+	return dirty, reGround, added, nil
 }
 
 // groundAdded grounds the named constraint of the patched specification.
@@ -447,60 +650,146 @@ func (out *Solver) copyByName(name string) (*copyfn.CopyFunction, bool) {
 	return nil, false
 }
 
+// segSafety classifies how a constraint's ground rules depend on the
+// tuples of their instantiation, deciding whether the delete remap may
+// copy them (see the package comment's hidden-dependence subtlety).
+type segSafety uint8
+
+const (
+	// safeBody: every variable appears in a body order atom, so a rule's
+	// literals always mention every assigned tuple — deleting a tuple the
+	// literals don't mention cannot invalidate the rule.
+	safeBody segSafety = iota
+	// safeHead: every variable appears in a body or head atom; literals
+	// cover the assignment exactly when the rule kept its head (HeadFalse
+	// instantiations hide the head tuple), so headNone rules of
+	// delete-touched entities must be re-derived.
+	safeHead
+	// unsafeSeg: some variable appears only in value comparisons; any
+	// rule of a delete-touched entity can depend on an invisible tuple
+	// and the whole entity must be re-derived for this constraint.
+	unsafeSeg
+)
+
+// constraintSafety computes the segment's safety class from the
+// constraint alone (no per-rule bookkeeping survives grounding).
+func constraintSafety(c *dc.Constraint) segSafety {
+	mentioned := make(map[string]bool, len(c.Vars))
+	for _, oa := range c.Orders {
+		mentioned[oa.U] = true
+		mentioned[oa.V] = true
+	}
+	covered := func() bool {
+		for _, v := range c.Vars {
+			if !mentioned[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if covered() {
+		return safeBody
+	}
+	mentioned[c.Head.U] = true
+	mentioned[c.Head.V] = true
+	if covered() {
+		return safeHead
+	}
+	return unsafeSeg
+}
+
 // rebuildRules assembles the patched solver's rule arenas in canonical
-// source order: per surviving source, clean-entity rules are copied from
-// the old arenas by literal remap and dirty-entity rules re-derived;
-// added sources are derived in full. Copy functions whose mappings
-// survived verbatim (no deletes in either relation) copy their whole
-// segment: inserts never create mappings, so no compat rule can have
-// appeared or vanished.
-func (out *Solver) rebuildRules(sv *Solver, d *spec.Delta, info *spec.ApplyInfo, dirty map[entKey]bool, added *addedRules, ctx *patchCtx, stats *PatchStats) error {
+// source order: per surviving source, remappable rules are copied from
+// the old arenas by the position- and size-aware literal remap (dropping
+// rules that mention deleted tuples) and re-ground entities' rules are
+// re-derived; added sources are derived in full. Copy functions whose
+// mappings survived verbatim (no deletes in either relation) copy their
+// whole segment: inserts never create mappings, so no compat rule can
+// have appeared or vanished.
+func (out *Solver) rebuildRules(sv *Solver, d *spec.Delta, info *spec.ApplyInfo, reGround, delOnly map[entKey]bool, added *addedRules, ctx *patchCtx, stats *PatchStats) error {
 	// Presize the arenas to the old solver's — most rules carry over.
 	out.ruleBody = make([]int32, 0, len(sv.ruleBody)+16)
 	out.ruleHead = make([]int32, 0, len(sv.ruleHead)+8)
 	out.ruleStart = make([]int32, 0, len(sv.ruleStart)+8)
 	out.ruleStart = append(out.ruleStart, 0)
 
-	// remap translates a literal of a position-stable block: member
-	// positions carry over verbatim (deltas only append members), but the
-	// within-block offset encoding i·n+j depends on the block SIZE, so a
-	// literal of a grown block (insert into its entity — the
-	// whole-segment copy path below hits this) must be re-encoded with
-	// the new n, not offset-shifted.
-	obMap := ctx.obMap
+	// remap translates one literal of a surviving rule, or returns -1
+	// when a mentioned member was deleted (the rule instantiation died
+	// with it). Member positions shift through the block's position map
+	// when its entity lost tuples and carry over verbatim otherwise, and
+	// the within-block offset is re-encoded against the NEW block size —
+	// the encoding i·n+j depends on n, which grows under inserts and
+	// shrinks under deletes.
 	remap := func(id int32) int32 {
 		obi := sv.litBlk[id]
-		nbi := obMap[obi]
 		rem := id - sv.litOff[obi]
-		if nOld, nNew := sv.blockN[obi], out.blockN[nbi]; nOld != nNew {
-			i, j := rem/nOld, rem%nOld
-			rem = i*nNew + j
+		nOld := sv.blockN[obi]
+		i, j := rem/nOld, rem%nOld
+		if ctx.posMap != nil {
+			if pm := ctx.posMap[obi]; pm != nil {
+				i, j = pm[i], pm[j]
+				if i < 0 || j < 0 {
+					return -1
+				}
+			}
 		}
-		return out.litOff[nbi] + rem
+		nbi := ctx.obMap[obi]
+		if nbi < 0 {
+			return -1 // block gone: every pair mentioned a deleted member
+		}
+		return out.litOff[nbi] + i*out.blockN[nbi] + j
 	}
+	// copyRule transfers one CSR rule, dropping it whole when any literal
+	// maps to a deleted member.
 	copyRule := func(ri int32) {
+		mark := len(out.ruleBody)
 		for _, id := range sv.ruleBodyOf(ri) {
-			out.ruleBody = append(out.ruleBody, remap(id))
+			nid := remap(id)
+			if nid < 0 {
+				out.ruleBody = out.ruleBody[:mark]
+				stats.DroppedRules++
+				return
+			}
+			out.ruleBody = append(out.ruleBody, nid)
 		}
-		out.ruleStart = append(out.ruleStart, int32(len(out.ruleBody)))
 		h := sv.ruleHead[ri]
 		if h != headNone {
-			h = remap(h)
+			if h = remap(h); h < 0 {
+				out.ruleBody = out.ruleBody[:mark]
+				stats.DroppedRules++
+				return
+			}
 		}
+		out.ruleStart = append(out.ruleStart, int32(len(out.ruleBody)))
 		out.ruleHead = append(out.ruleHead, h)
 		out.nRules++
 		stats.CopiedRules++
 	}
-	ruleClean := func(ri int32) bool {
+	// copyable reports whether the rule may transfer at all: rules
+	// touching a skip-marked block (re-ground entities, plus per-segment
+	// safety fallbacks) are re-derived instead.
+	copyable := func(ri int32, skip []bool) bool {
 		for _, id := range sv.ruleBodyOf(ri) {
-			if ctx.oldDirty[sv.litBlk[id]] {
+			if skip[sv.litBlk[id]] {
 				return false
 			}
 		}
-		if h := sv.ruleHead[ri]; h != headNone && ctx.oldDirty[sv.litBlk[h]] {
+		if h := sv.ruleHead[ri]; h != headNone && skip[sv.litBlk[h]] {
 			return false
 		}
 		return true
+	}
+	// markEnt adds one entity's old blocks to a skip mask.
+	markEnt := func(skip []bool, k entKey) {
+		r := sv.relOf[k.rel]
+		if r == nil {
+			return
+		}
+		for _, ai := range r.Schema.NonEIDIndexes() {
+			if obi, ok := sv.blockOf[BlockKey{Rel: k.rel, Attr: ai, EID: k.eid}]; ok {
+				skip[obi] = true
+			}
+		}
 	}
 
 	oldSeg := make(map[string]*ruleSeg, len(sv.segs))
@@ -516,24 +805,31 @@ func (out *Solver) rebuildRules(sv *Solver, d *spec.Delta, info *spec.ApplyInfo,
 	for _, cf := range d.AddCopies {
 		addedCf[cf.Name] = true
 	}
-	relDirty := make(map[string]bool)
-	for k := range dirty {
-		relDirty[k.rel] = true
+	relReGround := make(map[string]bool)
+	for k := range reGround {
+		relReGround[k.rel] = true
 	}
-	// Dirty entity groups per relation, one tuple scan each — the
-	// re-grounding input (single-tuple entities included: a value-trigger
-	// constraint can deny on one tuple alone).
-	dirtyGroups := make(map[string][]relation.EntityGroup)
-	for _, r := range out.Spec.Relations {
-		name := r.Schema.Name
-		if !relDirty[name] {
-			continue
+	// Entity groups to re-derive, per relation and optional per-segment
+	// extras, one tuple scan each — the re-grounding input (single-tuple
+	// entities included: a value-trigger constraint can deny on one tuple
+	// alone). The extras-free groups are cached per relation.
+	groupCache := make(map[string][]relation.EntityGroup)
+	groupsFor := func(rel string, extras map[entKey]bool) []relation.EntityGroup {
+		if !relReGround[rel] && len(extras) == 0 {
+			return nil
 		}
+		if len(extras) == 0 {
+			if g, ok := groupCache[rel]; ok {
+				return g
+			}
+		}
+		r := out.relOf[rel]
 		idx := make(map[relation.Value]int)
 		var groups []relation.EntityGroup
 		for i := range r.Tuples {
 			eid := r.EID(i)
-			if !dirty[entKey{name, eid}] {
+			k := entKey{rel, eid}
+			if !reGround[k] && !extras[k] {
 				continue
 			}
 			gi, ok := idx[eid]
@@ -544,7 +840,10 @@ func (out *Solver) rebuildRules(sv *Solver, d *spec.Delta, info *spec.ApplyInfo,
 			}
 			groups[gi].Members = append(groups[gi].Members, i)
 		}
-		dirtyGroups[name] = groups
+		if len(extras) == 0 {
+			groupCache[rel] = groups
+		}
+		return groups
 	}
 
 	before := out.nRules
@@ -563,20 +862,62 @@ func (out *Solver) rebuildRules(sv *Solver, d *spec.Delta, info *spec.ApplyInfo,
 				return err
 			}
 		} else {
+			// Delete-touched entities whose rules this constraint's
+			// safety class cannot guarantee remappable fall back to
+			// re-derivation alongside the re-ground entities.
+			var extras map[entKey]bool
+			addExtra := func(k entKey) {
+				if extras == nil {
+					extras = make(map[entKey]bool)
+				}
+				extras[k] = true
+			}
+			if len(delOnly) > 0 {
+				switch constraintSafety(c) {
+				case safeBody:
+				case safeHead:
+					for ri := seg.ruleStart; ri < seg.ruleEnd; ri++ {
+						if sv.ruleHead[ri] != headNone {
+							continue
+						}
+						if k := sv.litEnt(sv.ruleBody[sv.ruleStart[ri]]); delOnly[k] {
+							addExtra(k)
+						}
+					}
+				default:
+					for k := range delOnly {
+						if k.rel == c.Relation {
+							addExtra(k)
+						}
+					}
+				}
+			}
+			skip := ctx.oldRe
+			if len(extras) > 0 {
+				skip = append([]bool(nil), ctx.oldRe...)
+				for k := range extras {
+					markEnt(skip, k)
+				}
+			}
 			for ri := seg.ruleStart; ri < seg.ruleEnd; ri++ {
-				if ruleClean(ri) {
+				if copyable(ri, skip) {
 					copyRule(ri)
 				}
 			}
 			for ui := seg.unitStart; ui < seg.unitEnd; ui++ {
 				uh := sv.unitHeads[ui]
-				if !ctx.oldDirty[sv.litBlk[uh]] {
-					out.unitHeads = append(out.unitHeads, remap(uh))
+				if skip[sv.litBlk[uh]] {
+					continue
+				}
+				if nid := remap(uh); nid >= 0 {
+					out.unitHeads = append(out.unitHeads, nid)
 					out.nRules++
 					stats.CopiedRules++
+				} else {
+					stats.DroppedRules++
 				}
 			}
-			if groups := dirtyGroups[c.Relation]; len(groups) > 0 {
+			if groups := groupsFor(c.Relation, extras); len(groups) > 0 {
 				grs, err := dc.GroundGroups(c, out.relOf[c.Relation], groups)
 				if err != nil {
 					return err
@@ -604,27 +945,32 @@ func (out *Solver) rebuildRules(sv *Solver, d *spec.Delta, info *spec.ApplyInfo,
 			}
 		} else if info.TupleMap[cf.Target] == nil && info.TupleMap[cf.Source] == nil {
 			// Mappings survived verbatim and every mapped tuple kept its
-			// position: the compat rule set is unchanged — copy it whole.
+			// position: the compat rule set is unchanged — copy it whole
+			// (remap re-encodes against grown block sizes).
 			for ri := seg.ruleStart; ri < seg.ruleEnd; ri++ {
 				copyRule(ri)
 			}
 		} else {
+			// Deletes in the target or source relation: copy rules have
+			// no hidden dependencies (every mapped tuple appears in a
+			// literal), so surviving rules remap, rules on deleted
+			// mappings drop, and only re-ground entities re-derive.
 			for ri := seg.ruleStart; ri < seg.ruleEnd; ri++ {
-				if ruleClean(ri) {
+				if copyable(ri, ctx.oldRe) {
 					copyRule(ri)
 				}
 			}
 			// Copy rules never produce unit heads (their body is the
 			// source-order literal), so only the CSR range carries over.
-			if relDirty[cf.Target] || relDirty[cf.Source] {
+			if relReGround[cf.Target] || relReGround[cf.Source] {
 				tgt, src := out.relOf[cf.Target], out.relOf[cf.Source]
 				crs, err := cf.CompatRules(tgt, src)
 				if err != nil {
 					return err
 				}
 				err = out.addCopyRules(cf, crs, func(cr copyfn.CompatRule) bool {
-					return dirty[entKey{cf.Target, tgt.EID(cr.TI)}] ||
-						dirty[entKey{cf.Source, src.EID(cr.SI)}]
+					return reGround[entKey{cf.Target, tgt.EID(cr.TI)}] ||
+						reGround[entKey{cf.Source, src.EID(cr.SI)}]
 				})
 				if err != nil {
 					return err
@@ -646,8 +992,9 @@ func segID(kind segKind, name string) string {
 }
 
 // stateDirtyBlocks marks the patched solver's blocks whose base state
-// must be rebuilt: blocks of rule-dirty entities, plus blocks that only
-// gained base-order pairs (order adds leave rules alone but change the
+// must be rebuilt: blocks of delta-touched entities (inserted, deleted,
+// or mentioned by added/dropped sources), plus blocks that only gained
+// base-order pairs (order adds leave rules alone but change the
 // propagated base).
 func (out *Solver) stateDirtyBlocks(d *spec.Delta, ctx *patchCtx) []bool {
 	sd := make([]bool, len(out.blocks))
@@ -708,12 +1055,25 @@ func (out *Solver) planReuse(sv *Solver, ctx *patchCtx, stateDirty []bool) []com
 	return reuse
 }
 
+// compAligned reports whether a reused component's blocks sit in the
+// same relative order as its predecessor's — then the two contiguous
+// spans have byte-for-byte identical layouts and transfer as one copy
+// (or one shared slice, for memos).
+func compAligned(nc, oc *component, ctx *patchCtx) bool {
+	for k, nbi := range nc.blocks {
+		if ctx.noMap[nbi] != int32(oc.blocks[k]) {
+			return false
+		}
+	}
+	return true
+}
+
 // initBaseFrom builds the patched base state: reused components' spans
-// are copied byte-for-byte from the old base (identical seeds, identical
-// rules — identical fixpoint), everything else is re-seeded from the
-// patched specification's orders and re-propagated. Unlike the cold
-// initBase, the seeding pass reads each (relation, attribute) pair set
-// once instead of once per block.
+// are copied from the old base (identical seeds, identical rules —
+// identical fixpoint; one flat memcpy when the block layout aligns),
+// everything else is re-seeded from the patched specification's orders
+// and re-propagated. Seeding shares the cold path's per-member adjacency
+// sweep (seedBlock), so neither path ever sorts a pair set.
 func (out *Solver) initBaseFrom(sv *Solver, ctx *patchCtx, reuse []compReuse) {
 	st := &state{a: make([]byte, out.numLits)}
 	out.base = st
@@ -723,40 +1083,26 @@ func (out *Solver) initBaseFrom(sv *Solver, ctx *patchCtx, reuse []compReuse) {
 	}
 	reused := make([]bool, len(out.blocks))
 	for _, ru := range reuse {
-		for _, nbi := range out.comps[ru.nci].blocks {
+		nc, oc := out.comps[ru.nci], sv.comps[ru.oci]
+		for _, nbi := range nc.blocks {
 			reused[nbi] = true
+		}
+		if compAligned(nc, oc, ctx) {
+			copy(st.a[nc.lo:nc.hi], sv.base.a[oc.lo:oc.hi])
+			continue
+		}
+		for _, nbi := range nc.blocks {
 			obi := int(ctx.noMap[nbi])
 			nlo, nhi := out.span(nbi)
 			olo, _ := sv.span(obi)
 			copy(st.a[nlo:nhi], sv.base.a[olo:olo+(nhi-nlo)])
 		}
 	}
-	// Seed from the block side: each non-reused block pulls its members'
-	// order successors from the pair-set adjacency, so the sweep costs
-	// O(touched blocks × their pairs), not O(all pairs × hash probes).
-	// Seed order is irrelevant — the propagation closure is confluent.
 	for bi, b := range out.blocks {
 		if reused[bi] {
 			continue
 		}
-		r := out.relOf[b.Key.Rel]
-		ps := r.Orders[b.Key.Attr]
-		if ps == nil || ps.Len() == 0 {
-			continue
-		}
-		n := out.blockN[bi]
-		for pi, ti := range b.Members {
-			for _, tj := range ps.Succ(ti) {
-				if tj < 0 || tj >= len(b.Pos) {
-					continue
-				}
-				pj := b.Pos[tj]
-				if pj < 0 || int32(pj) >= n || b.Members[pj] != tj {
-					continue
-				}
-				st.q = append(st.q, out.litOff[bi]+int32(pi)*n+int32(pj))
-			}
-		}
+		out.seedBlock(st, bi, b)
 	}
 	// Unit heads: re-asserting into a reused span is a no-op (the value
 	// is already set), so no filtering is needed.
@@ -768,10 +1114,11 @@ func (out *Solver) initBaseFrom(sv *Solver, ctx *patchCtx, reuse []compReuse) {
 	st.q = nil
 }
 
-// transferMemos pre-fills reused components' base verdicts and sub-model
-// rows from the old solver. Rows are shared, not copied: memos are
-// immutable once published. Components the old solver had not yet
-// searched stay cold (their Once fires on first use as usual).
+// transferMemos pre-fills reused components' base verdicts and
+// sub-model spans from the old solver. Aligned spans are shared, not
+// copied: memos are immutable once published. Components the old solver
+// had not yet searched stay cold (their Once fires on first use as
+// usual).
 func (out *Solver) transferMemos(sv *Solver, ctx *patchCtx, reuse []compReuse, stats *PatchStats) {
 	for _, ru := range reuse {
 		oc := sv.comps[ru.oci]
@@ -779,35 +1126,23 @@ func (out *Solver) transferMemos(sv *Solver, ctx *patchCtx, reuse []compReuse, s
 			continue
 		}
 		nc := out.comps[ru.nci]
-		var rows [][]byte
+		var arena []byte
 		if oc.baseSat {
-			// The common case: both components list their blocks in the
-			// same relative order, so the whole row table is shared.
-			aligned := true
-			for k, nbi := range nc.blocks {
-				if ctx.noMap[nbi] != int32(oc.blocks[k]) {
-					aligned = false
-					break
-				}
-			}
-			if aligned {
-				rows = oc.baseRows
+			if compAligned(nc, oc, ctx) {
+				arena = oc.baseArena
 			} else {
-				rows = make([][]byte, len(nc.blocks))
-				for k, nbi := range nc.blocks {
+				arena = make([]byte, nc.hi-nc.lo)
+				for _, nbi := range nc.blocks {
 					obi := int(ctx.noMap[nbi])
-					for ok, oBlk := range oc.blocks {
-						if oBlk == obi {
-							rows[k] = oc.baseRows[ok]
-							break
-						}
-					}
+					nlo, nhi := out.span(nbi)
+					olo, _ := sv.span(obi)
+					copy(arena[nlo-nc.lo:nhi-nc.lo], oc.baseArena[olo-oc.lo:olo-oc.lo+(nhi-nlo)])
 				}
 			}
 		}
 		nc.baseOnce.Do(func() {
 			nc.baseSat = oc.baseSat
-			nc.baseRows = rows
+			nc.baseArena = arena
 		})
 		nc.done.Store(true)
 		stats.MemoComps++

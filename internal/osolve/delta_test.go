@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"currency/internal/copyfn"
+	"currency/internal/dc"
 	"currency/internal/gen"
 	"currency/internal/relation"
 	"currency/internal/spec"
@@ -56,58 +57,9 @@ func certainPairsMatch(t *testing.T, tag string, got, want *Solver) {
 	}
 }
 
-// TestApplyDeltaDifferential chains random deltas over random tiny specs
-// and checks, after every patch, that the patched solver agrees with a
-// solver grounded from the patched specification from scratch — on the
-// consistency verdict, on every same-entity certain pair, and on model
-// validity (SolveWith results must be consistent completions, checked
-// against brute-force enumeration).
-func TestApplyDeltaDifferential(t *testing.T) {
-	for seed := int64(0); seed < 25; seed++ {
-		s := gen.Random(tinyConfig(seed))
-		sv, err := New(s)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		rng := rand.New(rand.NewSource(seed * 31))
-		for step := 0; step < 3; step++ {
-			// Alternate warm and cold receivers: deltas must patch
-			// correctly whether or not memos exist yet.
-			if step%2 == 0 {
-				sv.Consistent()
-			}
-			d := gen.RandomDelta(rng, sv.Spec, gen.DeltaConfig{
-				Inserts: 1 + step%2, NewEntity: 0.3, Deletes: 1, Orders: 1,
-				PConstraint: 0.4, PCopyDrop: 0.3,
-			})
-			sv = applyOrDie(t, sv, d)
-			fresh, err := New(sv.Spec)
-			if err != nil {
-				t.Fatalf("seed %d step %d: fresh ground: %v", seed, step, err)
-			}
-			tag := fmtTag(seed, step)
-
-			models := bruteModels(t, sv.Spec)
-			if got, want := sv.Consistent(), len(models) > 0; got != want {
-				t.Errorf("%s: patched consistent=%v, brute=%v", tag, got, want)
-				continue
-			}
-			if got, want := fresh.Consistent(), len(models) > 0; got != want {
-				t.Errorf("%s: fresh consistent=%v, brute=%v", tag, got, want)
-				continue
-			}
-			certainPairsMatch(t, tag, sv, fresh)
-
-			model, ok := sv.SolveWith(nil)
-			if ok != (len(models) > 0) {
-				t.Errorf("%s: patched SolveWith ok=%v, brute |Mod|=%d", tag, ok, len(models))
-			}
-			if ok && !modelInBruteSet(sv.Spec, models, model) {
-				t.Errorf("%s: patched SolveWith model is not a brute-force completion", tag)
-			}
-		}
-	}
-}
+// The differential coverage of chained deltas lives in the consolidated
+// harness (differential_test.go: TestEngineDifferentialDeltaChain). This
+// file holds the instrumented white-box checks of the incremental path.
 
 func fmtTag(seed int64, step int) string {
 	return fmt.Sprintf("seed %d step %d", seed, step)
@@ -215,6 +167,128 @@ func TestApplyDeltaMemoScoping(t *testing.T) {
 	}
 	if patched.Consistent() != fresh.Consistent() {
 		t.Errorf("patched consistent=%v, fresh=%v", patched.Consistent(), fresh.Consistent())
+	}
+}
+
+// TestApplyDeltaDeleteRemap is the instrumented acceptance check of the
+// delete path: a delete-only delta against a warm solver must run
+// entirely on the remap machinery — no rule re-derivation at all (the
+// workload's constraint templates are remap-safe), rules mentioning the
+// deleted tuples dropped, everything else copied — while untouched
+// components keep their base spans, verdicts and sub-models alive
+// exactly as under inserts, so re-warming searches only the rebuilt
+// components.
+func TestApplyDeltaDeleteRemap(t *testing.T) {
+	s := consistentWorkload(16)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent() // warm every component
+
+	rng := rand.New(rand.NewSource(5))
+	d := gen.RandomDelta(rng, s, gen.DeltaConfig{Deletes: 3})
+	if len(d.Deletes) == 0 {
+		t.Fatal("generated delta deletes nothing")
+	}
+	patched := applyOrDie(t, sv, d)
+
+	stats, ok := patched.PatchStats()
+	if !ok {
+		t.Fatal("patched solver carries no PatchStats")
+	}
+	if stats.FullRebuild {
+		t.Fatal("delete-only delta fell back to a full rebuild")
+	}
+	if stats.RegroundRules != 0 {
+		t.Errorf("delete-only delta re-derived %d rules; the remap should cover them all", stats.RegroundRules)
+	}
+	if stats.DroppedRules == 0 {
+		t.Error("no rules dropped although tuples with rules were deleted")
+	}
+	if stats.CopiedRules == 0 {
+		t.Fatal("no rules copied")
+	}
+	if stats.ReusedComps == 0 {
+		t.Fatal("no components reused across a delete")
+	}
+	if stats.RebuiltComps >= stats.ReusedComps {
+		t.Errorf("delete touched %d of %d components; expected a small minority",
+			stats.RebuiltComps, stats.ReusedComps+stats.RebuiltComps)
+	}
+	if stats.MemoComps != stats.ReusedComps {
+		t.Errorf("only %d of %d reused components transferred their memo (receiver was fully warm)",
+			stats.MemoComps, stats.ReusedComps)
+	}
+
+	// Re-warming the patched solver searches only the rebuilt components.
+	patched.Consistent()
+	searched := 0
+	for _, c := range patched.comps {
+		if c.searches.Load() > 0 {
+			searched++
+		}
+	}
+	if searched > stats.RebuiltComps {
+		t.Errorf("warming searched %d components, want at most the %d rebuilt ones",
+			searched, stats.RebuiltComps)
+	}
+
+	// And the patched verdicts match a from-scratch grounding.
+	fresh, err := New(patched.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched.Consistent() != fresh.Consistent() {
+		t.Errorf("patched consistent=%v, fresh=%v", patched.Consistent(), fresh.Consistent())
+	}
+	certainPairsMatch(t, "delete-remap", patched, fresh)
+}
+
+// TestApplyDeltaUnsafeConstraintDelete pins the hidden-dependence
+// fallback: a constraint with a comparison-only variable (unsafeSeg —
+// its ground rules can depend on a tuple appearing in no literal) must
+// have its delete-touched entities re-derived, not remapped, and the
+// patched verdicts must still match a fresh grounding.
+func TestApplyDeltaUnsafeConstraintDelete(t *testing.T) {
+	s := spec.New()
+	r := relation.NewTemporal(relation.MustSchema("R", "eid", "a", "b"))
+	// Entity e: three tuples; the u variable below can bind the (a=7)
+	// witness tuple, which carries no order literal of its own.
+	r.MustAdd(relation.Tuple{relation.S("e"), relation.I(1), relation.I(0)})
+	r.MustAdd(relation.Tuple{relation.S("e"), relation.I(2), relation.I(0)})
+	r.MustAdd(relation.Tuple{relation.S("e"), relation.I(7), relation.I(0)})
+	s.MustAddRelation(r)
+	// ∀s,t,u: u.a = 7 ∧ s.a > t.a → t ≺b s — the rule over (s,t) exists
+	// only while some tuple with a=7 exists; u appears in no atom.
+	s.MustAddConstraint(&dc.Constraint{
+		Name: "witness", Relation: "R", Vars: []string{"s", "t", "u"},
+		Cmps: []dc.Comparison{
+			{L: dc.AttrOp("u", "a"), Op: dc.OpEq, R: dc.ConstOp(relation.I(7))},
+			{L: dc.AttrOp("s", "a"), Op: dc.OpGt, R: dc.AttrOp("t", "a")},
+		},
+		Head: dc.OrderAtom{U: "t", V: "s", Attr: "b"},
+	})
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent()
+	if got, _ := sv.CertainPair("R", "b", 0, 1); !got {
+		t.Fatal("witness constraint should force t0 ≺b t1 while the a=7 tuple exists")
+	}
+
+	// Deleting the witness tuple must dissolve the forced order: a remap
+	// that kept the (s,t) rule would wrongly preserve it.
+	d := &spec.Delta{Deletes: []spec.TupleDelete{{Rel: "R", Index: 2}}}
+	patched := applyOrDie(t, sv, d)
+	fresh, err := New(patched.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certainPairsMatch(t, "unsafe-constraint-delete", patched, fresh)
+	if got, _ := patched.CertainPair("R", "b", 0, 1); got {
+		t.Error("order stayed certain after its witness tuple was deleted (hidden dependence remapped)")
 	}
 }
 

@@ -65,8 +65,11 @@ func (sv *Solver) buildBlocks() error {
 }
 
 // buildRelationBlocks appends the blocks of one relation (attribute-major,
-// entity groups in first-occurrence order — ApplyDelta's descriptor
-// sharing relies on this order being a function of the instance alone).
+// entity groups in first-occurrence order). This is only the PROVISIONAL
+// layout: reorderByComponent permutes the table so each component's
+// blocks end up contiguous, and every cross-generation translation in
+// ApplyDelta goes through the blockOf key index, never through positional
+// assumptions.
 func (sv *Solver) buildRelationBlocks(r *relation.TemporalInstance) {
 	sv.relOf[r.Schema.Name] = r
 	groups := r.Entities()

@@ -76,24 +76,57 @@ func (sv *Solver) span(bi int) (lo, hi int32) {
 }
 
 // scopedClone builds a pooled state whose arena holds copies of the base
-// spans for the blocks of the listed components; every other span is left
-// stale. Rules never cross components, so searching the listed components
-// only ever reads or writes the copied spans — a query touching one
-// component pays a span copy proportional to that component, not to the
-// whole problem, and no allocation at all once the pool is warm.
+// spans of the listed components; every other span is left stale. Blocks
+// of one component are contiguous in the arena (reorderByComponent), so
+// each component costs exactly one memcpy. Rules never cross components,
+// so searching the listed components only ever reads or writes the
+// copied spans — a query touching one component pays a span copy
+// proportional to that component, not to the whole problem, and no
+// allocation at all once the pool is warm.
 func (sv *Solver) scopedClone(comps []int) *state {
 	st := sv.getState()
 	for _, ci := range comps {
-		for _, bi := range sv.comps[ci].blocks {
-			lo, hi := sv.span(bi)
-			copy(st.a[lo:hi], sv.base.a[lo:hi])
-		}
+		c := sv.comps[ci]
+		copy(st.a[c.lo:c.hi], sv.base.a[c.lo:c.hi])
 	}
 	return st
 }
 
+// seedBlock pushes block bi's given base-order pairs onto st.q, reading
+// the relation's pair-set adjacency (Succ) once per member. The sweep is
+// linear in the block's members plus their order edges; materializing
+// and sorting the whole relation-attribute pair set per block (Pairs)
+// made cold seeding quadratic in entities. Pos is shared across the
+// relation's blocks, so a successor counts only when it really is one of
+// this block's members — the order also carries other entities' pairs,
+// which those entities' blocks pick up. The bounds guard tolerates
+// position tables narrower than the instance (descriptors shared across
+// solver generations by ApplyDelta).
+func (sv *Solver) seedBlock(st *state, bi int, b *Block) {
+	r := sv.relOf[b.Key.Rel]
+	ps := r.Orders[b.Key.Attr]
+	if ps == nil || ps.Len() == 0 {
+		return
+	}
+	n := sv.blockN[bi]
+	for pi, ti := range b.Members {
+		for _, tj := range ps.Succ(ti) {
+			if tj < 0 || tj >= len(b.Pos) {
+				continue
+			}
+			pj := b.Pos[tj]
+			if pj < 0 || int32(pj) >= n || b.Members[pj] != tj {
+				continue
+			}
+			st.q = append(st.q, sv.litOff[bi]+int32(pi)*n+int32(pj))
+		}
+	}
+}
+
 // initBase builds the base state: the given partial orders, closed under
-// transitivity and rule propagation.
+// transitivity and rule propagation. Seeding is linear in entities: each
+// block reads its members' adjacency once (seedBlock) instead of sorting
+// the relation's pair set once per block.
 func (sv *Solver) initBase() {
 	st := &state{a: make([]byte, sv.numLits)}
 	sv.base = st
@@ -102,25 +135,7 @@ func (sv *Solver) initBase() {
 		return
 	}
 	for bi, b := range sv.blocks {
-		r := sv.relOf[b.Key.Rel]
-		ps := r.Orders[b.Key.Attr]
-		if ps == nil {
-			continue
-		}
-		n := sv.blockN[bi]
-		for _, p := range ps.Pairs() {
-			// Pos is shared across the relation's blocks (positions are
-			// within each tuple's own entity group), so a position is
-			// only meaningful here if the tuple really is one of this
-			// block's members — the order also carries other entities'
-			// pairs, which other blocks pick up.
-			pi, pj := b.Pos[p.A], b.Pos[p.B]
-			if pi < 0 || pj < 0 || int32(pi) >= n || int32(pj) >= n ||
-				b.Members[pi] != p.A || b.Members[pj] != p.B {
-				continue
-			}
-			st.q = append(st.q, sv.litOff[bi]+int32(pi)*n+int32(pj))
-		}
+		sv.seedBlock(st, bi, b)
 	}
 	st.q = append(st.q, sv.unitHeads...)
 	if !sv.propagate(st) {

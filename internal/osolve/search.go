@@ -88,19 +88,16 @@ func (sv *Solver) searchAll(st *state) bool {
 }
 
 // baseComp memoizes component ci's verdict against the base state: its
-// satisfiability, and on success one completed orientation span per block
-// (aligned with comps[ci].blocks, private to the memo).
-func (sv *Solver) baseComp(ci int) (bool, [][]byte) {
+// satisfiability, and on success one completed orientation of the whole
+// component span [lo, hi) as a single flat slice (private to the memo —
+// the component's blocks are contiguous in the arena).
+func (sv *Solver) baseComp(ci int) (bool, []byte) {
 	c := sv.comps[ci]
 	c.baseOnce.Do(func() {
 		st := sv.scopedClone([]int{ci})
 		if sv.searchComp(st, ci) {
 			c.baseSat = true
-			c.baseRows = make([][]byte, len(c.blocks))
-			for k, bi := range c.blocks {
-				lo, hi := sv.span(bi)
-				c.baseRows[k] = append([]byte(nil), st.a[lo:hi]...)
-			}
+			c.baseArena = append([]byte(nil), st.a[c.lo:c.hi]...)
 		}
 		sv.putState(st)
 	})
@@ -108,7 +105,7 @@ func (sv *Solver) baseComp(ci int) (bool, [][]byte) {
 	// goroutine here, and the atomic store makes them visible to any
 	// reader that observes done.
 	c.done.Store(true)
-	return c.baseSat, c.baseRows
+	return c.baseSat, c.baseArena
 }
 
 // baseSatExcept reports whether every component outside skip is
@@ -286,14 +283,11 @@ func (sv *Solver) SolveWith(assume []Lit) (spec.Model, bool) {
 		if inTouched(ci) {
 			continue
 		}
-		_, rows := sv.baseComp(ci)
-		// Copy the memo spans into the local arena (the state is pooled,
-		// so sharing the memo's backing arrays is not an option — and the
-		// copy keeps the memo immutable).
-		for k, bi := range c.blocks {
-			lo, hi := sv.span(bi)
-			copy(st.a[lo:hi], rows[k])
-		}
+		_, arena := sv.baseComp(ci)
+		// One flat copy of the memo span into the local arena (the state
+		// is pooled, so sharing the memo's backing array is not an option
+		// — and the copy keeps the memo immutable).
+		copy(st.a[c.lo:c.hi], arena)
 	}
 	return sv.modelFrom(st), true
 }

@@ -8,7 +8,10 @@
 //     plus the CSR per-literal rule watch index;
 //   - decomposition (components.go): blocks are partitioned into
 //     connected components of the cross-block rule graph; components
-//     share no rules and are independent sub-problems;
+//     share no rules and are independent sub-problems, and the block
+//     table is reordered so each component occupies one contiguous
+//     literal-ID span (scoped clones are a single memcpy per component,
+//     component memos one flat slice);
 //   - propagation (propagate.go): one flat orientation arena per state
 //     with trail-based backtracking; each set pair triggers transitive
 //     closure inside its block and exactly the rules watching that
@@ -115,8 +118,9 @@ type Solver struct {
 // New builds a solver for the specification. It validates the
 // specification, grounds all denial constraints and compatibility rules
 // into the interned CSR representation, decomposes the blocks into
-// components, and performs initial propagation of the given partial
-// orders.
+// components (reordering the block table so each component is one
+// contiguous arena span), and performs initial propagation of the given
+// partial orders.
 func New(s *spec.Spec) (*Solver, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -133,8 +137,11 @@ func New(s *spec.Spec) (*Solver, error) {
 	if err := sv.groundRules(); err != nil {
 		return nil, err
 	}
-	sv.indexRules()
 	sv.buildComponents()
+	// Reorder before indexing: the watch index is laid out over the
+	// final (component-contiguous) literal IDs.
+	sv.reorderByComponent()
+	sv.indexRules()
 	sv.statePool = newStatePool()
 	sv.initBase()
 	return sv, nil

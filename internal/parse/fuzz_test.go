@@ -73,6 +73,37 @@ func TestRandomSpecRoundTrip(t *testing.T) {
 	}
 }
 
+// FuzzParseSpec is the native fuzz target for the textual wire format:
+// for any input the parser accepts, Marshal of the parsed file must
+// reparse (the wire format is closed under its own printer) and
+// re-marshal to the same bytes — parse→marshal→parse is a fixed point —
+// and nothing may panic on arbitrary input. The seed corpus under
+// testdata/fuzz/FuzzParseSpec holds generated specifications with
+// constraints, copy functions, orders and queries, plus the README's
+// worked example; CI runs the target on a short budget.
+func FuzzParseSpec(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := gen.Default(seed)
+		cfg.Constraints = 1 + int(seed%3)
+		f.Add(gen.RandomSource(cfg))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := parse.ParseFile(src)
+		if err != nil {
+			return // rejected input: the property is "no panic"
+		}
+		text := parse.Marshal(file.Spec, file.Queries...)
+		file2, err := parse.ParseFile(text)
+		if err != nil {
+			t.Fatalf("marshalled form does not reparse: %v\n--- marshalled ---\n%s", err, text)
+		}
+		text2 := parse.Marshal(file2.Spec, file2.Queries...)
+		if text != text2 {
+			t.Fatalf("parse→marshal→parse is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+		}
+	})
+}
+
 // TestRandomSpecWithConstraintsRoundTrip round-trips specifications with
 // denial constraints and compares marshalled forms after a second trip
 // (Marshal ∘ Parse ∘ Marshal is a fixpoint).
