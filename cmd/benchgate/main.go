@@ -79,7 +79,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_solver.json", "committed baseline (JSON lines, append-only history)")
 	fresh := flag.String("fresh", "", "freshly measured rows (JSON lines)")
 	threshold := flag.Float64("threshold", 0.25, "allowed relative regression (0.25 = +25%)")
-	metricsFlag := flag.String("metrics", "warm_cop_ns,cold_ground_ns", "comma-separated metrics to gate")
+	metricsFlag := flag.String("metrics", "warm_cop_ns,cold_ground_ns,decisions_per_query", "comma-separated metrics to gate")
 	flag.Parse()
 	if *fresh == "" {
 		log.Fatal("benchgate: -fresh is required")
@@ -117,6 +117,13 @@ func main() {
 		for _, m := range metrics {
 			fv, fok := fr.num(m)
 			bv, bok := br.num(m)
+			if fok && !bok {
+				// A metric newer than the baseline (e.g. the engine-counter
+				// columns): visible in the report, gated once a baseline
+				// generation carrying it lands.
+				fmt.Printf("benchgate: %s %s: fresh %.0f, no baseline (reported only)\n", k, m, fv)
+				continue
+			}
 			if !fok || !bok || bv <= 0 {
 				continue
 			}

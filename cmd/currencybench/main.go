@@ -324,8 +324,8 @@ func tableIII() {
 func tableSolver() {
 	header("Solver — interned component engine")
 	prose("cold CPS grounds and searches every component; warm COP touches one component and reads memoized verdicts for the rest\n")
-	prose("%-10s %-12s %-14s %-14s %-16s %-16s %-12s\n",
-		"entities", "components", "cold ground", "cold (1 wkr)", "cold (par)", "warm COP/query", "allocs/query")
+	prose("%-10s %-12s %-14s %-14s %-16s %-16s %-12s %-12s\n",
+		"entities", "components", "cold ground", "cold (1 wkr)", "cold (par)", "warm COP/query", "allocs/query", "decis/query")
 	const queries = 200
 	for _, n := range []int{4, 16, 64} {
 		s := hardWorkload(n)
@@ -384,14 +384,28 @@ func tableSolver() {
 		runtime.ReadMemStats(&after)
 		warmAllocs := float64(after.Mallocs-before.Mallocs) / queries
 
+		// Engine search effort per warm query, from the same counters
+		// /metrics exports: one un-timed pass bracketed by snapshots
+		// (pooled states flush on release, so the deltas are complete).
+		ecBefore := warm.Engine().Stats().Counters()
+		runWarm()
+		ecAfter := warm.Engine().Stats().Counters()
+		perQ := func(before, after uint64) float64 { return float64(after-before) / queries }
+		decisionsPerQ := perQ(ecBefore.Decisions, ecAfter.Decisions)
+		propagationsPerQ := perQ(ecBefore.Propagations, ecAfter.Propagations)
+		conflictsPerQ := perQ(ecBefore.Conflicts, ecAfter.Conflicts)
+
 		emit(map[string]any{
 			"table": "solver", "experiment": "contiguous-engine",
 			"entities": n, "components": components, "warm_queries": queries,
 			"cold_ground_ns": coldGround.Nanoseconds(),
 			"cold_seq_ns":    coldSeq.Nanoseconds(), "cold_par_ns": coldPar.Nanoseconds(),
 			"warm_cop_ns": perQuery.Nanoseconds(), "warm_allocs": warmAllocs,
-		}, "%-10d %-12d %-14v %-14v %-16v %-16v %-12.2f\n",
-			n, components, coldGround, coldSeq, coldPar, perQuery, warmAllocs)
+			"decisions_per_query":    decisionsPerQ,
+			"propagations_per_query": propagationsPerQ,
+			"conflicts_per_query":    conflictsPerQ,
+		}, "%-10d %-12d %-14v %-14v %-16v %-16v %-12.2f %-12.2f\n",
+			n, components, coldGround, coldSeq, coldPar, perQuery, warmAllocs, decisionsPerQ)
 	}
 }
 

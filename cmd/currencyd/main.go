@@ -11,7 +11,16 @@
 //
 // Usage:
 //
-//	currencyd [-addr :8411] [-cache 64] [-workers N] [-pprof :6060] [spec.cd ...]
+//	currencyd [-addr :8411] [-cache 64] [-workers N] [-pprof :6060]
+//	          [-slow-query 250ms] [-request-log path|stderr] [-trace-buffer 32]
+//	          [spec.cd ...]
+//
+// Observability: GET /metrics serves Prometheus text metrics (endpoint
+// and decision latency histograms, engine search counters, cache and
+// patch-pipeline counters), GET /debug/traces the slowest requests with
+// per-layer spans, and every response carries an X-Currencyd-Trace ID.
+// Requests slower than -slow-query are counted and logged; -request-log
+// streams one JSON line per request to a file or stderr.
 //
 // Positional arguments are specification files preloaded into the
 // registry under their basename.
@@ -30,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -50,10 +60,16 @@ func main() {
 	cacheSize := flag.Int("cache", server.DefaultCacheSize, "reasoner cache capacity (0 disables caching)")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	slowQuery := flag.Duration("slow-query", server.DefaultSlowQuery, "latency threshold for counting and logging slow requests (<0 disables)")
+	requestLog := flag.String("request-log", "", `per-request JSON log destination: a file path, "stderr", or empty to log only slow requests`)
+	traceBuffer := flag.Int("trace-buffer", 0, "how many slowest traces /debug/traces keeps (0 = 32)")
 	flag.Parse()
 
 	// Production profiling: pprof lives on its own listener (never the
 	// service address), off by default, and only ever bound when asked.
+	// The server handle outlives the goroutine so graceful shutdown can
+	// drain this listener too.
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -61,20 +77,44 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			log.Printf("pprof listening on %s", *pprofAddr)
-			ps := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-			if err := ps.ListenAndServe(); err != nil {
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
+	}
+
+	var reqLog io.Writer
+	switch *requestLog {
+	case "":
+	case "stderr":
+		reqLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*requestLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("request log: %v", err)
+		}
+		defer f.Close()
+		reqLog = f
 	}
 
 	size := *cacheSize
 	if size == 0 {
 		size = -1 // Options maps 0 to the default; negative disables.
 	}
-	srv := server.New(server.Options{CacheSize: size, Workers: *workers})
+	sq := *slowQuery
+	if sq < 0 {
+		sq = -1 // Options maps 0 to the default; negative disables.
+	}
+	srv := server.New(server.Options{
+		CacheSize:   size,
+		Workers:     *workers,
+		SlowQuery:   sq,
+		RequestLog:  reqLog,
+		TraceBuffer: *traceBuffer,
+	})
 
 	// Positional arguments are spec files preloaded into the registry,
 	// registered under their basename without extension.
@@ -118,6 +158,11 @@ func main() {
 		log.Printf("received %v, draining", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
+		if pprofSrv != nil {
+			if err := pprofSrv.Shutdown(ctx); err != nil {
+				log.Printf("pprof shutdown: %v", err)
+			}
+		}
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Fatal(err)
 		}

@@ -32,6 +32,11 @@ const (
 	EnginePTime = "ptime"
 )
 
+// TraceHeader is the response header carrying the server-assigned
+// per-request trace ID; pass it to GET /debug/traces lookups (the slow
+// log keys traces by this ID) and quote it in bug reports.
+const TraceHeader = "X-Currencyd-Trace"
+
 // RegisterRequest registers or updates a specification. Source is the
 // textual format of internal/parse (relations, instances, constraints,
 // copy functions, and optionally named queries). An empty ID lets the
@@ -128,6 +133,9 @@ type PatchInfo struct {
 	// patch (zero when not patched).
 	CopiedRules   int `json:"copiedRules,omitempty"`
 	RegroundRules int `json:"regroundRules,omitempty"`
+	// DroppedRules counts old ground rules the delete remap discarded
+	// because they mentioned deleted tuples (zero when not patched).
+	DroppedRules int `json:"droppedRules,omitempty"`
 }
 
 // PatchResult is the response of PATCH /specs/{id}.
@@ -227,7 +235,23 @@ type BatchResponse struct {
 	Results []DecisionResult `json:"results"`
 }
 
-// Stats reports server counters for observability and tests.
+// EngineCounters mirrors osolve.EngineCounters on the wire: the
+// cumulative search effort of every engine the server has run,
+// monotonic across cache evictions and incremental patches.
+type EngineCounters struct {
+	Decisions        uint64 `json:"decisions"`
+	Propagations     uint64 `json:"propagations"`
+	Conflicts        uint64 `json:"conflicts"`
+	Searches         uint64 `json:"searches"`
+	ScopedCloneBytes uint64 `json:"scopedCloneBytes"`
+	PoolHits         uint64 `json:"poolHits"`
+	PoolMisses       uint64 `json:"poolMisses"`
+	MemoHits         uint64 `json:"memoHits"`
+}
+
+// Stats reports server counters for observability and tests. GET
+// /metrics exposes the same data (plus latency histograms) in the
+// Prometheus text format.
 type Stats struct {
 	Specs         int    `json:"specs"`
 	CacheEntries  int    `json:"cacheEntries"`
@@ -241,6 +265,43 @@ type Stats struct {
 	CachePatched    uint64 `json:"cachePatched"`
 	CacheRegrounded uint64 `json:"cacheRegrounded"`
 	Workers         int    `json:"workers"`
+	// Requests counts requests served on instrumented endpoints;
+	// SlowRequests counts the ones over the slow-query threshold.
+	Requests     uint64 `json:"requests"`
+	SlowRequests uint64 `json:"slowRequests"`
+	// PatchDroppedRules aggregates PatchInfo.DroppedRules over every
+	// successful incremental patch: ground rules discarded because the
+	// tuples they mentioned were deleted.
+	PatchDroppedRules uint64 `json:"patchDroppedRules"`
+	// Engine is the cumulative engine search effort.
+	Engine EngineCounters `json:"engine"`
+}
+
+// SpanInfo is one per-layer step of a traced request.
+type SpanInfo struct {
+	Name string `json:"name"`
+	// OffsetNS is the span start relative to the request start; DurNS
+	// is the span duration. Both in nanoseconds.
+	OffsetNS int64 `json:"offsetNs"`
+	DurNS    int64 `json:"durNs"`
+	// Detail carries layer-specific context, e.g. engine search effort.
+	Detail string `json:"detail,omitempty"`
+}
+
+// TraceInfo is one recorded request trace.
+type TraceInfo struct {
+	ID       string     `json:"id"`
+	Endpoint string     `json:"endpoint"`
+	Start    string     `json:"start"` // RFC 3339 with nanoseconds
+	DurNS    int64      `json:"durNs"`
+	Status   int        `json:"status"`
+	Spans    []SpanInfo `json:"spans"`
+}
+
+// TraceList is the response of GET /debug/traces: the slowest requests
+// seen so far, slowest first.
+type TraceList struct {
+	Traces []TraceInfo `json:"traces"`
 }
 
 // Error is the JSON error envelope for non-2xx responses.

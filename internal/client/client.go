@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"currency/internal/api"
 )
@@ -19,6 +20,9 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	mu        sync.Mutex
+	lastTrace string
 }
 
 // New builds a client for the server at base (e.g. "http://localhost:8411").
@@ -52,6 +56,11 @@ func (c *Client) do(method, path string, in, out any) error {
 		return err
 	}
 	defer resp.Body.Close()
+	if id := resp.Header.Get(api.TraceHeader); id != "" {
+		c.mu.Lock()
+		c.lastTrace = id
+		c.mu.Unlock()
+	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return err
@@ -164,6 +173,40 @@ func (c *Client) Stats() (api.Stats, error) {
 	var st api.Stats
 	err := c.do(http.MethodGet, "/stats", nil, &st)
 	return st, err
+}
+
+// LastTraceID returns the server-assigned trace ID of the most recent
+// call that carried one (the X-Currencyd-Trace response header) — quote
+// it in bug reports and look it up in SlowTraces.
+func (c *Client) LastTraceID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastTrace
+}
+
+// Metrics fetches the raw Prometheus text exposition from GET /metrics.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 400 {
+		return "", fmt.Errorf("currencyd: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(raw), nil
+}
+
+// SlowTraces fetches the slowest recorded request traces from GET
+// /debug/traces, slowest first.
+func (c *Client) SlowTraces() (api.TraceList, error) {
+	var list api.TraceList
+	err := c.do(http.MethodGet, "/debug/traces", nil, &list)
+	return list, err
 }
 
 // Healthy reports whether the server answers its liveness probe.

@@ -1,0 +1,101 @@
+package core
+
+// Context-threaded tracing: *Ctx variants of the decision methods that
+// record per-layer spans into the obs.Trace carried by the context —
+// engine searches report their effort (decisions, propagations,
+// conflicts, scoped-clone bytes, per-component timings) in the span
+// detail. With no trace in the context every variant is exactly its
+// plain counterpart, so untraced callers (tests, library users, the
+// benchmark harness) pay nothing.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"currency/internal/obs"
+	"currency/internal/osolve"
+	"currency/internal/query"
+)
+
+// ConsistentCtx is Consistent with a "engine.consistent" span. On a
+// warm reasoner the verdict is memoized and the span is near-zero —
+// visible evidence the cache did its job.
+func (r *Reasoner) ConsistentCtx(ctx context.Context) bool {
+	tr := obs.From(ctx)
+	if tr == nil {
+		return r.Consistent()
+	}
+	t0 := time.Now()
+	ok := r.Consistent()
+	tr.AddSpan("engine.consistent", t0, fmt.Sprintf("holds=%t", ok))
+	return ok
+}
+
+// CertainOrderCtx is CertainOrder with one "engine.search" span per
+// required pair, carrying the pair's search effort.
+func (r *Reasoner) CertainOrderCtx(ctx context.Context, reqs []OrderRequirement) (bool, error) {
+	tr := obs.From(ctx)
+	if tr == nil {
+		return r.CertainOrder(reqs)
+	}
+	st := r.snap()
+	for _, req := range reqs {
+		var qs osolve.QueryStats
+		t0 := time.Now()
+		ok, err := st.solver.CertainPairStats(req.Rel, req.Attr, req.I, req.J, &qs)
+		tr.AddSpan("engine.search", t0, fmt.Sprintf("pair=%s.%s[%d<%d] %s",
+			req.Rel, req.Attr, req.I, req.J, queryStatsDetail(&qs)))
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// DeterministicCtx is Deterministic with an "engine.deterministic" span
+// per relation checked.
+func (r *Reasoner) DeterministicCtx(ctx context.Context, rel string) (bool, error) {
+	tr := obs.From(ctx)
+	if tr == nil {
+		return r.Deterministic(rel)
+	}
+	t0 := time.Now()
+	ok, err := r.Deterministic(rel)
+	tr.AddSpan("engine.deterministic", t0, fmt.Sprintf("rel=%s holds=%t", rel, ok))
+	return ok, err
+}
+
+// CertainAnswersCtx is CertainAnswers with an "engine.enumerate" span
+// covering the current-database enumeration and query evaluation.
+func (r *Reasoner) CertainAnswersCtx(ctx context.Context, q *query.Query) (*query.Result, bool, error) {
+	tr := obs.From(ctx)
+	if tr == nil {
+		return r.CertainAnswers(q)
+	}
+	t0 := time.Now()
+	res, modEmpty, err := r.snap().certainAnswers(q)
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	tr.AddSpan("engine.enumerate", t0, fmt.Sprintf("query=%s rows=%d modEmpty=%t", q.Name, rows, modEmpty))
+	return res, modEmpty, err
+}
+
+// queryStatsDetail renders a query's engine effort for span details:
+// counters plus the touched components with their search times.
+func queryStatsDetail(qs *osolve.QueryStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "decisions=%d propagations=%d conflicts=%d searches=%d clone_bytes=%d propagate=%s",
+		qs.Decisions, qs.Propagations, qs.Conflicts, qs.Searches,
+		qs.ScopedCloneBytes, time.Duration(qs.PropagateNS))
+	for _, c := range qs.Comps {
+		fmt.Fprintf(&b, " comp[%d]=%s", c.Comp, time.Duration(c.NS))
+	}
+	return b.String()
+}

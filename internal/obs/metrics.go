@@ -1,0 +1,289 @@
+// Package obs is currencyd's stdlib-only observability layer: lock-free
+// counters and fixed-bucket latency histograms, a hand-rolled Prometheus
+// text-exposition writer, and per-request traces with a ring buffer of
+// the slowest requests. Nothing here allocates on the record path —
+// counters and histogram observations are plain atomic operations on
+// pre-registered label sets — so instrumentation can sit on the serving
+// hot path without costing it its allocation-free property.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic counter, safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load reads the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// DefBuckets are the default latency bucket upper bounds in seconds,
+// spanning the engine's sub-millisecond warm queries up to multi-second
+// cold groundings and pathological searches.
+var DefBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are two
+// atomic adds plus a branch-free binary search over the bucket bounds —
+// no locks, no allocation — so it can be recorded per request under
+// full concurrency. Bucket counts are per-bucket (not cumulative);
+// exposition accumulates them, and the exported _count is the sum of
+// the buckets so scraped totals always equal recorded observations.
+type Histogram struct {
+	boundsNS []int64 // upper bounds in nanoseconds, ascending
+	bounds   []float64
+	buckets  []atomic.Uint64 // len(boundsNS)+1; last bucket is +Inf
+	sumNS    atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given upper bounds (seconds,
+// ascending). Nil bounds mean DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &Histogram{
+		bounds:   bounds,
+		boundsNS: make([]int64, len(bounds)),
+		buckets:  make([]atomic.Uint64, len(bounds)+1),
+	}
+	for i, b := range bounds {
+		h.boundsNS[i] = int64(b * 1e9)
+	}
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	// Hand-rolled binary search: sort.Search's closure would allocate.
+	lo, hi := 0, len(h.boundsNS)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns > h.boundsNS[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.sumNS.Add(uint64(ns))
+}
+
+// Count reports the total number of observations (the sum of the
+// buckets, so it is always consistent with an exposition's +Inf bucket).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum reports the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// CounterVec is a family of counters indexed by one label. The label
+// value set is fixed at construction — lookups are reads of an immutable
+// map, so With is lock-free — and unknown values fall through to a
+// shared "other" counter instead of allocating a new series.
+type CounterVec struct {
+	name, help, label string
+	m                 map[string]*Counter
+	order             []string
+	other             *Counter
+}
+
+// LabelOther is the fallback series for label values outside the
+// registered set.
+const LabelOther = "other"
+
+// NewCounterVec builds a counter family over the given label values.
+func NewCounterVec(name, help, label string, values []string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label,
+		m: make(map[string]*Counter, len(values)+1), other: &Counter{}}
+	for _, val := range values {
+		if _, ok := v.m[val]; !ok {
+			v.m[val] = &Counter{}
+			v.order = append(v.order, val)
+		}
+	}
+	v.m[LabelOther] = v.other
+	v.order = append(v.order, LabelOther)
+	return v
+}
+
+// With returns the counter for the label value (the "other" fallback for
+// unregistered values).
+func (v *CounterVec) With(value string) *Counter {
+	if c, ok := v.m[value]; ok {
+		return c
+	}
+	return v.other
+}
+
+// Sum totals the family across every label value.
+func (v *CounterVec) Sum() uint64 {
+	var n uint64
+	for _, c := range v.m {
+		n += c.Load()
+	}
+	return n
+}
+
+func (v *CounterVec) write(w io.Writer) {
+	header(w, v.name, v.help, "counter")
+	for _, val := range v.order {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, v.m[val].Load())
+	}
+}
+
+// HistogramVec is a family of histograms indexed by one label, with the
+// same fixed-label-set, lock-free-With contract as CounterVec.
+type HistogramVec struct {
+	name, help, label string
+	m                 map[string]*Histogram
+	order             []string
+	other             *Histogram
+}
+
+// NewHistogramVec builds a histogram family over the given label values
+// (nil bounds mean DefBuckets).
+func NewHistogramVec(name, help, label string, values []string, bounds []float64) *HistogramVec {
+	v := &HistogramVec{name: name, help: help, label: label,
+		m: make(map[string]*Histogram, len(values)+1), other: NewHistogram(bounds)}
+	for _, val := range values {
+		if _, ok := v.m[val]; !ok {
+			v.m[val] = NewHistogram(bounds)
+			v.order = append(v.order, val)
+		}
+	}
+	v.m[LabelOther] = v.other
+	v.order = append(v.order, LabelOther)
+	return v
+}
+
+// With returns the histogram for the label value (the "other" fallback
+// for unregistered values).
+func (v *HistogramVec) With(value string) *Histogram {
+	if h, ok := v.m[value]; ok {
+		return h
+	}
+	return v.other
+}
+
+// Count totals the observations across every label value.
+func (v *HistogramVec) Count() uint64 {
+	var n uint64
+	for _, h := range v.m {
+		n += h.Count()
+	}
+	return n
+}
+
+func (v *HistogramVec) write(w io.Writer) {
+	header(w, v.name, v.help, "histogram")
+	for _, val := range v.order {
+		h := v.m[val]
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+				v.name, v.label, val, formatFloat(b), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", v.name, v.label, val, cum)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", v.name, v.label, val,
+			formatFloat(float64(h.sumNS.Load())/1e9))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", v.name, v.label, val, cum)
+	}
+}
+
+// CounterFunc exposes an externally maintained monotonic counter (an
+// existing atomic elsewhere in the process) under a metric name.
+type CounterFunc struct {
+	name, help string
+	fn         func() uint64
+}
+
+// NewCounterFunc wraps fn as a counter metric.
+func NewCounterFunc(name, help string, fn func() uint64) *CounterFunc {
+	return &CounterFunc{name: name, help: help, fn: fn}
+}
+
+func (c *CounterFunc) write(w io.Writer) {
+	header(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.fn())
+}
+
+// GaugeFunc exposes an externally computed instantaneous value.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewGaugeFunc wraps fn as a gauge metric.
+func NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	return &GaugeFunc{name: name, help: help, fn: fn}
+}
+
+func (g *GaugeFunc) write(w io.Writer) {
+	header(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+}
+
+// family is anything the registry can expose.
+type family interface{ write(w io.Writer) }
+
+// Registry is an ordered collection of metric families. Families are
+// registered once at startup; WriteProm may then be called concurrently
+// with recording.
+type Registry struct{ fams []family }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends families to the registry, in exposition order.
+// Not safe concurrently with WriteProm; register everything at startup.
+func (r *Registry) Register(fams ...family) {
+	r.fams = append(r.fams, fams...)
+}
+
+// WriteProm writes every registered family in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WriteProm(w io.Writer) {
+	for _, f := range r.fams {
+		f.write(w)
+	}
+}
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func header(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest round-trip representation, no exponent for common magnitudes.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // <= 1ms
+	h.Observe(time.Millisecond)       // boundary: still the 1ms bucket
+	h.Observe(5 * time.Millisecond)   // <= 10ms
+	h.Observe(time.Second)            // +Inf
+	h.Observe(-time.Second)           // clamped to 0, first bucket
+
+	want := []uint64{3, 1, 0, 1}
+	for i := range h.buckets {
+		if got := h.buckets[i].Load(); got != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramCountMatchesBuckets(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestVecFallsBackToOther(t *testing.T) {
+	v := NewCounterVec("x_total", "help", "op", []string{"a", "b"})
+	v.With("a").Inc()
+	v.With("nope").Inc()
+	v.With("also-nope").Add(2)
+	if got := v.With(LabelOther).Load(); got != 3 {
+		t.Errorf("other = %d, want 3", got)
+	}
+	if got := v.Sum(); got != 4 {
+		t.Errorf("Sum = %d, want 4", got)
+	}
+
+	hv := NewHistogramVec("y_seconds", "help", "op", []string{"a"}, nil)
+	hv.With("zzz").Observe(time.Millisecond)
+	if hv.With(LabelOther).Count() != 1 {
+		t.Error("histogram fallback did not record")
+	}
+}
+
+func TestWritePromExposition(t *testing.T) {
+	reg := NewRegistry()
+	cv := NewCounterVec("t_requests_total", "Requests.", "endpoint", []string{"stats"})
+	hv := NewHistogramVec("t_latency_seconds", "Latency.", "endpoint", []string{"stats"}, []float64{0.001, 1})
+	var c Counter
+	reg.Register(cv, hv,
+		NewCounterFunc("t_slow_total", "Slow.", c.Load),
+		NewGaugeFunc("t_entries", "Entries.", func() float64 { return 2.5 }))
+
+	cv.With("stats").Inc()
+	hv.With("stats").Observe(2 * time.Millisecond)
+	hv.With("stats").Observe(3 * time.Second)
+	c.Add(7)
+
+	var b strings.Builder
+	reg.WriteProm(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP t_requests_total Requests.\n",
+		"# TYPE t_requests_total counter\n",
+		`t_requests_total{endpoint="stats"} 1` + "\n",
+		`t_requests_total{endpoint="other"} 0` + "\n",
+		"# TYPE t_latency_seconds histogram\n",
+		`t_latency_seconds_bucket{endpoint="stats",le="0.001"} 0` + "\n",
+		`t_latency_seconds_bucket{endpoint="stats",le="1"} 1` + "\n",
+		`t_latency_seconds_bucket{endpoint="stats",le="+Inf"} 2` + "\n",
+		`t_latency_seconds_count{endpoint="stats"} 2` + "\n",
+		"t_slow_total 7\n",
+		"t_entries 2.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// _sum is seconds: 2ms + 3s.
+	if !strings.Contains(out, `t_latency_seconds_sum{endpoint="stats"} 3.002`+"\n") {
+		t.Errorf("exposition missing the _sum line\n%s", out)
+	}
+}
+
+func TestTraceSpansAndIDs(t *testing.T) {
+	tr := NewTrace("batch")
+	if tr.ID == "" || tr.ID == NewTrace("batch").ID {
+		t.Fatalf("trace IDs must be unique and non-empty, got %q", tr.ID)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.AddSpan("decide:consistent", time.Now(), "engine=exact")
+		}()
+	}
+	wg.Wait()
+	d := tr.Finish(200)
+	if d <= 0 || tr.Duration() != d || tr.Status() != 200 {
+		t.Errorf("Finish: d=%v Duration=%v Status=%d", d, tr.Duration(), tr.Status())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Name != "decide:consistent" || sp.Offset < 0 || sp.Dur < 0 {
+			t.Errorf("bad span %+v", sp)
+		}
+	}
+}
+
+func TestSlowLogKeepsSlowest(t *testing.T) {
+	l := NewSlowLog(3)
+	mk := func(d time.Duration) *Trace {
+		tr := NewTrace("x")
+		tr.mu.Lock()
+		tr.dur = d // Finish measures wall time; set directly for determinism
+		tr.mu.Unlock()
+		return tr
+	}
+	for _, ms := range []int{5, 1, 9, 3, 7, 2} {
+		l.Add(mk(time.Duration(ms) * time.Millisecond))
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	got := l.Slowest()
+	want := []time.Duration{9 * time.Millisecond, 7 * time.Millisecond, 5 * time.Millisecond}
+	for i, tr := range got {
+		if tr.Duration() != want[i] {
+			t.Errorf("Slowest[%d] = %v, want %v", i, tr.Duration(), want[i])
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if From(context.Background()) != nil {
+		t.Fatal("empty context must carry no trace")
+	}
+	tr := NewTrace("stats")
+	if got := From(With(context.Background(), tr)); got != tr {
+		t.Fatalf("From(With(ctx, tr)) = %p, want %p", got, tr)
+	}
+}

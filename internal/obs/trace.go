@@ -1,0 +1,183 @@
+package obs
+
+// Per-request tracing: the server middleware creates one Trace per
+// request, threads it through context into the routing, cache, patch
+// and engine layers, and each layer records spans (name, offset from
+// the request start, duration, free-form detail). Finished traces feed
+// a SlowLog — a fixed-capacity ring keeping the N slowest requests —
+// served at GET /debug/traces, so "why was this one query slow" is
+// answerable after the fact without re-running it.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed step of a request: a layer (route, cache, ground,
+// patch stage, engine search) with its offset from the trace start and
+// its duration. Detail carries layer-specific context — engine spans
+// record their search effort (decisions, propagations, conflicts,
+// per-component timings) there.
+type Span struct {
+	Name   string
+	Offset time.Duration
+	Dur    time.Duration
+	Detail string
+}
+
+// Trace is one request's record. Spans may be added concurrently (batch
+// requests fan decisions over a worker pool); after Finish the trace is
+// immutable and safe to share with readers.
+type Trace struct {
+	ID    string
+	Name  string // endpoint label
+	Start time.Time
+
+	mu     sync.Mutex
+	spans  []Span
+	dur    time.Duration
+	status int
+}
+
+// traceSeq and tracePrefix make IDs unique per process without a
+// coordination point: a random per-process prefix plus an atomic
+// sequence number.
+var (
+	traceSeq    atomic.Uint64
+	tracePrefix = func() uint32 {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return uint32(time.Now().UnixNano())
+		}
+		return binary.LittleEndian.Uint32(b[:])
+	}()
+)
+
+// NewTrace starts a trace for the named endpoint.
+func NewTrace(name string) *Trace {
+	return &Trace{
+		ID:    fmt.Sprintf("%08x-%08x", tracePrefix, traceSeq.Add(1)),
+		Name:  name,
+		Start: time.Now(),
+	}
+}
+
+// AddSpan records a step that started at start and ends now.
+func (t *Trace) AddSpan(name string, start time.Time, detail string) {
+	sp := Span{Name: name, Offset: start.Sub(t.Start), Dur: time.Since(start), Detail: detail}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Finish seals the trace with the response status and returns the total
+// duration. Call exactly once, after every span is recorded.
+func (t *Trace) Finish(status int) time.Duration {
+	d := time.Since(t.Start)
+	t.mu.Lock()
+	t.dur = d
+	t.status = status
+	t.mu.Unlock()
+	return d
+}
+
+// Duration reports the total duration recorded by Finish.
+func (t *Trace) Duration() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dur
+}
+
+// Status reports the response status recorded by Finish.
+func (t *Trace) Status() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+type ctxKey struct{}
+
+// With attaches a trace to the context.
+func With(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// From extracts the context's trace, or nil when the request is
+// untraced — callees branch on nil to keep untraced paths span-free.
+func From(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// SlowLog keeps the N slowest finished traces seen so far. Add is O(N)
+// in the (small, fixed) capacity and only taken on the request exit
+// path; Slowest returns a copy sorted slowest-first.
+type SlowLog struct {
+	mu     sync.Mutex
+	cap    int
+	traces []*Trace // ascending by duration; [0] is the fastest kept
+}
+
+// NewSlowLog returns a log keeping the capacity slowest traces
+// (capacity < 1 means 32).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 32
+	}
+	return &SlowLog{cap: capacity}
+}
+
+// Add offers a finished trace; it is kept iff it ranks among the
+// capacity slowest seen.
+func (l *SlowLog) Add(t *Trace) {
+	d := t.Duration()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.traces) < l.cap {
+		l.traces = append(l.traces, t)
+		l.sortLocked()
+		return
+	}
+	if d <= l.traces[0].Duration() {
+		return
+	}
+	l.traces[0] = t
+	l.sortLocked()
+}
+
+func (l *SlowLog) sortLocked() {
+	sort.Slice(l.traces, func(i, j int) bool {
+		return l.traces[i].Duration() < l.traces[j].Duration()
+	})
+}
+
+// Slowest returns the kept traces, slowest first.
+func (l *SlowLog) Slowest() []*Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Trace, len(l.traces))
+	for i, t := range l.traces {
+		out[len(l.traces)-1-i] = t
+	}
+	return out
+}
+
+// Len reports how many traces are currently kept.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.traces)
+}

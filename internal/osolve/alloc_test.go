@@ -72,6 +72,48 @@ func TestWarmCertainPairAllocationFree(t *testing.T) {
 	}
 }
 
+// TestWarmQueryCountersAdvanceAllocationFree pins the instrumentation
+// contract: the engine counters (the /metrics source) must advance on
+// every warm query while the query itself still allocates nothing —
+// counters are plain fields on the pooled state, flushed to the stats
+// sink atomics only when the state is released.
+func TestWarmQueryCountersAdvanceAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race makes sync.Pool drop items; allocation pins don't hold")
+	}
+	s := consistentWorkload(8)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent()
+	if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	before := sv.Stats().Counters()
+	const runs = 200
+	if avg := testing.AllocsPerRun(runs, func() {
+		if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("instrumented warm CertainPair allocates %.1f objects/op, want 0", avg)
+	}
+	after := sv.Stats().Counters()
+	// AllocsPerRun executes runs+1 iterations; every one searches at
+	// least one component and copies its span.
+	if got := after.Searches - before.Searches; got < runs {
+		t.Errorf("Searches advanced by %d over %d warm queries, want >= %d", got, runs+1, runs)
+	}
+	if after.ScopedCloneBytes <= before.ScopedCloneBytes {
+		t.Errorf("ScopedCloneBytes did not advance (%d -> %d)", before.ScopedCloneBytes, after.ScopedCloneBytes)
+	}
+	if after.PoolHits <= before.PoolHits {
+		t.Errorf("PoolHits did not advance (%d -> %d)", before.PoolHits, after.PoolHits)
+	}
+}
+
 // TestWarmQueryAllocationFreeAfterDelta extends the allocation pin to the
 // post-delta state: a patched solver (ApplyDelta), once re-warmed and
 // with its state pool primed, must answer scoped queries without

@@ -137,6 +137,9 @@ func (sv *Solver) ApplyDelta(d *spec.Delta) (*Solver, error) {
 		Spec:    newSpec,
 		blockOf: make(map[BlockKey]int),
 		relOf:   make(map[string]*relation.TemporalInstance),
+		// Share the predecessor's counter sink: the lineage's engine
+		// counters stay monotonic across incremental patches.
+		stats: sv.stats,
 	}
 	out.SetWorkers(sv.workers)
 	if err := out.buildBlocksFrom(sv, info); err != nil {
@@ -287,6 +290,9 @@ func (sv *Solver) fullRebuild(newSpec *spec.Spec) (*Solver, error) {
 		return nil, err
 	}
 	out.SetWorkers(sv.workers)
+	// Keep the lineage's counters monotonic: fold the rebuild's own
+	// grounding effort into the predecessor's sink and adopt it.
+	out.SetStatsSink(sv.stats)
 	out.patch = &PatchStats{
 		FullRebuild: true, TouchedBlocks: len(out.blocks),
 		RebuiltComps: len(out.comps), RegroundRules: out.nRules,

@@ -33,6 +33,19 @@ type state struct {
 	a     []byte
 	trail []int32
 	q     []int32
+
+	// Search-effort counters, accumulated as plain fields so the warm
+	// path pays no atomics, and flushed into the solver's EngineStats
+	// sink (plus the attached QueryStats, if any) when the state is
+	// released — see flushStats in stats.go.
+	decisions    uint64
+	propagations uint64
+	conflicts    uint64
+	searches     uint64
+	cloneBytes   uint64
+	poolHits     uint64
+	poolMisses   uint64
+	qs           *QueryStats
 }
 
 // newStatePool builds a pool of search states. States carry no
@@ -57,6 +70,9 @@ func (sv *Solver) getState() *state {
 	st := sv.statePool.Get().(*state)
 	if cap(st.a) < sv.numLits {
 		st.a = make([]byte, sv.numLits)
+		st.poolMisses++
+	} else {
+		st.poolHits++
 	}
 	st.a = st.a[:sv.numLits]
 	st.trail = st.trail[:0]
@@ -64,8 +80,12 @@ func (sv *Solver) getState() *state {
 	return st
 }
 
-// putState recycles a state for reuse by a later query.
-func (sv *Solver) putState(st *state) { sv.statePool.Put(st) }
+// putState flushes the state's effort counters into the solver's stats
+// sink and recycles it for a later query.
+func (sv *Solver) putState(st *state) {
+	sv.flushStats(st)
+	sv.statePool.Put(st)
+}
 
 // mark returns the current trail position for later undo.
 func (st *state) mark() int { return len(st.trail) }
@@ -88,6 +108,7 @@ func (sv *Solver) scopedClone(comps []int) *state {
 	for _, ci := range comps {
 		c := sv.comps[ci]
 		copy(st.a[c.lo:c.hi], sv.base.a[c.lo:c.hi])
+		st.cloneBytes += uint64(c.hi - c.lo)
 	}
 	return st
 }
@@ -141,7 +162,8 @@ func (sv *Solver) initBase() {
 	if !sv.propagate(st) {
 		sv.baseConflict = true
 	}
-	st.trail = nil // the base is never undone; free the init trail
+	sv.flushStats(st) // count cold base propagation; the state is kept, not pooled
+	st.trail = nil    // the base is never undone; free the init trail
 	st.q = nil
 }
 
@@ -163,6 +185,7 @@ func (sv *Solver) undoTo(st *state, mark int) {
 func (sv *Solver) propagate(st *state) bool {
 	stack := st.q
 	conflict := func() bool {
+		st.conflicts++
 		st.q = stack[:0]
 		return false
 	}
@@ -178,6 +201,7 @@ func (sv *Solver) propagate(st *state) bool {
 		st.a[id] = less
 		st.a[sv.litInv[id]] = greater
 		st.trail = append(st.trail, id)
+		st.propagations++
 
 		// Transitive closure: predecessors of I × successors of J, walked
 		// directly in the block's arena span.
@@ -241,6 +265,7 @@ func (sv *Solver) stateWith(assume []Lit) *state {
 	}
 	st := sv.getState()
 	copy(st.a, sv.base.a)
+	st.cloneBytes += uint64(len(st.a))
 	for _, l := range assume {
 		st.q = append(st.q, sv.litID(l))
 	}

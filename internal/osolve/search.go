@@ -49,6 +49,7 @@ func (sv *Solver) findUnknownIn(st *state, ci int) (int32, bool) {
 // component's blocks (scopedClone or a full clone).
 func (sv *Solver) searchComp(st *state, ci int) bool {
 	sv.comps[ci].searches.Add(1)
+	st.searches++
 	return sv.searchRec(st, ci)
 }
 
@@ -57,6 +58,7 @@ func (sv *Solver) searchRec(st *state, ci int) bool {
 	if !ok {
 		return true
 	}
+	st.decisions++
 	mark := st.mark()
 	st.q = append(st.q[:0], id)
 	if sv.propagate(st) && sv.searchRec(st, ci) {
@@ -118,6 +120,7 @@ func (sv *Solver) baseComp(ci int) (bool, []byte) {
 // cold verdicts race).
 func (sv *Solver) baseSatExcept(skip []int) bool {
 	if sv.allBaseSat.Load() {
+		sv.stats.MemoHits.Add(1)
 		return true
 	}
 	var pending []int
@@ -144,6 +147,7 @@ func (sv *Solver) baseSatExcept(skip []int) bool {
 		// Nothing to search: don't touch the semaphore — this is the
 		// warm scoped-query path, which must never serialize behind a
 		// cold verdict running elsewhere.
+		sv.stats.MemoHits.Add(1)
 		if len(skip) == 0 {
 			sv.allBaseSat.Store(true)
 		}
@@ -219,30 +223,10 @@ func (sv *Solver) Consistent() bool {
 // are searched; the rest contribute their memoized base verdicts. On a
 // memoized solver the call is allocation-free: the touched-component set
 // lives in a stack buffer and the search state comes from the pool.
+// SatWithStats (stats.go) is the traced variant; this is its qs==nil
+// path.
 func (sv *Solver) SatWith(assume []Lit) bool {
-	if sv.baseConflict {
-		return false
-	}
-	var tbuf [8]int
-	touched := sv.touchedCompsInto(tbuf[:0], assume)
-	if len(touched) > 0 {
-		st := sv.scopedClone(touched)
-		for _, l := range assume {
-			st.q = append(st.q, sv.litID(l))
-		}
-		ok := sv.propagate(st)
-		for _, ci := range touched {
-			if !ok {
-				break
-			}
-			ok = sv.searchComp(st, ci)
-		}
-		sv.putState(st)
-		if !ok {
-			return false
-		}
-	}
-	return sv.baseSatExcept(touched)
+	return sv.SatWithStats(assume, nil)
 }
 
 // SolveWith returns one consistent completion (as a spec.Model) satisfying

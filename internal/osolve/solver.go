@@ -113,6 +113,12 @@ type Solver struct {
 	// patch, when non-nil, records how this solver was derived from its
 	// predecessor by ApplyDelta (see delta.go).
 	patch *PatchStats
+
+	// stats is the counter sink search states flush into on release
+	// (see stats.go). Private per solver by default; SetStatsSink
+	// points it at a shared block, and ApplyDelta hands it to the
+	// patched solver like the state pool.
+	stats *EngineStats
 }
 
 // New builds a solver for the specification. It validates the
@@ -129,6 +135,7 @@ func New(s *spec.Spec) (*Solver, error) {
 		Spec:    s,
 		blockOf: make(map[BlockKey]int),
 		relOf:   make(map[string]*relation.TemporalInstance),
+		stats:   &EngineStats{},
 	}
 	sv.SetWorkers(runtime.GOMAXPROCS(0))
 	if err := sv.buildBlocks(); err != nil {
@@ -181,14 +188,7 @@ func (sv *Solver) LitFor(rel, attr string, i, j int) (Lit, bool, error) {
 // Cross-entity pairs are never certain unless Mod(S) is empty. The
 // underlying SatWith searches only the component containing the pair.
 func (sv *Solver) CertainPair(rel, attr string, i, j int) (bool, error) {
-	l, sameEntity, err := sv.LitFor(rel, attr, i, j)
-	if err != nil {
-		return false, err
-	}
-	if !sameEntity {
-		return !sv.Consistent(), nil
-	}
-	return !sv.SatWith([]Lit{{Block: l.Block, I: l.J, J: l.I}}), nil
+	return sv.CertainPairStats(rel, attr, i, j, nil)
 }
 
 // Blocks exposes the solver's block table (read-only).

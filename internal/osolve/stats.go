@@ -1,0 +1,206 @@
+package osolve
+
+// Engine observability: search-effort counters accumulated as plain
+// uint64 fields on the pooled search states — the warm query path pays
+// plain increments, no atomics, no allocation — and flushed into the
+// solver's EngineStats (a block of atomics) when a state is released.
+// A server embedding many solvers points them all at one shared sink
+// (SetStatsSink), so the exported counters are monotonic across cache
+// evictions and incremental patches; ApplyDelta hands the sink to the
+// patched solver the same way it hands over the state pool.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EngineStats accumulates a solver's cumulative search effort. All
+// fields are atomics: flushes (one per released state) and reads
+// (metrics scrapes) may race freely.
+type EngineStats struct {
+	// Decisions counts DPLL branching points; Propagations counts
+	// literals set by propagation (transitive closure + rule firing);
+	// Conflicts counts failed propagations (rule violations and order
+	// cycles); Searches counts component search entries.
+	Decisions    atomic.Uint64
+	Propagations atomic.Uint64
+	Conflicts    atomic.Uint64
+	Searches     atomic.Uint64
+	// ScopedCloneBytes counts bytes copied building per-query states
+	// (component spans for scoped queries, whole arenas for full clones).
+	ScopedCloneBytes atomic.Uint64
+	// PoolHits/PoolMisses count pooled-state fetches that reused an
+	// arena vs had to grow one (a miss is an allocation).
+	PoolHits   atomic.Uint64
+	PoolMisses atomic.Uint64
+	// MemoHits counts queries whose untouched components were answered
+	// entirely from memoized base verdicts — the warm fast path.
+	MemoHits atomic.Uint64
+}
+
+// EngineCounters is a point-in-time snapshot of EngineStats.
+type EngineCounters struct {
+	Decisions, Propagations, Conflicts, Searches uint64
+	ScopedCloneBytes                             uint64
+	PoolHits, PoolMisses, MemoHits               uint64
+}
+
+// Counters snapshots the current values.
+func (s *EngineStats) Counters() EngineCounters {
+	return EngineCounters{
+		Decisions:        s.Decisions.Load(),
+		Propagations:     s.Propagations.Load(),
+		Conflicts:        s.Conflicts.Load(),
+		Searches:         s.Searches.Load(),
+		ScopedCloneBytes: s.ScopedCloneBytes.Load(),
+		PoolHits:         s.PoolHits.Load(),
+		PoolMisses:       s.PoolMisses.Load(),
+		MemoHits:         s.MemoHits.Load(),
+	}
+}
+
+// absorb adds a snapshot into the stats, for sink handover.
+func (s *EngineStats) absorb(c EngineCounters) {
+	s.Decisions.Add(c.Decisions)
+	s.Propagations.Add(c.Propagations)
+	s.Conflicts.Add(c.Conflicts)
+	s.Searches.Add(c.Searches)
+	s.ScopedCloneBytes.Add(c.ScopedCloneBytes)
+	s.PoolHits.Add(c.PoolHits)
+	s.PoolMisses.Add(c.PoolMisses)
+	s.MemoHits.Add(c.MemoHits)
+}
+
+// Stats returns the solver's counter sink (the shared one after
+// SetStatsSink). Reading is always safe; see EngineStats.
+func (sv *Solver) Stats() *EngineStats { return sv.stats }
+
+// SetStatsSink redirects the solver's counter flushes into s, first
+// transferring the counts accumulated so far (so grounding effort
+// recorded before the handover is not lost). A nil or already-installed
+// sink is a no-op — the currencyd patch path re-installs the server
+// sink on engines that inherited it through ApplyDelta without double
+// counting. Like SetWorkers, call before the solver is shared between
+// goroutines.
+func (sv *Solver) SetStatsSink(s *EngineStats) {
+	if s == nil || s == sv.stats {
+		return
+	}
+	s.absorb(sv.stats.Counters())
+	sv.stats = s
+}
+
+// CompStats times one component search of a traced query.
+type CompStats struct {
+	Comp int
+	NS   int64
+}
+
+// QueryStats attributes one query's engine effort: the counter deltas
+// the query's state accumulated, plus propagate/search wall times and
+// per-component search timings. Pass one to SatWithStats or
+// CertainPairStats; the nil path is the plain, allocation-free query.
+type QueryStats struct {
+	Decisions, Propagations, Conflicts, Searches uint64
+	ScopedCloneBytes                             uint64
+	PropagateNS                                  int64
+	Comps                                        []CompStats
+}
+
+// flushStats moves a state's accumulated plain counters into the
+// solver's atomic sink (and into the query's QueryStats when attached),
+// zeroing them for the state's next lease. Called on every state
+// release; per-field zero checks keep the warm path at a handful of
+// uncontended atomic adds.
+func (sv *Solver) flushStats(st *state) {
+	s := sv.stats
+	if st.decisions != 0 {
+		s.Decisions.Add(st.decisions)
+	}
+	if st.propagations != 0 {
+		s.Propagations.Add(st.propagations)
+	}
+	if st.conflicts != 0 {
+		s.Conflicts.Add(st.conflicts)
+	}
+	if st.searches != 0 {
+		s.Searches.Add(st.searches)
+	}
+	if st.cloneBytes != 0 {
+		s.ScopedCloneBytes.Add(st.cloneBytes)
+	}
+	if st.poolHits != 0 {
+		s.PoolHits.Add(st.poolHits)
+	}
+	if st.poolMisses != 0 {
+		s.PoolMisses.Add(st.poolMisses)
+	}
+	if qs := st.qs; qs != nil {
+		qs.Decisions += st.decisions
+		qs.Propagations += st.propagations
+		qs.Conflicts += st.conflicts
+		qs.Searches += st.searches
+		qs.ScopedCloneBytes += st.cloneBytes
+		st.qs = nil
+	}
+	st.decisions, st.propagations, st.conflicts = 0, 0, 0
+	st.searches, st.cloneBytes = 0, 0
+	st.poolHits, st.poolMisses = 0, 0
+}
+
+// SatWithStats is SatWith with per-query effort attribution: when qs is
+// non-nil the query's counters and per-component search timings are
+// added to it (allocating a few spans — tracing is for the request
+// path, not the engine hot path). With qs nil it is exactly SatWith.
+func (sv *Solver) SatWithStats(assume []Lit, qs *QueryStats) bool {
+	if sv.baseConflict {
+		return false
+	}
+	var tbuf [8]int
+	touched := sv.touchedCompsInto(tbuf[:0], assume)
+	if len(touched) > 0 {
+		st := sv.scopedClone(touched)
+		st.qs = qs
+		for _, l := range assume {
+			st.q = append(st.q, sv.litID(l))
+		}
+		var t0 time.Time
+		if qs != nil {
+			t0 = time.Now()
+		}
+		ok := sv.propagate(st)
+		if qs != nil {
+			qs.PropagateNS += time.Since(t0).Nanoseconds()
+		}
+		for _, ci := range touched {
+			if !ok {
+				break
+			}
+			if qs != nil {
+				tc := time.Now()
+				ok = sv.searchComp(st, ci)
+				qs.Comps = append(qs.Comps, CompStats{Comp: ci, NS: time.Since(tc).Nanoseconds()})
+			} else {
+				ok = sv.searchComp(st, ci)
+			}
+		}
+		sv.putState(st)
+		if !ok {
+			return false
+		}
+	}
+	return sv.baseSatExcept(touched)
+}
+
+// CertainPairStats is CertainPair with per-query effort attribution
+// (see SatWithStats).
+func (sv *Solver) CertainPairStats(rel, attr string, i, j int, qs *QueryStats) (bool, error) {
+	l, sameEntity, err := sv.LitFor(rel, attr, i, j)
+	if err != nil {
+		return false, err
+	}
+	if !sameEntity {
+		return !sv.Consistent(), nil
+	}
+	return !sv.SatWithStats([]Lit{{Block: l.Block, I: l.J, J: l.I}}, qs), nil
+}

@@ -1,0 +1,121 @@
+package osolve
+
+import (
+	"testing"
+
+	"currency/internal/spec"
+)
+
+// TestStatsSinkAbsorbsAndFollows pins the sink-handover contract that
+// keeps server-exported counters monotonic: installing an external sink
+// transfers the counts accumulated so far (cold grounding effort is not
+// lost), re-installing the same sink is a no-op (no double counting),
+// and later queries land in the installed sink.
+func TestStatsSinkAbsorbsAndFollows(t *testing.T) {
+	s := consistentWorkload(8)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent()
+	pre := sv.Stats().Counters()
+	if pre.Propagations == 0 {
+		t.Fatal("cold Consistent recorded no propagations")
+	}
+
+	sink := &EngineStats{}
+	sv.SetStatsSink(sink)
+	if got := sink.Counters(); got != pre {
+		t.Errorf("sink after handover = %+v, want the absorbed pre-handover counters %+v", got, pre)
+	}
+	sv.SetStatsSink(sink) // same pointer: must not re-absorb
+	if got := sink.Counters(); got != pre {
+		t.Errorf("re-installing the same sink double-counted: %+v != %+v", got, pre)
+	}
+
+	if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	post := sink.Counters()
+	if post.Searches <= pre.Searches && post.Propagations <= pre.Propagations && post.Conflicts <= pre.Conflicts {
+		t.Errorf("query effort did not reach the installed sink: pre %+v post %+v", pre, post)
+	}
+	if post.ScopedCloneBytes <= pre.ScopedCloneBytes {
+		t.Errorf("ScopedCloneBytes did not advance in the sink (%d -> %d)", pre.ScopedCloneBytes, post.ScopedCloneBytes)
+	}
+}
+
+// TestApplyDeltaSharesStatsSink pins that an incremental patch keeps the
+// lineage's counters flowing into the same sink: the patched solver
+// reports into the predecessor's EngineStats, so a server-wide sink
+// survives any number of patches without re-installation.
+func TestApplyDeltaSharesStatsSink(t *testing.T) {
+	s := consistentWorkload(8)
+	base, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Consistent()
+	sink := &EngineStats{}
+	base.SetStatsSink(sink)
+	pre := sink.Counters()
+
+	r0 := s.Relations[0]
+	d := &spec.Delta{
+		Inserts: []spec.TupleInsert{{Rel: r0.Schema.Name, Tuple: r0.Tuples[0].Clone()}},
+		Orders:  []spec.OrderAdd{{Rel: r0.Schema.Name, Attr: r0.Schema.Attrs[1], I: 0, J: r0.Len()}},
+	}
+	sv, err := base.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Stats() != sink {
+		t.Fatal("patched solver does not report into the predecessor's sink")
+	}
+	sv.Consistent()
+	if _, err := sv.CertainPair("R0", "A0", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if post := sink.Counters(); post.Propagations <= pre.Propagations {
+		t.Errorf("post-patch effort did not reach the shared sink (propagations %d -> %d)",
+			pre.Propagations, post.Propagations)
+	}
+}
+
+// TestSatWithStatsFillsQueryStats pins the per-query effort report used
+// by trace spans: a traced SatWith fills the caller's QueryStats with
+// the touched components and a propagation timing, and leaves the
+// answer identical to the untraced call.
+func TestSatWithStatsFillsQueryStats(t *testing.T) {
+	s := consistentWorkload(8)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent()
+	lit, ok, err := sv.LitFor("R0", "A0", 0, 1)
+	if err != nil || !ok {
+		t.Fatalf("LitFor: %v %v", ok, err)
+	}
+	assume := []Lit{lit}
+
+	want := sv.SatWith(assume)
+	var qs QueryStats
+	if got := sv.SatWithStats(assume, &qs); got != want {
+		t.Fatalf("SatWithStats = %t, SatWith = %t", got, want)
+	}
+	if qs.Propagations == 0 {
+		t.Error("QueryStats.Propagations = 0, want > 0")
+	}
+	if qs.ScopedCloneBytes == 0 {
+		t.Error("QueryStats.ScopedCloneBytes = 0, want > 0")
+	}
+	if len(qs.Comps) == 0 {
+		t.Error("QueryStats.Comps is empty, want the touched components")
+	}
+	for _, c := range qs.Comps {
+		if c.NS < 0 {
+			t.Errorf("component %d reports negative search time", c.Comp)
+		}
+	}
+}

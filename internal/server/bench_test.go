@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"testing"
 
 	"currency/internal/api"
@@ -75,10 +76,10 @@ func benchBatch(b *testing.B, workers int) {
 	for i := range reqs {
 		reqs[i] = api.DecisionRequest{Op: api.OpDeterministic, Relation: "R0", Exact: true}
 	}
-	srv.runBatch(e, reqs[:1]) // warm the reasoner cache
+	srv.runBatch(context.Background(), e, reqs[:1]) // warm the reasoner cache
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		srv.runBatch(e, reqs)
+		srv.runBatch(context.Background(), e, reqs)
 	}
 }
 

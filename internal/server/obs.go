@@ -1,0 +1,266 @@
+package server
+
+// Server-side observability: the metric families exposed at GET
+// /metrics (Prometheus text format), the per-request tracing middleware
+// that feeds GET /debug/traces, and the structured request log. See
+// internal/obs for the primitives.
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"currency/internal/api"
+	"currency/internal/obs"
+	"currency/internal/osolve"
+)
+
+// endpointLabels are the instrumented endpoints, the label values of
+// currencyd_requests_total / currencyd_request_duration_seconds.
+// /metrics, /debug/traces and /healthz are deliberately uninstrumented:
+// scrapes must not inflate the request counters they report.
+var endpointLabels = []string{
+	"register", "list_specs", "get_spec", "patch_spec", "delete_spec",
+	string(api.OpConsistent), string(api.OpCertainOrder), string(api.OpDeterministic),
+	string(api.OpCertainAnswers), string(api.OpCurrencyPreserving), string(api.OpBoundedCopying),
+	"batch", "stats",
+}
+
+// opLabels label the decision histogram.
+var opLabels = []string{
+	string(api.OpConsistent), string(api.OpCertainOrder), string(api.OpDeterministic),
+	string(api.OpCertainAnswers), string(api.OpCurrencyPreserving), string(api.OpBoundedCopying),
+}
+
+// Patch-pipeline stage labels: delta_apply is the spec-level COW delta,
+// remap the incremental engine patch (osolve.ApplyDelta via a cached
+// predecessor), reground the cold from-scratch grounding fallback.
+const (
+	stageDeltaApply = "delta_apply"
+	stageRemap      = "remap"
+	stageReground   = "reground"
+)
+
+var stageLabels = []string{stageDeltaApply, stageRemap, stageReground}
+
+// serverMetrics bundles every metric family the server records, plus
+// the shared engine-counter sink all cached solvers flush into.
+type serverMetrics struct {
+	registry *obs.Registry
+
+	requests *obs.CounterVec   // by endpoint
+	reqDur   *obs.HistogramVec // by endpoint
+	decDur   *obs.HistogramVec // by decision problem
+	decided  *obs.CounterVec   // by engine (exact / ptime)
+	patchDur *obs.HistogramVec // by patch stage
+
+	slow         obs.Counter
+	droppedRules obs.Counter
+
+	// engine is the process-wide osolve counter sink: every reasoner
+	// the server grounds or patches flushes its search effort here, so
+	// the exported counters are monotonic across cache evictions.
+	engine osolve.EngineStats
+}
+
+// newServerMetrics builds the families and registers them, with the
+// cache/registry gauges closing over the server.
+func newServerMetrics(s *Server) *serverMetrics {
+	m := &serverMetrics{
+		registry: obs.NewRegistry(),
+		requests: obs.NewCounterVec("currencyd_requests_total",
+			"Requests served, by endpoint.", "endpoint", endpointLabels),
+		reqDur: obs.NewHistogramVec("currencyd_request_duration_seconds",
+			"End-to-end request latency, by endpoint.", "endpoint", endpointLabels, nil),
+		decDur: obs.NewHistogramVec("currencyd_decision_duration_seconds",
+			"Decision-problem latency, by problem.", "op", opLabels, nil),
+		decided: obs.NewCounterVec("currencyd_decisions_total",
+			"Decisions answered, by engine (exact or ptime).", "engine",
+			[]string{api.EngineExact, api.EnginePTime}),
+		patchDur: obs.NewHistogramVec("currencyd_patch_stage_duration_seconds",
+			"Patch-pipeline stage latency: delta_apply (spec COW), remap (incremental engine patch), reground (cold rebuild).",
+			"stage", stageLabels, nil),
+	}
+	m.registry.Register(m.requests, m.reqDur, m.decDur, m.decided, m.patchDur,
+		obs.NewCounterFunc("currencyd_slow_requests_total",
+			"Requests over the slow-query threshold.", m.slow.Load),
+		obs.NewCounterFunc("currencyd_patch_dropped_rules_total",
+			"Ground rules dropped by delete remaps because their tuples were deleted.",
+			m.droppedRules.Load),
+		// Engine search-effort counters, from the shared sink.
+		obs.NewCounterFunc("currencyd_engine_decisions_total",
+			"DPLL branching points across all engine searches.", m.engine.Decisions.Load),
+		obs.NewCounterFunc("currencyd_engine_propagations_total",
+			"Literals set by engine propagation (transitive closure and rule firing).", m.engine.Propagations.Load),
+		obs.NewCounterFunc("currencyd_engine_conflicts_total",
+			"Engine propagation conflicts (rule violations and order cycles).", m.engine.Conflicts.Load),
+		obs.NewCounterFunc("currencyd_engine_searches_total",
+			"Component search entries.", m.engine.Searches.Load),
+		obs.NewCounterFunc("currencyd_engine_scoped_clone_bytes_total",
+			"Bytes copied building per-query search states.", m.engine.ScopedCloneBytes.Load),
+		obs.NewCounterFunc("currencyd_engine_pool_hits_total",
+			"Pooled-state fetches that reused a warm arena.", m.engine.PoolHits.Load),
+		obs.NewCounterFunc("currencyd_engine_pool_misses_total",
+			"Pooled-state fetches that had to allocate an arena.", m.engine.PoolMisses.Load),
+		obs.NewCounterFunc("currencyd_engine_memo_hits_total",
+			"Queries answered from memoized component base verdicts.", m.engine.MemoHits.Load),
+		// Cache and registry counters/gauges, reading the existing atomics.
+		obs.NewCounterFunc("currencyd_cache_hits_total",
+			"Reasoner-cache hits.", s.cache.hits.Load),
+		obs.NewCounterFunc("currencyd_cache_misses_total",
+			"Reasoner-cache misses.", s.cache.misses.Load),
+		obs.NewCounterFunc("currencyd_cache_patched_total",
+			"Spec updates absorbed by incremental engine patching.", s.cache.patched.Load),
+		obs.NewCounterFunc("currencyd_cache_regrounded_total",
+			"Spec updates that re-grounded from scratch.", s.cache.regrounded.Load),
+		obs.NewGaugeFunc("currencyd_cache_entries",
+			"Grounded reasoners currently cached.", func() float64 {
+				entries, _, _, _, _, _ := s.cache.Stats()
+				return float64(entries)
+			}),
+		obs.NewGaugeFunc("currencyd_cache_capacity",
+			"Reasoner-cache capacity.", func() float64 { return float64(s.cache.cap) }),
+		obs.NewGaugeFunc("currencyd_specs",
+			"Specifications currently registered.", func() float64 { return float64(s.registry.Len()) }),
+		obs.NewGaugeFunc("currencyd_workers",
+			"Batch / engine worker-pool bound.", func() float64 { return float64(s.workers) }),
+	)
+	return m
+}
+
+// statusWriter captures the response status for the request log and
+// trace record.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with the observability middleware: it
+// assigns a trace ID (returned in the X-Currencyd-Trace header and
+// propagated through the request context into the reasoning layers),
+// records the endpoint's latency histogram and request counter, offers
+// the finished trace to the slow log, and emits the structured request
+// log line (every request when a log writer is configured; slow ones
+// are additionally counted and always logged).
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(endpoint)
+		w.Header().Set(api.TraceHeader, tr.ID)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(obs.With(r.Context(), tr)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		d := tr.Finish(status)
+		s.metrics.requests.With(endpoint).Inc()
+		s.metrics.reqDur.With(endpoint).Observe(d)
+		slow := s.slowQuery > 0 && d >= s.slowQuery
+		if slow {
+			s.metrics.slow.Inc()
+		}
+		s.traces.Add(tr)
+		if s.reqLog != nil || slow {
+			s.logRequest(tr, r, status, d, slow)
+		}
+	}
+}
+
+// requestLogLine is the one-line JSON request log record.
+type requestLogLine struct {
+	TS       string         `json:"ts"`
+	Trace    string         `json:"trace"`
+	Endpoint string         `json:"endpoint"`
+	Method   string         `json:"method"`
+	Path     string         `json:"path"`
+	Status   int            `json:"status"`
+	DurUS    int64          `json:"durUs"`
+	Slow     bool           `json:"slow,omitempty"`
+	Spans    []api.SpanInfo `json:"spans,omitempty"`
+}
+
+// logRequest writes one JSON line to the configured writer (stderr via
+// the default logger when only the slow-query path fired).
+func (s *Server) logRequest(tr *obs.Trace, r *http.Request, status int, d time.Duration, slow bool) {
+	line := requestLogLine{
+		TS:       time.Now().UTC().Format(time.RFC3339Nano),
+		Trace:    tr.ID,
+		Endpoint: tr.Name,
+		Method:   r.Method,
+		Path:     r.URL.Path,
+		Status:   status,
+		DurUS:    d.Microseconds(),
+		Slow:     slow,
+		Spans:    wireSpans(tr),
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	w := s.reqLog
+	if w == nil {
+		w = slowFallbackWriter
+	}
+	buf = append(buf, '\n')
+	_, _ = w.Write(buf)
+}
+
+// slowFallbackWriter receives slow-query log lines when no request log
+// writer is configured: the standard logger, so the line lands wherever
+// currencyd's logging goes.
+var slowFallbackWriter io.Writer = logWriter{}
+
+type logWriter struct{}
+
+func (logWriter) Write(p []byte) (int, error) {
+	log.Print(string(p)) // log.Print adds no second newline when p has one
+	return len(p), nil
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	s.metrics.registry.WriteProm(w)
+}
+
+// handleTraces serves the slowest recorded request traces.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	slowest := s.traces.Slowest()
+	list := api.TraceList{Traces: make([]api.TraceInfo, 0, len(slowest))}
+	for _, tr := range slowest {
+		list.Traces = append(list.Traces, api.TraceInfo{
+			ID:       tr.ID,
+			Endpoint: tr.Name,
+			Start:    tr.Start.UTC().Format(time.RFC3339Nano),
+			DurNS:    tr.Duration().Nanoseconds(),
+			Status:   tr.Status(),
+			Spans:    wireSpans(tr),
+		})
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func wireSpans(tr *obs.Trace) []api.SpanInfo {
+	spans := tr.Spans()
+	out := make([]api.SpanInfo, len(spans))
+	for i, sp := range spans {
+		out[i] = api.SpanInfo{
+			Name:     sp.Name,
+			OffsetNS: sp.Offset.Nanoseconds(),
+			DurNS:    sp.Dur.Nanoseconds(),
+			Detail:   sp.Detail,
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package server_test
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"currency/internal/api"
+	"currency/internal/server"
+)
+
+// promSums parses a Prometheus text exposition into per-metric value
+// sums (labels collapsed; _bucket/_sum/_count are separate metric
+// names). Enough structure for the assertions here without a client
+// library.
+func promSums(text string) map[string]float64 {
+	sums := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		sums[name] += v
+	}
+	return sums
+}
+
+// TestMetricsEndToEnd drives every observability surface once, serially:
+// the Prometheus exposition, the enriched /stats, the trace header, the
+// slow-trace buffer with per-layer spans, and the DroppedRules plumbing
+// from the engine's delete remap up to PatchInfo and /stats.
+func TestMetricsEndToEnd(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{
+		SlowQuery:  time.Nanosecond, // everything is "slow": exercises the counter
+		RequestLog: io.Discard,
+	})
+	if _, err := c.RegisterSpec("warm", liveSource()); err != nil {
+		t.Fatal(err)
+	}
+	if c.LastTraceID() == "" {
+		t.Error("response carried no X-Currencyd-Trace header")
+	}
+
+	// Warm the cache, then run one of each decision flavor.
+	if _, err := c.Consistent("warm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CertainOrder("warm", []api.OrderPair{{Rel: "R", Attr: "a", I: "r0", J: "r1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deterministic("warm", "R"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A delete patch against the warm reasoner runs the remap path and
+	// must surface the rules dropped with the deleted tuple.
+	patch, err := c.PatchSpec("warm", api.DeltaRequest{
+		DeleteTuples: []api.TupleRef{{Rel: "R", Ref: "r0"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !patch.Patch.Patched {
+		t.Fatalf("expected an incremental patch, got %+v", patch.Patch)
+	}
+	if patch.Patch.DroppedRules == 0 {
+		t.Errorf("deleting a constrained tuple dropped no rules: %+v", patch.Patch)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests == 0 || st.SlowRequests == 0 {
+		t.Errorf("stats requests=%d slow=%d, want both > 0", st.Requests, st.SlowRequests)
+	}
+	if st.PatchDroppedRules != uint64(patch.Patch.DroppedRules) {
+		t.Errorf("stats PatchDroppedRules = %d, want %d", st.PatchDroppedRules, patch.Patch.DroppedRules)
+	}
+	if st.Engine.Propagations == 0 || st.Engine.Searches == 0 {
+		t.Errorf("engine counters did not reach /stats: %+v", st.Engine)
+	}
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE currencyd_requests_total counter",
+		"# TYPE currencyd_request_duration_seconds histogram",
+		`currencyd_request_duration_seconds_bucket{endpoint="consistent",le="+Inf"}`,
+		"# TYPE currencyd_decision_duration_seconds histogram",
+		`currencyd_decision_duration_seconds_bucket{op="certain-order",le="+Inf"}`,
+		"# TYPE currencyd_patch_stage_duration_seconds histogram",
+		`currencyd_patch_stage_duration_seconds_bucket{stage="remap",le="+Inf"}`,
+		"# TYPE currencyd_engine_propagations_total counter",
+		"# TYPE currencyd_cache_hits_total counter",
+		"# TYPE currencyd_cache_entries gauge",
+		"currencyd_patch_dropped_rules_total",
+		"currencyd_slow_requests_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	sums := promSums(text)
+	if sums["currencyd_engine_propagations_total"] == 0 {
+		t.Error("exposition reports zero engine propagations after exact decisions")
+	}
+	if got, want := sums["currencyd_patch_dropped_rules_total"], float64(patch.Patch.DroppedRules); got != want {
+		t.Errorf("exposition dropped rules = %v, want %v", got, want)
+	}
+
+	// The slow log kept the requests (threshold 1ns) with per-layer spans.
+	traces, err := c.SlowTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces.Traces) == 0 {
+		t.Fatal("/debug/traces is empty after traced requests")
+	}
+	spanNames := make(map[string]bool)
+	for _, tr := range traces.Traces {
+		if tr.ID == "" || tr.Endpoint == "" || tr.DurNS <= 0 {
+			t.Errorf("malformed trace %+v", tr)
+		}
+		for _, sp := range tr.Spans {
+			spanNames[sp.Name] = true
+		}
+	}
+	for _, want := range []string{"cache", "decide:consistent", "engine.search", "patch.delta_apply", "patch.remap"} {
+		if !spanNames[want] {
+			t.Errorf("no recorded trace carries a %q span (got %v)", want, spanNames)
+		}
+	}
+}
+
+// TestObservabilityConcurrent hammers the server with concurrent
+// queries, patches and scrapes (run under -race in CI), checking that
+// the exported counters are monotonic while the load runs and that the
+// final histogram totals equal the requests actually served.
+func TestObservabilityConcurrent(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{
+		SlowQuery:  -1, // keep the fallback slow logger quiet
+		RequestLog: io.Discard,
+	})
+	if _, err := c.RegisterSpec("load", liveSource()); err != nil {
+		t.Fatal(err)
+	}
+
+	// tracked counts every request we send to an instrumented endpoint;
+	// the final exposition must agree exactly.
+	var tracked atomic.Uint64
+	tracked.Add(1) // the RegisterSpec above
+
+	const queryWorkers, queriesEach, patches, scrapes = 4, 25, 10, 10
+	var wg sync.WaitGroup
+	for w := 0; w < queryWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesEach; i++ {
+				if _, err := c.CertainOrder("load", []api.OrderPair{{Rel: "R", Attr: "a", I: "r0", J: "r1"}}); err != nil {
+					t.Error(err)
+					return
+				}
+				tracked.Add(1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < patches; i++ {
+			if _, err := c.PatchSpec("load", api.DeltaRequest{
+				InsertTuples: []api.TupleInsert{{Rel: "F", Values: []any{"e", 10 + i}}},
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			tracked.Add(1)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scrapes; i++ {
+			if _, err := c.Metrics(); err != nil { // uninstrumented: not tracked
+				t.Error(err)
+				return
+			}
+			if _, err := c.SlowTraces(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Monotonicity probe: sequential /stats scrapes during the load must
+	// never observe a counter going backwards.
+	var prev api.Stats
+	for i := 0; i < scrapes; i++ {
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracked.Add(1)
+		if st.Requests < prev.Requests || st.Engine.Propagations < prev.Engine.Propagations ||
+			st.Engine.Searches < prev.Engine.Searches || st.CacheMisses < prev.CacheMisses ||
+			st.PatchDroppedRules < prev.PatchDroppedRules {
+			t.Fatalf("counters went backwards: %+v then %+v", prev, st)
+		}
+		prev = st
+	}
+	wg.Wait()
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := promSums(text)
+	want := float64(tracked.Load())
+	if got := sums["currencyd_requests_total"]; got != want {
+		t.Errorf("currencyd_requests_total = %v, want %v tracked requests", got, want)
+	}
+	// Histogram totals equal request counts: every counted request is in
+	// exactly one latency bucket.
+	if got := sums["currencyd_request_duration_seconds_count"]; got != want {
+		t.Errorf("request histogram count = %v, want %v", got, want)
+	}
+	// Decisions: every certain-order query plus its per-item histogram.
+	if got := sums["currencyd_decision_duration_seconds_count"]; got < queryWorkers*queriesEach {
+		t.Errorf("decision histogram count = %v, want >= %d", got, queryWorkers*queriesEach)
+	}
+	if got := sums["currencyd_engine_decisions_total"] + sums["currencyd_engine_propagations_total"]; got == 0 {
+		t.Error("engine effort counters are all zero after concurrent load")
+	}
+}

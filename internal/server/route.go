@@ -1,12 +1,15 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"currency/internal/api"
 	"currency/internal/core"
+	"currency/internal/obs"
 	"currency/internal/parse"
 	"currency/internal/query"
 	"currency/internal/relation"
@@ -18,18 +21,32 @@ import (
 // constraint-free (and, for the query-dependent problems, the query is
 // SP), the cached exact reasoner otherwise. This is the auto-routing layer
 // — the server-side counterpart of the library's Auto* functions, extended
-// to every decision problem.
-func (s *Server) decide(e *Entry, req *api.DecisionRequest) api.DecisionResult {
-	res, err := s.decideErr(e, req)
+// to every decision problem. It also owns the decision metrics: one
+// latency observation per decision problem and one routing count per
+// engine, covering batch items and programmatic calls alike.
+func (s *Server) decide(ctx context.Context, e *Entry, req *api.DecisionRequest) api.DecisionResult {
+	t0 := time.Now()
+	res, err := s.decideErr(ctx, e, req)
 	if err != nil {
-		return api.DecisionResult{Op: req.Op, SpecVersion: e.Version, Error: err.Error()}
+		res = api.DecisionResult{Error: err.Error()}
 	}
 	res.Op = req.Op
 	res.SpecVersion = e.Version
+	s.metrics.decDur.With(string(req.Op)).Observe(time.Since(t0))
+	if res.Engine != "" {
+		s.metrics.decided.With(res.Engine).Inc()
+	}
+	if tr := obs.From(ctx); tr != nil {
+		detail := "engine=" + res.Engine
+		if res.Error != "" {
+			detail += " error=" + res.Error
+		}
+		tr.AddSpan("decide:"+string(req.Op), t0, detail)
+	}
 	return res
 }
 
-func (s *Server) decideErr(e *Entry, req *api.DecisionRequest) (api.DecisionResult, error) {
+func (s *Server) decideErr(ctx context.Context, e *Entry, req *api.DecisionRequest) (api.DecisionResult, error) {
 	var q *query.Query
 	var err error
 	switch req.Op {
@@ -51,7 +68,7 @@ func (s *Server) decideErr(e *Entry, req *api.DecisionRequest) (api.DecisionResu
 	if !req.Exact && !wantsSpace && ptimeEligible(e, req.Op, q) {
 		return s.decidePTime(e, req, q)
 	}
-	return s.decideExact(e, req, q)
+	return s.decideExact(ctx, e, req, q)
 }
 
 // ptimeEligible reports whether a Section-6 polynomial algorithm covers
@@ -154,15 +171,15 @@ func (s *Server) decidePTime(e *Entry, req *api.DecisionRequest, q *query.Query)
 	return out, nil
 }
 
-func (s *Server) decideExact(e *Entry, req *api.DecisionRequest, q *query.Query) (api.DecisionResult, error) {
+func (s *Server) decideExact(ctx context.Context, e *Entry, req *api.DecisionRequest, q *query.Query) (api.DecisionResult, error) {
 	out := api.DecisionResult{Engine: api.EngineExact}
-	r, err := s.reasoner(e)
+	r, err := s.reasoner(ctx, e)
 	if err != nil {
 		return out, err
 	}
 	switch req.Op {
 	case api.OpConsistent:
-		ok := r.Consistent()
+		ok := r.ConsistentCtx(ctx)
 		out.Holds = &ok
 
 	case api.OpCertainOrder:
@@ -170,7 +187,7 @@ func (s *Server) decideExact(e *Entry, req *api.DecisionRequest, q *query.Query)
 		if err != nil {
 			return out, err
 		}
-		ok, err := r.CertainOrder(reqs)
+		ok, err := r.CertainOrderCtx(ctx, reqs)
 		if err != nil {
 			return out, err
 		}
@@ -186,7 +203,7 @@ func (s *Server) decideExact(e *Entry, req *api.DecisionRequest, q *query.Query)
 		}
 		ok := true
 		for _, rel := range rels {
-			det, err := r.Deterministic(rel)
+			det, err := r.DeterministicCtx(ctx, rel)
 			if err != nil {
 				return out, err
 			}
@@ -201,7 +218,7 @@ func (s *Server) decideExact(e *Entry, req *api.DecisionRequest, q *query.Query)
 		}
 
 	case api.OpCertainAnswers:
-		res, modEmpty, err := r.CertainAnswers(q)
+		res, modEmpty, err := r.CertainAnswersCtx(ctx, q)
 		if err != nil {
 			return out, err
 		}
@@ -216,9 +233,13 @@ func (s *Server) decideExact(e *Entry, req *api.DecisionRequest, q *query.Query)
 		if err != nil {
 			return out, err
 		}
+		t0 := time.Now()
 		ok, err := r.CurrencyPreservingIn(q, space)
 		if err != nil {
 			return out, err
+		}
+		if tr := obs.From(ctx); tr != nil {
+			tr.AddSpan("engine.preserve", t0, fmt.Sprintf("holds=%t", ok))
 		}
 		out.Holds = &ok
 
@@ -227,9 +248,13 @@ func (s *Server) decideExact(e *Entry, req *api.DecisionRequest, q *query.Query)
 		if err != nil {
 			return out, err
 		}
+		t0 := time.Now()
 		ok, atoms, err := r.BoundedCopyingIn(q, req.K, space)
 		if err != nil {
 			return out, err
+		}
+		if tr := obs.From(ctx); tr != nil {
+			tr.AddSpan("engine.preserve", t0, fmt.Sprintf("holds=%t witness=%d", ok, len(atoms)))
 		}
 		out.Holds = &ok
 		for _, a := range atoms {
@@ -245,16 +270,32 @@ func (s *Server) decideExact(e *Entry, req *api.DecisionRequest, q *query.Query)
 // already fan out over a pool of that size, and one knob for both keeps a
 // saturated batch from multiplying into workers² runnable goroutines.
 // (SetWorkers happens inside the singleflighted factory, before the
-// reasoner is published to any other goroutine.)
-func (s *Server) reasoner(e *Entry) (*core.Reasoner, error) {
-	return s.cache.Get(reasonerKey{id: e.ID, version: e.Version}, func() (*core.Reasoner, error) {
+// reasoner is published to any other goroutine.) Every engine built here
+// flushes its counters into the server-wide stats sink, so the exported
+// totals survive cache eviction. Traced requests get a "cache" span
+// (hit=true also covers joining another request's in-flight grounding)
+// and, when this request grounded, a nested "ground" span.
+func (s *Server) reasoner(ctx context.Context, e *Entry) (*core.Reasoner, error) {
+	t0 := time.Now()
+	hit := true
+	r, err := s.cache.Get(reasonerKey{id: e.ID, version: e.Version}, func() (*core.Reasoner, error) {
+		hit = false
+		g0 := time.Now()
 		r, err := core.NewReasoner(e.File.Spec)
 		if err != nil {
 			return nil, err
 		}
 		r.Engine().SetWorkers(s.workers)
+		r.Engine().SetStatsSink(&s.metrics.engine)
+		if tr := obs.From(ctx); tr != nil {
+			tr.AddSpan("ground", g0, fmt.Sprintf("spec=%s version=%d", e.ID, e.Version))
+		}
 		return r, nil
 	})
+	if tr := obs.From(ctx); tr != nil {
+		tr.AddSpan("cache", t0, fmt.Sprintf("spec=%s version=%d hit=%t", e.ID, e.Version, hit))
+	}
+	return r, err
 }
 
 // resolveQuery materializes a QueryRef: a named query of the registered

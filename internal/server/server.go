@@ -31,20 +31,32 @@
 //	POST   /specs/{id}/currency-preserving CPP
 //	POST   /specs/{id}/bounded-copying     BCP
 //	POST   /specs/{id}/batch               fan a list of decisions over the pool
-//	GET    /stats                          registry/cache/pool counters
+//	GET    /stats                          registry/cache/pool/engine counters
+//	GET    /metrics                        Prometheus text exposition
+//	GET    /debug/traces                   slowest request traces, with spans
 //	GET    /healthz                        liveness
+//
+// Every endpoint except /metrics, /debug/traces and /healthz runs under
+// the observability middleware (see obs.go): per-request trace IDs
+// returned in the X-Currencyd-Trace header, endpoint latency
+// histograms, a slow-request log, and optional one-line JSON request
+// logging.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"currency/internal/api"
 	"currency/internal/core"
+	"currency/internal/obs"
 	"currency/internal/parse"
 	"currency/internal/spec"
 )
@@ -56,6 +68,16 @@ type Options struct {
 	CacheSize int
 	// Workers bounds batch-request concurrency. Default GOMAXPROCS.
 	Workers int
+	// SlowQuery is the latency threshold over which a request is counted
+	// (currencyd_slow_requests_total) and logged even without a request
+	// log. 0 means DefaultSlowQuery; negative disables slow marking.
+	SlowQuery time.Duration
+	// RequestLog, when non-nil, receives one JSON line per instrumented
+	// request. Writes are serialized by the server.
+	RequestLog io.Writer
+	// TraceBuffer caps how many slowest traces /debug/traces keeps.
+	// 0 means 32.
+	TraceBuffer int
 }
 
 // Server is the currencyd HTTP service. Create with New and mount
@@ -65,11 +87,21 @@ type Server struct {
 	cache    *ReasonerCache
 	workers  int
 	mux      *http.ServeMux
+
+	metrics   *serverMetrics
+	traces    *obs.SlowLog
+	slowQuery time.Duration
+	reqLog    io.Writer
+	logMu     sync.Mutex
 }
 
 // DefaultCacheSize is the reasoner-cache capacity used when
 // Options.CacheSize is left zero.
 const DefaultCacheSize = 64
+
+// DefaultSlowQuery is the slow-request threshold used when
+// Options.SlowQuery is left zero.
+const DefaultSlowQuery = 250 * time.Millisecond
 
 // New builds a server with the given options.
 func New(opts Options) *Server {
@@ -82,28 +114,41 @@ func New(opts Options) *Server {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	s := &Server{
-		registry: NewRegistry(),
-		cache:    NewReasonerCache(opts.CacheSize),
-		workers:  opts.Workers,
-		mux:      http.NewServeMux(),
+	if opts.SlowQuery == 0 {
+		opts.SlowQuery = DefaultSlowQuery
 	}
-	s.mux.HandleFunc("POST /specs", s.handleRegister)
-	s.mux.HandleFunc("GET /specs", s.handleList)
-	s.mux.HandleFunc("GET /specs/{id}", s.handleGet)
-	s.mux.HandleFunc("PATCH /specs/{id}", s.handlePatch)
-	s.mux.HandleFunc("DELETE /specs/{id}", s.handleDelete)
+	if opts.SlowQuery < 0 {
+		opts.SlowQuery = 0 // explicit "never mark slow"
+	}
+	s := &Server{
+		registry:  NewRegistry(),
+		cache:     NewReasonerCache(opts.CacheSize),
+		workers:   opts.Workers,
+		mux:       http.NewServeMux(),
+		traces:    obs.NewSlowLog(opts.TraceBuffer),
+		slowQuery: opts.SlowQuery,
+		reqLog:    opts.RequestLog,
+	}
+	s.metrics = newServerMetrics(s)
+	s.mux.HandleFunc("POST /specs", s.instrument("register", s.handleRegister))
+	s.mux.HandleFunc("GET /specs", s.instrument("list_specs", s.handleList))
+	s.mux.HandleFunc("GET /specs/{id}", s.instrument("get_spec", s.handleGet))
+	s.mux.HandleFunc("PATCH /specs/{id}", s.instrument("patch_spec", s.handlePatch))
+	s.mux.HandleFunc("DELETE /specs/{id}", s.instrument("delete_spec", s.handleDelete))
 	for _, op := range []api.Op{
 		api.OpConsistent, api.OpCertainOrder, api.OpDeterministic,
 		api.OpCertainAnswers, api.OpCurrencyPreserving, api.OpBoundedCopying,
 	} {
 		op := op
-		s.mux.HandleFunc("POST /specs/{id}/"+string(op), func(w http.ResponseWriter, r *http.Request) {
-			s.handleDecision(w, r, op)
-		})
+		s.mux.HandleFunc("POST /specs/{id}/"+string(op),
+			s.instrument(string(op), func(w http.ResponseWriter, r *http.Request) {
+				s.handleDecision(w, r, op)
+			}))
 	}
-	s.mux.HandleFunc("POST /specs/{id}/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /specs/{id}/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -236,7 +281,7 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request, op api.O
 		return
 	}
 	req.Op = op
-	res := s.decide(e, &req)
+	res := s.decide(r.Context(), e, &req)
 	if res.Error != "" {
 		writeJSON(w, http.StatusUnprocessableEntity, res)
 		return
@@ -260,13 +305,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch needs at least one request")
 		return
 	}
-	writeJSON(w, http.StatusOK, api.BatchResponse{Results: s.runBatch(e, req.Requests)})
+	writeJSON(w, http.StatusOK, api.BatchResponse{Results: s.runBatch(r.Context(), e, req.Requests)})
 }
 
 // runBatch executes the requests over a bounded worker pool. Every request
 // in a batch runs against the same registry entry — a concurrent update
-// changes the version for future lookups, not for this batch.
-func (s *Server) runBatch(e *Entry, reqs []api.DecisionRequest) []api.DecisionResult {
+// changes the version for future lookups, not for this batch. The ctx
+// trace (if any) is shared by all workers; Trace.AddSpan is
+// concurrency-safe, so a traced batch records one span per decision.
+func (s *Server) runBatch(ctx context.Context, e *Entry, reqs []api.DecisionRequest) []api.DecisionResult {
 	results := make([]api.DecisionResult, len(reqs))
 	workers := s.workers
 	if workers > len(reqs) {
@@ -279,7 +326,7 @@ func (s *Server) runBatch(e *Entry, reqs []api.DecisionRequest) []api.DecisionRe
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = s.decide(e, &reqs[i])
+				results[i] = s.decide(ctx, e, &reqs[i])
 			}
 		}()
 	}
@@ -293,6 +340,7 @@ func (s *Server) runBatch(e *Entry, reqs []api.DecisionRequest) []api.DecisionRe
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	entries, capacity, hits, misses, patched, regrounded := s.cache.Stats()
+	ec := s.metrics.engine.Counters()
 	writeJSON(w, http.StatusOK, api.Stats{
 		Specs:           s.registry.Len(),
 		CacheEntries:    entries,
@@ -302,6 +350,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CachePatched:    patched,
 		CacheRegrounded: regrounded,
 		Workers:         s.workers,
+		// Requests excludes this in-flight /stats call: the middleware
+		// counts a request after its handler returns.
+		Requests:          s.metrics.requests.Sum(),
+		SlowRequests:      s.metrics.slow.Load(),
+		PatchDroppedRules: s.metrics.droppedRules.Load(),
+		Engine: api.EngineCounters{
+			Decisions:        ec.Decisions,
+			Propagations:     ec.Propagations,
+			Conflicts:        ec.Conflicts,
+			Searches:         ec.Searches,
+			ScopedCloneBytes: ec.ScopedCloneBytes,
+			PoolHits:         ec.PoolHits,
+			PoolMisses:       ec.PoolMisses,
+			MemoHits:         ec.MemoHits,
+		},
 	})
 }
 
@@ -315,7 +378,7 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	ne, info, err := s.patchCurrent(id, &req)
+	ne, info, err := s.patchCurrent(r.Context(), id, &req)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, ErrVersionConflict) {
@@ -337,7 +400,7 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 // set); unguarded patches losing a registry race retry against the new
 // current version — the caller asked for "apply to whatever is
 // current", not for optimistic concurrency.
-func (s *Server) patchCurrent(id string, req *api.DeltaRequest) (*Entry, api.PatchInfo, error) {
+func (s *Server) patchCurrent(ctx context.Context, id string, req *api.DeltaRequest) (*Entry, api.PatchInfo, error) {
 	for attempt := 0; ; attempt++ {
 		e, ok := s.registry.Get(id)
 		if !ok {
@@ -347,7 +410,7 @@ func (s *Server) patchCurrent(id string, req *api.DeltaRequest) (*Entry, api.Pat
 			return nil, api.PatchInfo{}, fmt.Errorf("%w: spec %q is at version %d, patch based on %d",
 				ErrVersionConflict, id, e.Version, req.BaseVersion)
 		}
-		ne, info, err := s.patch(e, req)
+		ne, info, err := s.patch(ctx, e, req)
 		if err == nil || req.BaseVersion != 0 || !errors.Is(err, ErrVersionConflict) || attempt >= 3 {
 			return ne, info, err
 		}
@@ -359,17 +422,24 @@ func (s *Server) patchCurrent(id string, req *api.DeltaRequest) (*Entry, api.Pat
 // only on success does the registry publish the bumped version and the
 // cache install the reasoner — a failed delta leaves every layer
 // untouched, so clients can retry without double-applying.
-func (s *Server) patch(e *Entry, req *api.DeltaRequest) (*Entry, api.PatchInfo, error) {
+func (s *Server) patch(ctx context.Context, e *Entry, req *api.DeltaRequest) (*Entry, api.PatchInfo, error) {
+	tr := obs.From(ctx)
 	d, err := resolveDelta(e, req)
 	if err != nil {
 		return nil, api.PatchInfo{}, err
 	}
+	t0 := time.Now()
 	ns, _, err := d.Apply(e.File.Spec)
 	if err != nil {
 		return nil, api.PatchInfo{}, err
 	}
+	s.metrics.patchDur.With(stageDeltaApply).Observe(time.Since(t0))
+	if tr != nil {
+		tr.AddSpan("patch."+stageDeltaApply, t0, "")
+	}
 	var nr *core.Reasoner
 	usedPatch := false
+	t1 := time.Now()
 	if old, ok := s.cache.Peek(reasonerKey{id: e.ID, version: e.Version}); ok {
 		// The patched reasoner re-derives its spec from the old engine;
 		// it is content-identical to ns.
@@ -381,7 +451,19 @@ func (s *Server) patch(e *Entry, req *api.DeltaRequest) (*Entry, api.PatchInfo, 
 	if err != nil {
 		return nil, api.PatchInfo{}, err
 	}
+	stage := stageReground
+	if usedPatch {
+		stage = stageRemap
+	}
+	s.metrics.patchDur.With(stage).Observe(time.Since(t1))
+	if tr != nil {
+		tr.AddSpan("patch."+stage, t1, "")
+	}
 	nr.Engine().SetWorkers(s.workers)
+	// Keep the lineage's counters flowing into the server-wide sink: a
+	// no-op on the remap path (ApplyDelta inherits the predecessor's
+	// sink), an absorb on the reground path (cold grounding effort).
+	nr.Engine().SetStatsSink(&s.metrics.engine)
 	ne, err := s.registry.PatchEntry(e.ID, e.Version, &parse.File{Spec: ns, Queries: e.File.Queries})
 	if err != nil {
 		return nil, api.PatchInfo{}, err // concurrent update won; nr is discarded
@@ -394,6 +476,8 @@ func (s *Server) patch(e *Entry, req *api.DeltaRequest) (*Entry, api.PatchInfo, 
 		info.RebuiltComps = stats.RebuiltComps
 		info.CopiedRules = stats.CopiedRules
 		info.RegroundRules = stats.RegroundRules
+		info.DroppedRules = stats.DroppedRules
+		s.metrics.droppedRules.Add(uint64(stats.DroppedRules))
 	}
 	return ne, info, nil
 }
@@ -407,7 +491,7 @@ func (s *Server) Register(id, source string) (*Entry, error) {
 // PatchSpec programmatically applies a wire delta, sharing the HTTP
 // path's registry bump, cache patching and unguarded-retry semantics.
 func (s *Server) PatchSpec(id string, req api.DeltaRequest) (*Entry, api.PatchInfo, error) {
-	return s.patchCurrent(id, &req)
+	return s.patchCurrent(context.Background(), id, &req)
 }
 
 // Decide programmatically runs one decision, sharing the HTTP path's
@@ -417,7 +501,7 @@ func (s *Server) Decide(id string, req api.DecisionRequest) (api.DecisionResult,
 	if !ok {
 		return api.DecisionResult{}, fmt.Errorf("no spec %q", id)
 	}
-	res := s.decide(e, &req)
+	res := s.decide(context.Background(), e, &req)
 	if res.Error != "" {
 		return res, fmt.Errorf("%s", res.Error)
 	}
