@@ -2,18 +2,21 @@
 // stream against the committed baseline (BENCH_solver.json) and fails —
 // exit status 1 — when a tracked metric regressed beyond the threshold.
 // It is the CI regression gate for the engine's headline numbers: the
-// cold grounding cost and the warm certain-order query cost of the
-// solver table.
+// cold grounding cost, the sequential and warm certain-order query costs
+// of the solver table, and the gadget solve times and learned-clause
+// counts of the hardness table.
 //
 // Usage:
 //
 //	go run ./cmd/currencybench -table solver -json > fresh.json
+//	go run ./cmd/currencybench -table hardness -json >> fresh.json
 //	go run ./cmd/benchgate -baseline BENCH_solver.json -fresh fresh.json
 //
 // The baseline file is append-only history (one JSON object per line);
 // the gate compares each fresh row against the LAST baseline row with
-// the same (table, entities) key, so committing a new generation of
-// rows rebases the gate. Rows and metrics missing on either side are
+// the same key — (table, entities) for solver rows, (experiment, mode,
+// size) for hardness rows — so committing a new generation of rows
+// rebases the gate. Rows and metrics missing on either side are
 // reported but never fail the gate (new experiments must be landable),
 // and one-shot timings on shared runners are noisy, so the default
 // threshold is generous (+25%) and the CI step is skippable via the
@@ -40,14 +43,31 @@ func (r row) num(key string) (float64, bool) {
 
 func (r row) key() (string, bool) {
 	table, _ := r["table"].(string)
-	if table != "solver" {
-		return "", false
+	switch table {
+	case "solver":
+		ents, ok := r.num("entities")
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("%s/entities=%d", table, int(ents)), true
+	case "hardness":
+		// One gadget instance per (experiment, mode, size); the size field
+		// depends on the gadget (n+triples for betweenness, vars for the
+		// 3SAT CCQA rows).
+		exp, _ := r["experiment"].(string)
+		mode, _ := r["mode"].(string)
+		if exp == "" || mode == "" {
+			return "", false
+		}
+		k := fmt.Sprintf("%s/%s/%s", table, exp, mode)
+		for _, dim := range []string{"n", "triples", "vars"} {
+			if v, ok := r.num(dim); ok {
+				k += fmt.Sprintf("/%s=%d", dim, int(v))
+			}
+		}
+		return k, true
 	}
-	ents, ok := r.num("entities")
-	if !ok {
-		return "", false
-	}
-	return fmt.Sprintf("%s/entities=%d", table, int(ents)), true
+	return "", false
 }
 
 // readRows parses one JSON object per line, skipping non-JSON noise.
@@ -79,7 +99,9 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_solver.json", "committed baseline (JSON lines, append-only history)")
 	fresh := flag.String("fresh", "", "freshly measured rows (JSON lines)")
 	threshold := flag.Float64("threshold", 0.25, "allowed relative regression (0.25 = +25%)")
-	metricsFlag := flag.String("metrics", "warm_cop_ns,cold_ground_ns,decisions_per_query", "comma-separated metrics to gate")
+	metricsFlag := flag.String("metrics",
+		"warm_cop_ns,cold_ground_ns,cold_seq_ns,decisions_per_query,hardness_solve_ns,learned_clauses",
+		"comma-separated metrics to gate (rows lacking a metric skip it)")
 	flag.Parse()
 	if *fresh == "" {
 		log.Fatal("benchgate: -fresh is required")
@@ -139,7 +161,7 @@ func main() {
 		}
 	}
 	if checked == 0 {
-		log.Fatal("benchgate: no comparable (table=solver, entities) rows found — wrong files?")
+		log.Fatal("benchgate: no comparable solver or hardness rows found — wrong files?")
 	}
 	if failed {
 		log.Fatalf("benchgate: regression beyond +%.0f%% — label the PR skip-bench-gate if the runner is known noisy", *threshold*100)

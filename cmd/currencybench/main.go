@@ -33,6 +33,7 @@ import (
 	"currency"
 	"currency/internal/core"
 	"currency/internal/gen"
+	"currency/internal/osolve"
 	"currency/internal/paperdb"
 	"currency/internal/reductions"
 	"currency/internal/tractable"
@@ -419,9 +420,10 @@ func tableSolver() {
 // entirely on the reverse literal remap, so delta_apply must stay far
 // below a full reground and dropped_rules counts the rules that died
 // with their tuples). Emitted rows extend BENCH_solver.json (columns:
-// full_reground_ns, delta_apply_ns, speedup, touched_comps,
-// reused_comps, copied/reground/dropped rules, warm_allocs after the
-// patch).
+// full_reground_ns, delta_apply_ns, spec_apply_ns — the spec-level COW
+// delta alone, whose delete path is the indexed order.PairSet remap —
+// speedup, touched_comps, reused_comps, copied/reground/dropped rules,
+// warm_allocs after the patch).
 func tableIncremental() {
 	header("Incremental — delta apply vs full re-ground")
 	prose("delta = ≤5%% tuple inserts (or deletes) + order reveals against a warm reasoner\n")
@@ -458,6 +460,16 @@ func incrementalRow(s *currency.Specification, n, tuples, k int, kind, experimen
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Spec-level COW delta alone (the PairSet remap dominates the delete
+	// path): µs-scale, so average a loop per timed run.
+	const specReps = 16
+	specApply := timed(func() {
+		for i := 0; i < specReps; i++ {
+			if _, _, err := d.Apply(s); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}) / specReps
 	fullReground := timed(func() {
 		r, err := core.NewReasoner(patchedSpec)
 		if err != nil {
@@ -505,6 +517,7 @@ func incrementalRow(s *currency.Specification, n, tuples, k int, kind, experimen
 		"entities": n, "tuples": tuples, "delta_tuples": k,
 		"full_reground_ns": fullReground.Nanoseconds(),
 		"delta_apply_ns":   deltaApply.Nanoseconds(),
+		"spec_apply_ns":    specApply.Nanoseconds(),
 		"speedup":          speedup,
 		"touched_comps":    stats.RebuiltComps, "reused_comps": stats.ReusedComps,
 		"copied_rules": stats.CopiedRules, "reground_rules": stats.RegroundRules,
@@ -513,6 +526,140 @@ func incrementalRow(s *currency.Specification, n, tuples, k int, kind, experimen
 	}, "%-10d %-8s %-14d %-14v %-14v %-10.1f %-14s %-12.2f\n",
 		n, kind, k, fullReground, deltaApply, speedup,
 		fmt.Sprintf("%d/%d", stats.RebuiltComps, stats.RebuiltComps+stats.ReusedComps), warmAllocs)
+}
+
+// hardnessSolve measures one gadget solve in one engine mode. Grounding
+// is polynomial and identical in both modes, so each of the five reps
+// grounds a fresh reasoner untimed and times only the solve (verdicts
+// memoize — re-timing a warm reasoner would measure the cache, not the
+// search; five reps rather than the usual three because sub-millisecond
+// solves are the benchgate's noisiest gated rows). Returns the best
+// rep's solve time and that rep's engine counter totals (fresh solver,
+// so the totals are the solve's effort).
+func hardnessSolve(build func() *core.Reasoner, cdcl bool, solve func(*core.Reasoner)) (time.Duration, osolve.EngineCounters) {
+	var best time.Duration
+	var ec osolve.EngineCounters
+	for i := 0; i < 5; i++ {
+		r := build()
+		r.Engine().SetCDCL(cdcl)
+		start := time.Now()
+		solve(r)
+		d := time.Since(start)
+		if i == 0 || d < best {
+			best = d
+			ec = r.Engine().Stats().Counters()
+		}
+	}
+	return best, ec
+}
+
+// hardnessModes orders the baseline first so BENCH_solver.json carries
+// the chronological row a CDCL row is compared against.
+var hardnessModes = []struct {
+	name string
+	cdcl bool
+}{
+	{"chronological", false},
+	{"cdcl", true},
+}
+
+// tableHardness measures the two-phase search engine on the paper's
+// reduction gadgets — workloads whose conflict structure defeats
+// chronological backtracking. The Betweenness gadget (Theorem 3.1,
+// CPSFromBetweenness) is solved in both modes at sizes the chronological
+// engine can still finish (it explodes past t=3 triples: minutes where
+// CDCL takes under a millisecond) and CDCL-only at larger sizes; the
+// ¬3SAT CCQA gadget (Theorem 3.5) is enumeration-bound — near-zero
+// conflicts, so both modes tie and the rows pin that CDCL adds no
+// overhead when there is nothing to learn. Instances are drawn from
+// fixed seeds so rows are comparable across PRs. The emitted rows extend
+// BENCH_solver.json (columns: hardness_solve_ns, learned_clauses,
+// backjumps, restarts, conflicts_per_query, sat).
+func tableHardness() {
+	header("Hardness — conflict-driven vs chronological search on reduction gadgets")
+	prose("Betweenness (Thm 3.1) consistency and ¬3SAT CCQA (Thm 3.5); grounding untimed, solve best-of-3 on fresh reasoners\n")
+	prose("%-14s %-12s %-16s %-14s %-10s %-10s %-10s %-10s\n",
+		"gadget", "size", "mode", "solve", "conflicts", "learned", "backjumps", "restarts")
+
+	for _, c := range []struct {
+		n, t int
+		both bool // chronological finishes only on the small sizes
+	}{{4, 2, true}, {4, 3, true}, {6, 6, false}, {9, 12, false}} {
+		rng := rand.New(rand.NewSource(int64(31*c.n + c.t)))
+		inst := reductions.BetweennessInstance{N: c.n}
+		for k := 0; k < c.t; k++ {
+			p := rng.Perm(c.n)
+			inst.Triples = append(inst.Triples, [3]int{p[0], p[1], p[2]})
+		}
+		s, err := reductions.CPSFromBetweenness(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		build := func() *core.Reasoner {
+			r, err := core.NewReasoner(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r
+		}
+		var sat bool
+		for _, mode := range hardnessModes {
+			if !mode.cdcl && !c.both {
+				continue
+			}
+			d, ec := hardnessSolve(build, mode.cdcl, func(r *core.Reasoner) {
+				sat = r.Consistent()
+			})
+			emit(map[string]any{
+				"table": "hardness", "experiment": "betweenness", "mode": mode.name,
+				"n": c.n, "triples": c.t, "sat": sat,
+				"hardness_solve_ns":   d.Nanoseconds(),
+				"conflicts_per_query": ec.Conflicts,
+				"learned_clauses":     ec.LearnedClauses,
+				"backjumps":           ec.Backjumps,
+				"restarts":            ec.Restarts,
+			}, "%-14s %-12s %-16s %-14v %-10d %-10d %-10d %-10d\n",
+				"betweenness", fmt.Sprintf("n=%d t=%d", c.n, c.t), mode.name,
+				d, ec.Conflicts, ec.LearnedClauses, ec.Backjumps, ec.Restarts)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	for _, m := range []int{4, 6} {
+		psi := reductions.Random3SAT(rng, m, m+2)
+		g, err := reductions.CCQAFrom3SATData(psi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		build := func() *core.Reasoner {
+			r, err := core.NewReasoner(g.Spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r
+		}
+		var certain bool
+		for _, mode := range hardnessModes {
+			d, ec := hardnessSolve(build, mode.cdcl, func(r *core.Reasoner) {
+				var err error
+				certain, err = r.IsCertainAnswer(g.Query, g.Tuple)
+				if err != nil {
+					log.Fatal(err)
+				}
+			})
+			emit(map[string]any{
+				"table": "hardness", "experiment": "ccqa-3sat", "mode": mode.name,
+				"vars": m, "clauses": m + 2, "certain": certain,
+				"hardness_solve_ns":   d.Nanoseconds(),
+				"conflicts_per_query": ec.Conflicts,
+				"learned_clauses":     ec.LearnedClauses,
+				"backjumps":           ec.Backjumps,
+				"restarts":            ec.Restarts,
+			}, "%-14s %-12s %-16s %-14v %-10d %-10d %-10d %-10d\n",
+				"ccqa-3sat", fmt.Sprintf("m=%d", m), mode.name,
+				d, ec.Conflicts, ec.LearnedClauses, ec.Backjumps, ec.Restarts)
+		}
+	}
 }
 
 func figures() {
@@ -589,7 +736,7 @@ func figures() {
 
 func main() {
 	log.SetFlags(0)
-	table := flag.String("table", "all", "which experiments: II, III, figures, solver, incremental, all")
+	table := flag.String("table", "all", "which experiments: II, III, figures, solver, incremental, hardness, all")
 	flag.BoolVar(&jsonMode, "json", false, "emit one JSON object per experiment row")
 	flag.Parse()
 	prose("currencybench — reproducing the evaluation of \"Determining the Currency of Data\"\n")
@@ -604,11 +751,14 @@ func main() {
 		tableSolver()
 	case "incremental":
 		tableIncremental()
+	case "hardness":
+		tableHardness()
 	default:
 		tableII()
 		tableIII()
 		figures()
 		tableSolver()
 		tableIncremental()
+		tableHardness()
 	}
 }

@@ -47,6 +47,15 @@ func (r *Reasoner) CertainOrderCtx(ctx context.Context, reqs []OrderRequirement)
 		ok, err := st.solver.CertainPairStats(req.Rel, req.Attr, req.I, req.J, &qs)
 		tr.AddSpan("engine.search", t0, fmt.Sprintf("pair=%s.%s[%d<%d] %s",
 			req.Rel, req.Attr, req.I, req.J, queryStatsDetail(&qs)))
+		// Per-component searches ran sequentially after the assumption
+		// propagation; re-emit them as child spans at their real offsets
+		// so /debug/traces breaks a slow pair down by component.
+		off := t0.Sub(tr.Start) + time.Duration(qs.PropagateNS)
+		for _, c := range qs.Comps {
+			d := time.Duration(c.NS)
+			tr.AddSpanAt(fmt.Sprintf("engine.search.comp[%d]", c.Comp), off, d, "")
+			off += d
+		}
 		if err != nil {
 			return false, err
 		}
@@ -87,15 +96,19 @@ func (r *Reasoner) CertainAnswersCtx(ctx context.Context, q *query.Query) (*quer
 	return res, modEmpty, err
 }
 
-// queryStatsDetail renders a query's engine effort for span details:
-// counters plus the touched components with their search times.
+// queryStatsDetail renders a query's engine effort for span details.
+// Per-component timings are emitted as separate engine.search.comp[N]
+// spans by the callers, not flattened into this string; CDCL effort
+// (learned clauses, backjumps, restarts) appears only when a search
+// escalated.
 func queryStatsDetail(qs *osolve.QueryStats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "decisions=%d propagations=%d conflicts=%d searches=%d clone_bytes=%d propagate=%s",
 		qs.Decisions, qs.Propagations, qs.Conflicts, qs.Searches,
 		qs.ScopedCloneBytes, time.Duration(qs.PropagateNS))
-	for _, c := range qs.Comps {
-		fmt.Fprintf(&b, " comp[%d]=%s", c.Comp, time.Duration(c.NS))
+	if qs.LearnedClauses != 0 || qs.Restarts != 0 {
+		fmt.Fprintf(&b, " learned=%d backjumps=%d restarts=%d",
+			qs.LearnedClauses, qs.Backjumps, qs.Restarts)
 	}
 	return b.String()
 }

@@ -76,6 +76,17 @@ func (t *Trace) AddSpan(name string, start time.Time, detail string) {
 	t.mu.Unlock()
 }
 
+// AddSpanAt records a step from pre-measured offset and duration — for
+// sub-steps a lower layer timed itself (per-component engine search
+// times) and a caller re-emits as proper child spans rather than
+// flattening into a parent's detail string.
+func (t *Trace) AddSpanAt(name string, offset, dur time.Duration, detail string) {
+	sp := Span{Name: name, Offset: offset, Dur: dur, Detail: detail}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
 // Finish seals the trace with the response status and returns the total
 // duration. Call exactly once, after every span is recorded.
 func (t *Trace) Finish(status int) time.Duration {

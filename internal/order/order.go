@@ -16,47 +16,90 @@ type Pair struct {
 }
 
 // PairSet is a set of ordered pairs representing a binary relation over
-// integer nodes. The zero value is not ready; use NewPairSet.
+// non-negative integer nodes (tuple positions, throughout this
+// codebase). The representation is a dense adjacency index — succ[a]
+// lists the direct successors of a — rather than a pair-keyed map:
+// every traversal (Range, Pairs, Succ, the delta remap in spec) walks
+// slices without hashing or sort-on-read, and membership probes scan
+// the source's successor list, which per-entity currency orders keep
+// short. The zero value is not ready; use NewPairSet.
 type PairSet struct {
-	pairs map[Pair]struct{}
-	succ  map[int][]int // adjacency, lazily maintained on Add
+	succ [][]int // succ[a] = direct successors of a, insertion-ordered
+	n    int     // pair count
 }
 
 // NewPairSet returns an empty pair set.
-func NewPairSet() *PairSet {
-	return &PairSet{pairs: make(map[Pair]struct{}), succ: make(map[int][]int)}
+func NewPairSet() *PairSet { return &PairSet{} }
+
+// succOf returns a's successor list, nil when a is out of range.
+func (ps *PairSet) succOf(a int) []int {
+	if a < 0 || a >= len(ps.succ) {
+		return nil
+	}
+	return ps.succ[a]
 }
 
 // Add inserts the pair (a ≺ b). Adding an existing pair is a no-op.
 // Reflexive pairs (a == b) are inserted as given; use HasCycle or
 // IsStrictPartialOrder to detect them as violations.
 func (ps *PairSet) Add(a, b int) {
-	p := Pair{a, b}
-	if _, ok := ps.pairs[p]; ok {
-		return
+	for _, x := range ps.succOf(a) {
+		if x == b {
+			return
+		}
 	}
-	ps.pairs[p] = struct{}{}
+	if a >= len(ps.succ) {
+		if a < cap(ps.succ) {
+			ps.succ = ps.succ[:a+1]
+		} else {
+			grown := make([][]int, a+1, 2*(a+1))
+			copy(grown, ps.succ)
+			ps.succ = grown
+		}
+	}
 	ps.succ[a] = append(ps.succ[a], b)
+	ps.n++
 }
 
 // Has reports whether (a ≺ b) is in the set.
 func (ps *PairSet) Has(a, b int) bool {
-	_, ok := ps.pairs[Pair{a, b}]
-	return ok
+	for _, x := range ps.succOf(a) {
+		if x == b {
+			return true
+		}
+	}
+	return false
 }
 
 // Len returns the number of pairs.
-func (ps *PairSet) Len() int { return len(ps.pairs) }
+func (ps *PairSet) Len() int { return ps.n }
 
 // Succ returns the direct successors of node a (b with a ≺ b).
-func (ps *PairSet) Succ(a int) []int { return ps.succ[a] }
+func (ps *PairSet) Succ(a int) []int { return ps.succOf(a) }
+
+// Range calls f for every pair, stopping early when f returns false.
+// Iteration is by ascending source node, successors in insertion order
+// — no materialized pair slice, no sorting (compare Pairs).
+func (ps *PairSet) Range(f func(a, b int) bool) {
+	for a, ss := range ps.succ {
+		for _, b := range ss {
+			if !f(a, b) {
+				return
+			}
+		}
+	}
+}
 
 // Pairs returns all pairs sorted by (A, B) for deterministic iteration.
+// Prefer Range when order does not matter.
 func (ps *PairSet) Pairs() []Pair {
-	out := make([]Pair, 0, len(ps.pairs))
-	for p := range ps.pairs {
-		out = append(out, p)
-	}
+	out := make([]Pair, 0, ps.n)
+	ps.Range(func(a, b int) bool {
+		out = append(out, Pair{a, b})
+		return true
+	})
+	// Sources arrive ascending; only successors within a source need
+	// ordering.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A != out[j].A {
 			return out[i].A < out[j].A
@@ -68,28 +111,31 @@ func (ps *PairSet) Pairs() []Pair {
 
 // Clone returns a deep copy.
 func (ps *PairSet) Clone() *PairSet {
-	out := NewPairSet()
-	for p := range ps.pairs {
-		out.Add(p.A, p.B)
+	out := &PairSet{succ: make([][]int, len(ps.succ)), n: ps.n}
+	for a, ss := range ps.succ {
+		if len(ss) > 0 {
+			out.succ[a] = append([]int(nil), ss...)
+		}
 	}
 	return out
 }
 
 // AddAll inserts every pair of other into ps.
 func (ps *PairSet) AddAll(other *PairSet) {
-	for p := range other.pairs {
-		ps.Add(p.A, p.B)
-	}
+	other.Range(func(a, b int) bool {
+		ps.Add(a, b)
+		return true
+	})
 }
 
 // ContainedIn reports whether every pair of ps occurs in other.
 func (ps *PairSet) ContainedIn(other *PairSet) bool {
-	for p := range ps.pairs {
-		if !other.Has(p.A, p.B) {
-			return false
-		}
-	}
-	return true
+	ok := true
+	ps.Range(func(a, b int) bool {
+		ok = other.Has(a, b)
+		return ok
+	})
+	return ok
 }
 
 // Equal reports set equality.
@@ -101,16 +147,17 @@ func (ps *PairSet) Equal(other *PairSet) bool {
 func (ps *PairSet) Nodes() []int {
 	seen := make(map[int]bool)
 	var out []int
-	for p := range ps.pairs {
-		if !seen[p.A] {
-			seen[p.A] = true
-			out = append(out, p.A)
+	ps.Range(func(a, b int) bool {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
 		}
-		if !seen[p.B] {
-			seen[p.B] = true
-			out = append(out, p.B)
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
 		}
-	}
+		return true
+	})
 	sort.Ints(out)
 	return out
 }
@@ -122,11 +169,12 @@ func (ps *PairSet) Restrict(nodes []int) *PairSet {
 		in[n] = true
 	}
 	out := NewPairSet()
-	for p := range ps.pairs {
-		if in[p.A] && in[p.B] {
-			out.Add(p.A, p.B)
+	ps.Range(func(a, b int) bool {
+		if in[a] && in[b] {
+			out.Add(a, b)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -139,7 +187,7 @@ func (ps *PairSet) TransitiveClosure() *PairSet {
 	// small (per-entity groups), so simplicity wins over Warshall indexing.
 	for _, src := range ps.Nodes() {
 		reach := make(map[int]bool)
-		stack := append([]int(nil), out.succ[src]...)
+		stack := append([]int(nil), out.succOf(src)...)
 		for len(stack) > 0 {
 			n := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -147,7 +195,7 @@ func (ps *PairSet) TransitiveClosure() *PairSet {
 				continue
 			}
 			reach[n] = true
-			stack = append(stack, out.succ[n]...)
+			stack = append(stack, out.succOf(n)...)
 		}
 		for n := range reach {
 			out.Add(src, n)
@@ -170,7 +218,7 @@ func (ps *PairSet) HasCycle() bool {
 	var visit func(n int) bool
 	visit = func(n int) bool {
 		colour[n] = grey
-		for _, m := range ps.succ[n] {
+		for _, m := range ps.succOf(n) {
 			switch colour[m] {
 			case grey:
 				return true
@@ -198,10 +246,16 @@ func (ps *PairSet) HasCycle() bool {
 // by transitive closure). It returns a descriptive error otherwise.
 func (ps *PairSet) IsStrictPartialOrderOn(nodes []int) error {
 	sub := ps.Restrict(nodes)
-	for p := range sub.pairs {
-		if p.A == p.B {
-			return fmt.Errorf("order: reflexive pair %d ≺ %d", p.A, p.B)
+	var refl *Pair
+	sub.Range(func(a, b int) bool {
+		if a == b {
+			refl = &Pair{a, b}
+			return false
 		}
+		return true
+	})
+	if refl != nil {
+		return fmt.Errorf("order: reflexive pair %d ≺ %d", refl.A, refl.B)
 	}
 	if sub.HasCycle() {
 		return fmt.Errorf("order: relation contains a cycle")
@@ -224,15 +278,15 @@ func (ps *PairSet) LinearExtensions(nodes []int, yield func(ext []int) bool) {
 	// indegree within the restriction
 	indeg := make([]int, n)
 	succ := make([][]int, n)
-	for p := range ps.pairs {
-		ai, aok := pos[p.A]
-		bi, bok := pos[p.B]
-		if !aok || !bok {
-			continue
+	ps.Range(func(a, b int) bool {
+		ai, aok := pos[a]
+		bi, bok := pos[b]
+		if aok && bok {
+			succ[ai] = append(succ[ai], bi)
+			indeg[bi]++
 		}
-		succ[ai] = append(succ[ai], bi)
-		indeg[bi]++
-	}
+		return true
+	})
 	ext := make([]int, 0, n)
 	used := make([]bool, n)
 	var rec func() bool

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"currency/internal/gen"
+	"currency/internal/reductions"
 	"currency/internal/spec"
 )
 
@@ -210,5 +211,61 @@ func TestWarmQueryAllocationFreeAfterDeleteDelta(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Errorf("post-delete-delta warm CertainPair allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestWarmQueryAllocationFreeWithLearnedArena pins the CDCL side store
+// out of the warm path: a gadget solver whose cold solve escalated and
+// published learned clauses must still answer warm scoped queries with
+// zero allocations. The clause database is only consulted when a search
+// escalates past its conflict budget; this fails if the chronological
+// warm path ever grows a learned-clause touch that allocates.
+func TestWarmQueryAllocationFreeWithLearnedArena(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race makes sync.Pool drop items; allocation pins don't hold")
+	}
+	inst := reductions.BetweennessInstance{N: 4, Triples: [][3]int{{0, 2, 1}}}
+	s, err := reductions.CPSFromBetweenness(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.cdclBudget = 0 // force the cold pass through CDCL so clauses publish
+	if !sv.Consistent() {
+		t.Fatal("single-triple gadget unexpectedly inconsistent")
+	}
+	if learnedCount(sv) == 0 {
+		t.Fatal("cold CDCL pass published no learned clauses; the pin needs a non-empty arena")
+	}
+	sv.cdclBudget = defaultCDCLBudget
+
+	lit, ok, err := sv.LitFor("R", "A", 0, 1)
+	if err != nil || !ok {
+		t.Fatalf("LitFor: %v %v", ok, err)
+	}
+	assume := []Lit{lit}
+	var qs QueryStats
+	sv.SatWithStats(assume, &qs) // prime the pool; must stay chronological
+	if qs.LearnedClauses != 0 || qs.Restarts != 0 {
+		t.Fatalf("warm gadget query escalated (learned=%d restarts=%d); the alloc pin needs a chronological warm path",
+			qs.LearnedClauses, qs.Restarts)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		sv.SatWith(assume)
+	}); avg != 0 {
+		t.Errorf("warm SatWith with a non-empty learned arena allocates %.1f objects/op, want 0", avg)
+	}
+	if _, err := sv.CertainPair("R", "A", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := sv.CertainPair("R", "A", 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm CertainPair with a non-empty learned arena allocates %.1f objects/op, want 0", avg)
 	}
 }

@@ -49,6 +49,17 @@ type component struct {
 	done      atomic.Bool
 	baseSat   bool
 	baseArena []byte
+
+	// learned holds the component's persistent CDCL clause database:
+	// clauses derived by the base search (entered with an empty trail, so
+	// every clause is a consequence of the component's rules and base
+	// orders alone — assumption-scoped clauses are never persisted).
+	// Literals are stored span-relative, so an ApplyDelta that reuses the
+	// component with an identical block layout shares the pointer
+	// verbatim; touched components start nil, which IS the drop. The
+	// pointer is written once per solver generation (inside baseOnce) and
+	// read by escalated searches, so an atomic pointer suffices.
+	learned atomic.Pointer[learnedDB]
 }
 
 // buildComponents unions blocks connected by rules and distributes the

@@ -140,6 +140,9 @@ func (sv *Solver) ApplyDelta(d *spec.Delta) (*Solver, error) {
 		// Share the predecessor's counter sink: the lineage's engine
 		// counters stay monotonic across incremental patches.
 		stats: sv.stats,
+
+		cdcl:       sv.cdcl,
+		cdclBudget: sv.cdclBudget,
 	}
 	out.SetWorkers(sv.workers)
 	if err := out.buildBlocksFrom(sv, info); err != nil {
@@ -290,6 +293,7 @@ func (sv *Solver) fullRebuild(newSpec *spec.Spec) (*Solver, error) {
 		return nil, err
 	}
 	out.SetWorkers(sv.workers)
+	out.cdcl, out.cdclBudget = sv.cdcl, sv.cdclBudget
 	// Keep the lineage's counters monotonic: fold the rebuild's own
 	// grounding effort into the predecessor's sink and adopt it.
 	out.SetStatsSink(sv.stats)
@@ -1136,6 +1140,15 @@ func (out *Solver) transferMemos(sv *Solver, ctx *patchCtx, reuse []compReuse, s
 		if oc.baseSat {
 			if compAligned(nc, oc, ctx) {
 				arena = oc.baseArena
+				// The learned-clause store rides along with the memo:
+				// clauses are span-relative and the component's layout is
+				// identical, so the immutable store is shared verbatim.
+				// Non-aligned reuse and touched components keep the nil
+				// store — dropping learned clauses is always sound (they
+				// are an optimization, re-derived on demand).
+				if db := oc.learned.Load(); db != nil {
+					nc.learned.Store(db)
+				}
 			} else {
 				arena = make([]byte, nc.hi-nc.lo)
 				for _, nbi := range nc.blocks {

@@ -42,6 +42,9 @@ type state struct {
 	propagations uint64
 	conflicts    uint64
 	searches     uint64
+	learned      uint64
+	backjumps    uint64
+	restarts     uint64
 	cloneBytes   uint64
 	poolHits     uint64
 	poolMisses   uint64

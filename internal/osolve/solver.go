@@ -110,6 +110,18 @@ type Solver struct {
 	// then on baseSatExcept is a single atomic load.
 	allBaseSat atomic.Bool
 
+	// cdcl enables conflict-driven clause learning: a component search
+	// that exceeds cdclBudget conflicts under the chronological DPLL is
+	// restarted as an iterative CDCL loop (cdcl.go) with first-UIP
+	// learning, non-chronological backjumping, EVSIDS decisions and Luby
+	// restarts. The two-phase split keeps the warm scoped-query path
+	// allocation-free: warm workloads resolve in a handful of conflicts
+	// and never escalate, while gadget-shaped components blow the budget
+	// immediately and get the learning machinery (which may allocate — it
+	// is the escape from an exponential tail, not a hot path).
+	cdcl       bool
+	cdclBudget uint64
+
 	// patch, when non-nil, records how this solver was derived from its
 	// predecessor by ApplyDelta (see delta.go).
 	patch *PatchStats
@@ -136,6 +148,9 @@ func New(s *spec.Spec) (*Solver, error) {
 		blockOf: make(map[BlockKey]int),
 		relOf:   make(map[string]*relation.TemporalInstance),
 		stats:   &EngineStats{},
+
+		cdcl:       true,
+		cdclBudget: defaultCDCLBudget,
 	}
 	sv.SetWorkers(runtime.GOMAXPROCS(0))
 	if err := sv.buildBlocks(); err != nil {
@@ -167,6 +182,13 @@ func (sv *Solver) SetWorkers(n int) {
 		sv.sem = make(chan struct{}, n)
 	}
 }
+
+// SetCDCL toggles conflict-driven clause learning (on by default).
+// Disabled, every component search runs the chronological DPLL to
+// completion — the pre-CDCL engine, kept as the benchmark baseline and
+// as a differential-testing foil. Call before the solver is shared
+// between goroutines.
+func (sv *Solver) SetCDCL(enable bool) { sv.cdcl = enable }
 
 // LitFor is the exported variant of litFor using an attribute name.
 func (sv *Solver) LitFor(rel, attr string, i, j int) (Lit, bool, error) {

@@ -26,6 +26,14 @@ type EngineStats struct {
 	Propagations atomic.Uint64
 	Conflicts    atomic.Uint64
 	Searches     atomic.Uint64
+	// LearnedClauses counts first-UIP clauses derived by escalated CDCL
+	// searches; Backjumps counts non-chronological jumps (a conflict
+	// whose assertion level skips at least one decision level); Restarts
+	// counts Luby restarts. All three stay zero on workloads the
+	// chronological phase handles within budget.
+	LearnedClauses atomic.Uint64
+	Backjumps      atomic.Uint64
+	Restarts       atomic.Uint64
 	// ScopedCloneBytes counts bytes copied building per-query states
 	// (component spans for scoped queries, whole arenas for full clones).
 	ScopedCloneBytes atomic.Uint64
@@ -41,6 +49,7 @@ type EngineStats struct {
 // EngineCounters is a point-in-time snapshot of EngineStats.
 type EngineCounters struct {
 	Decisions, Propagations, Conflicts, Searches uint64
+	LearnedClauses, Backjumps, Restarts          uint64
 	ScopedCloneBytes                             uint64
 	PoolHits, PoolMisses, MemoHits               uint64
 }
@@ -52,6 +61,9 @@ func (s *EngineStats) Counters() EngineCounters {
 		Propagations:     s.Propagations.Load(),
 		Conflicts:        s.Conflicts.Load(),
 		Searches:         s.Searches.Load(),
+		LearnedClauses:   s.LearnedClauses.Load(),
+		Backjumps:        s.Backjumps.Load(),
+		Restarts:         s.Restarts.Load(),
 		ScopedCloneBytes: s.ScopedCloneBytes.Load(),
 		PoolHits:         s.PoolHits.Load(),
 		PoolMisses:       s.PoolMisses.Load(),
@@ -65,6 +77,9 @@ func (s *EngineStats) absorb(c EngineCounters) {
 	s.Propagations.Add(c.Propagations)
 	s.Conflicts.Add(c.Conflicts)
 	s.Searches.Add(c.Searches)
+	s.LearnedClauses.Add(c.LearnedClauses)
+	s.Backjumps.Add(c.Backjumps)
+	s.Restarts.Add(c.Restarts)
 	s.ScopedCloneBytes.Add(c.ScopedCloneBytes)
 	s.PoolHits.Add(c.PoolHits)
 	s.PoolMisses.Add(c.PoolMisses)
@@ -102,6 +117,7 @@ type CompStats struct {
 // CertainPairStats; the nil path is the plain, allocation-free query.
 type QueryStats struct {
 	Decisions, Propagations, Conflicts, Searches uint64
+	LearnedClauses, Backjumps, Restarts          uint64
 	ScopedCloneBytes                             uint64
 	PropagateNS                                  int64
 	Comps                                        []CompStats
@@ -126,6 +142,15 @@ func (sv *Solver) flushStats(st *state) {
 	if st.searches != 0 {
 		s.Searches.Add(st.searches)
 	}
+	if st.learned != 0 {
+		s.LearnedClauses.Add(st.learned)
+	}
+	if st.backjumps != 0 {
+		s.Backjumps.Add(st.backjumps)
+	}
+	if st.restarts != 0 {
+		s.Restarts.Add(st.restarts)
+	}
 	if st.cloneBytes != 0 {
 		s.ScopedCloneBytes.Add(st.cloneBytes)
 	}
@@ -140,11 +165,15 @@ func (sv *Solver) flushStats(st *state) {
 		qs.Propagations += st.propagations
 		qs.Conflicts += st.conflicts
 		qs.Searches += st.searches
+		qs.LearnedClauses += st.learned
+		qs.Backjumps += st.backjumps
+		qs.Restarts += st.restarts
 		qs.ScopedCloneBytes += st.cloneBytes
 		st.qs = nil
 	}
 	st.decisions, st.propagations, st.conflicts = 0, 0, 0
 	st.searches, st.cloneBytes = 0, 0
+	st.learned, st.backjumps, st.restarts = 0, 0, 0
 	st.poolHits, st.poolMisses = 0, 0
 }
 

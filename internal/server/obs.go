@@ -106,6 +106,12 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Pooled-state fetches that had to allocate an arena.", m.engine.PoolMisses.Load),
 		obs.NewCounterFunc("currencyd_engine_memo_hits_total",
 			"Queries answered from memoized component base verdicts.", m.engine.MemoHits.Load),
+		obs.NewCounterFunc("currencyd_engine_learned_clauses_total",
+			"First-UIP clauses learned by escalated CDCL searches.", m.engine.LearnedClauses.Load),
+		obs.NewCounterFunc("currencyd_engine_backjumps_total",
+			"Non-chronological backjumps by escalated CDCL searches.", m.engine.Backjumps.Load),
+		obs.NewCounterFunc("currencyd_engine_restarts_total",
+			"Luby restarts by escalated CDCL searches.", m.engine.Restarts.Load),
 		// Cache and registry counters/gauges, reading the existing atomics.
 		obs.NewCounterFunc("currencyd_cache_hits_total",
 			"Reasoner-cache hits.", s.cache.hits.Load),

@@ -250,11 +250,15 @@ func (d *Delta) Apply(s *Spec) (*Spec, *ApplyInfo, error) {
 				continue
 			}
 			np := order.NewPairSet()
-			for _, p := range ps.Pairs() {
-				if tm[p.A] >= 0 && tm[p.B] >= 0 {
-					np.Add(tm[p.A], tm[p.B])
+			// Range walks the adjacency index directly — no materialized,
+			// sorted pair slice per attribute, which made delete-heavy
+			// deltas pay O(pairs log pairs) per block here.
+			ps.Range(func(a, b int) bool {
+				if tm[a] >= 0 && tm[b] >= 0 {
+					np.Add(tm[a], tm[b])
 				}
-			}
+				return true
+			})
 			r.Orders[ai] = np
 			cowedOrders[rel][ai] = true
 		}
