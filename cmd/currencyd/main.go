@@ -13,6 +13,8 @@
 //
 //	currencyd [-addr :8411] [-cache 64] [-workers N] [-pprof :6060]
 //	          [-slow-query 250ms] [-request-log path|stderr] [-trace-buffer 32]
+//	          [-query-deadline 30s] [-write-deadline 1m]
+//	          [-max-inflight N] [-max-queue N] [-drain-grace 15s]
 //	          [spec.cd ...]
 //
 // Observability: GET /metrics serves Prometheus text metrics (endpoint
@@ -21,6 +23,16 @@
 // per-layer spans, and every response carries an X-Currencyd-Trace ID.
 // Requests slower than -slow-query are counted and logged; -request-log
 // streams one JSON line per request to a file or stderr.
+//
+// Overload protection: decision requests run under -query-deadline and
+// write requests under -write-deadline (deadline-exceeded searches come
+// back Indeterminate or Degraded, never hung); at most -max-inflight
+// expensive requests execute concurrently with -max-queue more waiting,
+// beyond which requests are shed with 429 + Retry-After. GET /healthz is
+// pure liveness; GET /readyz reports not-ready while the queue is
+// saturated or shutdown has begun. On SIGINT/SIGTERM the server flips
+// /readyz to draining, then waits up to -drain-grace for in-flight
+// requests before closing listeners.
 //
 // Positional arguments are specification files preloaded into the
 // registry under their basename.
@@ -63,6 +75,11 @@ func main() {
 	slowQuery := flag.Duration("slow-query", server.DefaultSlowQuery, "latency threshold for counting and logging slow requests (<0 disables)")
 	requestLog := flag.String("request-log", "", `per-request JSON log destination: a file path, "stderr", or empty to log only slow requests`)
 	traceBuffer := flag.Int("trace-buffer", 0, "how many slowest traces /debug/traces keeps (0 = 32)")
+	queryDeadline := flag.Duration("query-deadline", server.DefaultQueryDeadline, "per-request deadline for decision endpoints (<0 disables)")
+	writeDeadline := flag.Duration("write-deadline", server.DefaultWriteDeadline, "per-request deadline for register/patch/delete (<0 disables)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing expensive requests (0 = 4×workers, <0 disables admission control)")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for an inflight slot before shedding 429s (0 = 4×max-inflight, <0 = no queue)")
+	drainGrace := flag.Duration("drain-grace", 15*time.Second, "how long shutdown waits for in-flight requests after SIGTERM")
 	flag.Parse()
 
 	// Production profiling: pprof lives on its own listener (never the
@@ -108,12 +125,24 @@ func main() {
 	if sq < 0 {
 		sq = -1 // Options maps 0 to the default; negative disables.
 	}
+	qd := *queryDeadline
+	if qd < 0 {
+		qd = -1
+	}
+	wd := *writeDeadline
+	if wd < 0 {
+		wd = -1
+	}
 	srv := server.New(server.Options{
-		CacheSize:   size,
-		Workers:     *workers,
-		SlowQuery:   sq,
-		RequestLog:  reqLog,
-		TraceBuffer: *traceBuffer,
+		CacheSize:     size,
+		Workers:       *workers,
+		SlowQuery:     sq,
+		RequestLog:    reqLog,
+		TraceBuffer:   *traceBuffer,
+		QueryDeadline: qd,
+		WriteDeadline: wd,
+		MaxInflight:   *maxInflight,
+		MaxQueue:      *maxQueue,
 	})
 
 	// Positional arguments are spec files preloaded into the registry,
@@ -155,8 +184,12 @@ func main() {
 			log.Fatal(err)
 		}
 	case s := <-sig:
-		log.Printf("received %v, draining", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		// Flip /readyz to not-ready first so load balancers stop routing
+		// here, then give in-flight requests the drain grace before the
+		// listeners close.
+		srv.BeginShutdown()
+		log.Printf("received %v, draining for up to %v", s, *drainGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 		defer cancel()
 		if pprofSrv != nil {
 			if err := pprofSrv.Shutdown(ctx); err != nil {

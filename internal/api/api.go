@@ -187,6 +187,12 @@ type DecisionRequest struct {
 	Space string `json:"space,omitempty"`
 	// Exact forces the exact engine even when a PTIME algorithm applies.
 	Exact bool `json:"exact,omitempty"`
+	// BudgetMS, when positive, caps this decision's engine effort to the
+	// given wall-clock milliseconds, tightening (never extending) the
+	// server's per-op deadline. An exceeded budget yields an
+	// Indeterminate or Degraded result instead of an error — see
+	// DecisionResult.
+	BudgetMS int64 `json:"budgetMs,omitempty"`
 }
 
 // AnswerRow is one tuple of a query result; string values arrive as JSON
@@ -219,6 +225,22 @@ type DecisionResult struct {
 	// Witness carries the extension atoms found by bounded-copying, or the
 	// PTIME witness description.
 	Witness []string `json:"witness,omitempty"`
+	// Indeterminate marks a decision whose effort budget (deadline,
+	// per-request budget, or client cancellation) expired before the
+	// exact engine proved either verdict, and no sound approximation
+	// applied: Holds and Answers are absent, Reason says why.
+	Indeterminate bool `json:"indeterminate,omitempty"`
+	// Degraded marks a verdict produced by a Section-6 polynomial
+	// algorithm on the constraint-relaxed specification after the exact
+	// engine blew its budget. Degraded verdicts are sound but one-sided:
+	// a degraded consistent=false, certain-order/deterministic=true, or
+	// certain-answer set (a subset) is definitive; the other direction
+	// would have come back Indeterminate instead.
+	Degraded bool `json:"degraded,omitempty"`
+	// Reason is the machine-readable budget-exhaustion cause for
+	// Indeterminate or Degraded results: "deadline", "cancelled" or
+	// "budget".
+	Reason string `json:"reason,omitempty"`
 	// Error is set instead of the payload when the request failed; used in
 	// batch responses where one bad request must not fail the envelope.
 	Error string `json:"error,omitempty"`
@@ -269,6 +291,17 @@ type Stats struct {
 	// SlowRequests counts the ones over the slow-query threshold.
 	Requests     uint64 `json:"requests"`
 	SlowRequests uint64 `json:"slowRequests"`
+	// RequestsShed counts requests rejected 429 by the admission queue;
+	// QueryTimeouts counts exact decisions interrupted by a deadline;
+	// Degraded counts decisions answered by the relaxed PTIME fallback;
+	// Panics counts handler panics converted to 500s by the recovery
+	// middleware; PatchConflicts counts version conflicts observed by
+	// the PATCH path (guarded rejections and unguarded retries alike).
+	RequestsShed   uint64 `json:"requestsShed"`
+	QueryTimeouts  uint64 `json:"queryTimeouts"`
+	Degraded       uint64 `json:"degraded"`
+	Panics         uint64 `json:"panics"`
+	PatchConflicts uint64 `json:"patchConflicts"`
 	// PatchDroppedRules aggregates PatchInfo.DroppedRules over every
 	// successful incremental patch: ground rules discarded because the
 	// tuples they mentioned were deleted.

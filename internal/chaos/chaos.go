@@ -1,0 +1,139 @@
+// Package chaos is a fault-injection registry for hostile-load testing.
+// Production code hosts named fault points at interesting seams (reasoner
+// grounding, decision dispatch, the patch race window); a chaos test arms
+// them — delays, panics — runs real traffic, and asserts the server's
+// protection layers (deadlines, shedding, panic recovery) absorbed every
+// injected fault. The package is pure stdlib so any layer may host a
+// point without import cycles.
+//
+// Cost when dormant: one atomic bool load per Hit. Points are only ever
+// armed by tests in the same process; there is no environment or network
+// control surface.
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global gate: all points are inert until Enable. The
+// double gate (global + per-point mode) lets a test arm points before
+// flipping traffic-visible state on, and Disable() acts as a panic
+// button that silences everything at once.
+var enabled atomic.Bool
+
+// Enable arms the registry. Call from tests only.
+func Enable() { enabled.Store(true) }
+
+// Disable silences every point without resetting their configuration.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether the registry is armed.
+func Enabled() bool { return enabled.Load() }
+
+// Fault modes.
+const (
+	modeOff int32 = iota
+	modeDelay
+	modePanic
+)
+
+// Point is one named fault site. All fields are atomics: production
+// goroutines Hit concurrently with the test arming and reading.
+type Point struct {
+	Name string
+
+	mode  atomic.Int32
+	delay atomic.Int64 // nanoseconds, modeDelay
+	every atomic.Int64 // fire on every Nth hit (1 = always)
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+// The registered fault points, at the seams the chaos e2e drives:
+//
+//	GroundStall — inside the reasoner-cache grounding factory, so cold
+//	              grounding can be made arbitrarily slow.
+//	DecideStall — before a decision dispatches to an engine: a slow
+//	              component, from the request's point of view.
+//	DecidePanic — before a decision dispatches: an engine panic the
+//	              recovery middleware must convert to a 500.
+//	PatchStall  — inside the PATCH read-modify-write window, widening
+//	              the version-conflict race.
+var (
+	GroundStall = &Point{Name: "ground-stall"}
+	DecideStall = &Point{Name: "decide-stall"}
+	DecidePanic = &Point{Name: "decide-panic"}
+	PatchStall  = &Point{Name: "patch-stall"}
+)
+
+// points lists every registered point, for ResetAll.
+var points = []*Point{GroundStall, DecideStall, DecidePanic, PatchStall}
+
+// ResetAll disarms and zeroes every point and disables the registry.
+func ResetAll() {
+	enabled.Store(false)
+	for _, p := range points {
+		p.Reset()
+	}
+}
+
+// ArmDelay makes the point sleep d on every nth hit (n<=1 means every
+// hit).
+func (p *Point) ArmDelay(d time.Duration, n uint64) {
+	p.delay.Store(int64(d))
+	p.arm(modeDelay, n)
+}
+
+// ArmPanic makes the point panic on every nth hit (n<=1 means every
+// hit).
+func (p *Point) ArmPanic(n uint64) { p.arm(modePanic, n) }
+
+func (p *Point) arm(mode int32, n uint64) {
+	if n < 1 {
+		n = 1
+	}
+	p.every.Store(int64(n))
+	p.mode.Store(mode)
+}
+
+// Reset disarms the point and zeroes its counters.
+func (p *Point) Reset() {
+	p.mode.Store(modeOff)
+	p.delay.Store(0)
+	p.every.Store(0)
+	p.hits.Store(0)
+	p.fired.Store(0)
+}
+
+// Fired returns how many times the point actually injected its fault.
+func (p *Point) Fired() uint64 { return p.fired.Load() }
+
+// Hits returns how many times the point was reached while armed.
+func (p *Point) Hits() uint64 { return p.hits.Load() }
+
+// Hit is the production-side probe: a no-op (one atomic load) unless the
+// registry is enabled and the point armed, in which case every Nth hit
+// injects the configured fault. Panic faults carry the point name so the
+// recovery middleware's trace identifies the injection.
+func (p *Point) Hit() {
+	if !enabled.Load() {
+		return
+	}
+	mode := p.mode.Load()
+	if mode == modeOff {
+		return
+	}
+	n := p.hits.Add(1)
+	if every := uint64(p.every.Load()); every > 1 && n%every != 0 {
+		return
+	}
+	p.fired.Add(1)
+	switch mode {
+	case modeDelay:
+		time.Sleep(time.Duration(p.delay.Load()))
+	case modePanic:
+		panic(fmt.Sprintf("chaos: injected panic at %s", p.Name))
+	}
+}

@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDisarmedPointIsInert(t *testing.T) {
+	ResetAll()
+	t.Cleanup(ResetAll)
+	// Not enabled: armed or not, Hit must do nothing.
+	DecideStall.ArmDelay(time.Hour, 1)
+	start := time.Now()
+	DecideStall.Hit()
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("disarmed (disabled) point stalled")
+	}
+	if DecideStall.Fired() != 0 {
+		t.Fatal("disabled point fired")
+	}
+}
+
+func TestEveryNthFiring(t *testing.T) {
+	ResetAll()
+	t.Cleanup(ResetAll)
+	Enable()
+	DecideStall.ArmDelay(0, 3) // zero-length delay: observable via Fired only
+	for i := 0; i < 10; i++ {
+		DecideStall.Hit()
+	}
+	if got := DecideStall.Fired(); got != 3 {
+		t.Fatalf("every-3rd over 10 hits fired %d times, want 3", got)
+	}
+	if got := DecideStall.Hits(); got != 10 {
+		t.Fatalf("hits = %d, want 10", got)
+	}
+}
+
+func TestPanicPoint(t *testing.T) {
+	ResetAll()
+	t.Cleanup(ResetAll)
+	Enable()
+	DecidePanic.ArmPanic(2)
+	DecidePanic.Hit() // 1st: no fire
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("2nd hit of an every-2nd panic point did not panic")
+			}
+		}()
+		DecidePanic.Hit()
+	}()
+	if DecidePanic.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", DecidePanic.Fired())
+	}
+}
+
+func TestResetAllDisarms(t *testing.T) {
+	Enable()
+	GroundStall.ArmDelay(time.Hour, 1)
+	ResetAll()
+	if Enabled() {
+		t.Fatal("ResetAll left chaos enabled")
+	}
+	start := time.Now()
+	GroundStall.Hit()
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("reset point stalled")
+	}
+}

@@ -2,16 +2,27 @@
 // (internal/server). It mirrors the endpoints one-to-one over the wire
 // types of internal/api, so a reasoning pipeline can consume currencyd as
 // a service with plain method calls.
+//
+// Every call threads a context through the HTTP request: the plain
+// methods use context.Background(), and each decision entry point has a
+// *Ctx variant whose deadline and cancellation propagate through the
+// server into the engine's search budget. SetRetry enables capped
+// exponential backoff with full jitter for 429/503 responses from the
+// server's admission queue, honoring Retry-After.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"currency/internal/api"
 )
@@ -21,7 +32,14 @@ type Client struct {
 	base string
 	hc   *http.Client
 
+	// Retry policy for shed (429) and queue-expired (503) responses;
+	// zero retryMax disables retries (the default).
+	retryMax  int
+	retryBase time.Duration
+	retryCap  time.Duration
+
 	mu        sync.Mutex
+	rng       *rand.Rand
 	lastTrace string
 }
 
@@ -31,29 +49,97 @@ func New(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   hc,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 }
 
-// do runs one JSON round-trip. out may be nil for status-only calls.
-func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+// SetRetry enables retrying requests the server shed (429) or expired in
+// its admission queue (503): up to max retries, sleeping a full-jitter
+// backoff in (0, min(cap, base·2ⁿ)] before each — never below the
+// server's Retry-After hint. base and cap default to 50ms and 2s when
+// zero. max 0 disables retries.
+func (c *Client) SetRetry(max int, base, cap time.Duration) {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	c.retryMax = max
+	c.retryBase = base
+	c.retryCap = cap
+}
+
+// retriable reports whether a status is a load-shedding signal worth
+// backing off on: the request was rejected before any work happened, so
+// repeating it is safe for every endpoint including PATCH.
+func retriable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// backoff computes the sleep before retry attempt n (0-based): full
+// jitter over the capped exponential, floored by the server's
+// Retry-After (seconds) when present.
+func (c *Client) backoff(n int, retryAfter string) time.Duration {
+	max := c.retryBase << uint(n)
+	if max > c.retryCap || max <= 0 {
+		max = c.retryCap
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(max))) + 1
+	c.mu.Unlock()
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		if floor := time.Duration(secs) * time.Second; d < floor {
+			d = floor
+		}
+	}
+	return d
+}
+
+// do runs one JSON round-trip, retrying shed responses per the retry
+// policy. out may be nil for status-only calls.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
+		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(buf)
+		buf = b
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, err := c.roundTrip(ctx, method, path, buf, out)
+		if err == nil || attempt >= c.retryMax || !retriable(status) {
+			return err
+		}
+		select {
+		case <-time.After(c.backoff(attempt, retryAfter)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// roundTrip is one HTTP exchange; it returns the response status (0 on
+// transport errors) and the Retry-After header for the retry loop.
+func (c *Client) roundTrip(ctx context.Context, method, path string, in []byte, out any) (int, string, error) {
+	var body io.Reader
+	if in != nil {
+		body = bytes.NewReader(in)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return 0, "", err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	if id := resp.Header.Get(api.TraceHeader); id != "" {
@@ -63,48 +149,49 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return err
+		return resp.StatusCode, "", err
 	}
+	retryAfter := resp.Header.Get("Retry-After")
 	if resp.StatusCode >= 400 {
 		// Both the error envelope and failed decision results carry the
 		// message in an "error" field, so one decode covers them.
 		var apiErr api.Error
 		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("currencyd: %s %s: %s", method, path, apiErr.Error)
+			return resp.StatusCode, retryAfter, fmt.Errorf("currencyd: %s %s: %s", method, path, apiErr.Error)
 		}
-		return fmt.Errorf("currencyd: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return resp.StatusCode, retryAfter, fmt.Errorf("currencyd: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}
 	if out == nil {
-		return nil
+		return resp.StatusCode, retryAfter, nil
 	}
-	return json.Unmarshal(raw, out)
+	return resp.StatusCode, retryAfter, json.Unmarshal(raw, out)
 }
 
 // RegisterSpec registers source under id (empty id lets the server assign
 // one); re-registering an id bumps its version.
 func (c *Client) RegisterSpec(id, source string) (api.SpecInfo, error) {
 	var info api.SpecInfo
-	err := c.do(http.MethodPost, "/specs", api.RegisterRequest{ID: id, Source: source}, &info)
+	err := c.do(context.Background(), http.MethodPost, "/specs", api.RegisterRequest{ID: id, Source: source}, &info)
 	return info, err
 }
 
 // GetSpec fetches a registered spec, including its canonical source.
 func (c *Client) GetSpec(id string) (api.SpecInfo, error) {
 	var info api.SpecInfo
-	err := c.do(http.MethodGet, "/specs/"+id, nil, &info)
+	err := c.do(context.Background(), http.MethodGet, "/specs/"+id, nil, &info)
 	return info, err
 }
 
 // ListSpecs lists the registered specs.
 func (c *Client) ListSpecs() ([]api.SpecInfo, error) {
 	var list api.SpecList
-	err := c.do(http.MethodGet, "/specs", nil, &list)
+	err := c.do(context.Background(), http.MethodGet, "/specs", nil, &list)
 	return list.Specs, err
 }
 
 // DeleteSpec removes a spec and its cached reasoners.
 func (c *Client) DeleteSpec(id string) error {
-	return c.do(http.MethodDelete, "/specs/"+id, nil, nil)
+	return c.do(context.Background(), http.MethodDelete, "/specs/"+id, nil, nil)
 }
 
 // PatchSpec applies an incremental delta to a registered spec (PATCH
@@ -112,24 +199,43 @@ func (c *Client) DeleteSpec(id string) error {
 // grounded reasoner instead of re-grounding. Set req.BaseVersion to
 // guard against concurrent updates (409 on mismatch).
 func (c *Client) PatchSpec(id string, req api.DeltaRequest) (api.PatchResult, error) {
+	return c.PatchSpecCtx(context.Background(), id, req)
+}
+
+// PatchSpecCtx is PatchSpec under a caller context.
+func (c *Client) PatchSpecCtx(ctx context.Context, id string, req api.DeltaRequest) (api.PatchResult, error) {
 	var res api.PatchResult
-	err := c.do(http.MethodPatch, "/specs/"+id, req, &res)
+	err := c.do(ctx, http.MethodPatch, "/specs/"+id, req, &res)
 	return res, err
 }
 
-// decision posts one decision request to its endpoint.
-func (c *Client) decision(id string, req api.DecisionRequest) (api.DecisionResult, error) {
+// DecideCtx posts one decision request to its endpoint under a caller
+// context: cancelling the context or letting its deadline expire
+// interrupts the server-side engine search (the request comes back
+// Indeterminate/Degraded if the server notices first, or fails with the
+// context error if the client gives up the connection).
+func (c *Client) DecideCtx(ctx context.Context, id string, req api.DecisionRequest) (api.DecisionResult, error) {
 	var res api.DecisionResult
-	err := c.do(http.MethodPost, "/specs/"+id+"/"+string(req.Op), req, &res)
+	err := c.do(ctx, http.MethodPost, "/specs/"+id+"/"+string(req.Op), req, &res)
 	if err == nil && res.Error != "" {
 		err = fmt.Errorf("currencyd: %s: %s", req.Op, res.Error)
 	}
 	return res, err
 }
 
+// decision posts one decision request with a background context.
+func (c *Client) decision(id string, req api.DecisionRequest) (api.DecisionResult, error) {
+	return c.DecideCtx(context.Background(), id, req)
+}
+
 // Consistent decides CPS for the registered spec.
 func (c *Client) Consistent(id string) (api.DecisionResult, error) {
 	return c.decision(id, api.DecisionRequest{Op: api.OpConsistent})
+}
+
+// ConsistentCtx is Consistent under a caller context.
+func (c *Client) ConsistentCtx(ctx context.Context, id string) (api.DecisionResult, error) {
+	return c.DecideCtx(ctx, id, api.DecisionRequest{Op: api.OpConsistent})
 }
 
 // CertainOrder decides COP for the given required pairs.
@@ -163,15 +269,20 @@ func (c *Client) BoundedCopying(id string, q api.QueryRef, k int, space string) 
 // Batch fans the requests over the server's worker pool; results keep
 // request order, with per-request errors in-line.
 func (c *Client) Batch(id string, reqs []api.DecisionRequest) ([]api.DecisionResult, error) {
+	return c.BatchCtx(context.Background(), id, reqs)
+}
+
+// BatchCtx is Batch under a caller context.
+func (c *Client) BatchCtx(ctx context.Context, id string, reqs []api.DecisionRequest) ([]api.DecisionResult, error) {
 	var resp api.BatchResponse
-	err := c.do(http.MethodPost, "/specs/"+id+"/batch", api.BatchRequest{Requests: reqs}, &resp)
+	err := c.do(ctx, http.MethodPost, "/specs/"+id+"/batch", api.BatchRequest{Requests: reqs}, &resp)
 	return resp.Results, err
 }
 
 // Stats fetches the server counters.
 func (c *Client) Stats() (api.Stats, error) {
 	var st api.Stats
-	err := c.do(http.MethodGet, "/stats", nil, &st)
+	err := c.do(context.Background(), http.MethodGet, "/stats", nil, &st)
 	return st, err
 }
 
@@ -205,13 +316,19 @@ func (c *Client) Metrics() (string, error) {
 // /debug/traces, slowest first.
 func (c *Client) SlowTraces() (api.TraceList, error) {
 	var list api.TraceList
-	err := c.do(http.MethodGet, "/debug/traces", nil, &list)
+	err := c.do(context.Background(), http.MethodGet, "/debug/traces", nil, &list)
 	return list, err
 }
 
 // Healthy reports whether the server answers its liveness probe.
-func (c *Client) Healthy() bool {
-	resp, err := c.hc.Get(c.base + "/healthz")
+func (c *Client) Healthy() bool { return c.probe("/healthz") }
+
+// Ready reports whether the server wants new traffic: false while it is
+// draining for shutdown or its admission queue is saturated.
+func (c *Client) Ready() bool { return c.probe("/readyz") }
+
+func (c *Client) probe(path string) bool {
+	resp, err := c.hc.Get(c.base + path)
 	if err != nil {
 		return false
 	}

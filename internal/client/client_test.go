@@ -1,0 +1,130 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"currency/internal/api"
+	"currency/internal/client"
+)
+
+// shedThenServe fails the first n requests with the given status and
+// optional Retry-After, then serves a fixed decision result.
+func shedThenServe(n int32, status int, retryAfter string) (*httptest.Server, *atomic.Int32) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"server saturated"}`))
+			return
+		}
+		w.Write([]byte(`{"op":"consistent","engine":"ptime","holds":true}`))
+	}))
+	return ts, &calls
+}
+
+func TestRetryRidesOutSheds(t *testing.T) {
+	ts, calls := shedThenServe(3, http.StatusTooManyRequests, "")
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	c.SetRetry(5, time.Millisecond, 50*time.Millisecond)
+	res, err := c.Consistent("s")
+	if err != nil {
+		t.Fatalf("retrying client gave up: %v", err)
+	}
+	if res.Holds == nil || !*res.Holds {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d calls, want 4 (3 sheds + success)", got)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	ts, calls := shedThenServe(100, http.StatusServiceUnavailable, "")
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	c.SetRetry(2, time.Millisecond, 10*time.Millisecond)
+	_, err := c.Consistent("s")
+	if err == nil || !strings.Contains(err.Error(), "saturated") {
+		t.Fatalf("want the server's shed error after exhausting retries, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	ts, _ := shedThenServe(1, http.StatusTooManyRequests, "1")
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	c.SetRetry(2, time.Millisecond, 5*time.Millisecond)
+	start := time.Now()
+	if _, err := c.Consistent("s"); err != nil {
+		t.Fatal(err)
+	}
+	// The jittered backoff cap is 5ms, but Retry-After: 1 floors the
+	// wait at a full second.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, want >= 1s per Retry-After", elapsed)
+	}
+}
+
+func TestRetrySleepInterruptible(t *testing.T) {
+	ts, _ := shedThenServe(100, http.StatusTooManyRequests, "30")
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	c.SetRetry(3, time.Millisecond, 5*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.DecideCtx(ctx, "s", api.DecisionRequest{Op: api.OpConsistent})
+	if err == nil {
+		t.Fatal("want error when the context dies mid-backoff")
+	}
+	// The 30s Retry-After must not pin the caller: the context tears
+	// the backoff sleep down immediately.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled backoff returned after %v, want well under the 30s hint", elapsed)
+	}
+}
+
+func TestNoRetryByDefault(t *testing.T) {
+	ts, calls := shedThenServe(1, http.StatusTooManyRequests, "")
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	if _, err := c.Consistent("s"); err == nil {
+		t.Fatal("want the 429 surfaced when retries are not configured")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1 without SetRetry", got)
+	}
+}
+
+func TestNonRetriableStatusSurfacesImmediately(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"internal error: boom"}`))
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	c.SetRetry(5, time.Millisecond, 5*time.Millisecond)
+	_, err := c.Consistent("s")
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want the 500 surfaced, got %v", err)
+	}
+	// 500 is not a shed: retrying could repeat a non-idempotent write.
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (500s are not retried)", got)
+	}
+}

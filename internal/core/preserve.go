@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"currency/internal/osolve"
 	"currency/internal/query"
 	"currency/internal/relation"
 	"currency/internal/spec"
@@ -237,14 +239,28 @@ func (r *Reasoner) CurrencyPreservingMatching(q *query.Query) (bool, error) {
 // Update cannot mix old and new specifications mid-decision.
 func (r *Reasoner) CurrencyPreservingIn(q *query.Query, space AtomSpace) (bool, error) {
 	st := r.snap()
-	return st.currencyPreservingWith(q, space(st.spec))
+	return st.currencyPreservingWith(q, space(st.spec), osolve.Budget{})
 }
 
-func (st *engineState) currencyPreservingWith(q *query.Query, atoms []ExtensionAtom) (bool, error) {
-	if !st.ok() {
+// CurrencyPreservingInCtx is CurrencyPreservingIn bounded by the
+// context's deadline and cancellation: the doubly exponential subset
+// walk probes the budget at every node and the inner consistency and
+// certain-answer checks run budgeted, so a deadlined request returns
+// an error matching osolve.ErrInterrupted instead of pinning a worker.
+func (r *Reasoner) CurrencyPreservingInCtx(ctx context.Context, q *query.Query, space AtomSpace) (bool, error) {
+	st := r.snap()
+	return st.currencyPreservingWith(q, space(st.spec), osolve.BudgetFromContext(ctx))
+}
+
+func (st *engineState) currencyPreservingWith(q *query.Query, atoms []ExtensionAtom, b osolve.Budget) (bool, error) {
+	ok, err := st.okBudget(b)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
 		return false, nil
 	}
-	baseRes, _, err := st.certainAnswers(q)
+	baseRes, _, err := st.certainAnswersBudget(q, b)
 	if err != nil {
 		return false, err
 	}
@@ -253,17 +269,24 @@ func (st *engineState) currencyPreservingWith(q *query.Query, atoms []ExtensionA
 	// Depth-first over subsets; each node carries the spec extended so far.
 	var walk func(i int, cur *spec.Spec, changed bool) (bool, error)
 	walk = func(i int, cur *spec.Spec, changed bool) (bool, error) {
+		if err := b.Exceeded(); err != nil {
+			return false, err
+		}
 		if changed {
 			re, err := NewReasoner(cur)
 			if err != nil {
 				return false, err
 			}
-			if !re.Consistent() {
+			okExt, err := re.snap().okBudget(b)
+			if err != nil {
+				return false, err
+			}
+			if !okExt {
 				// Monotone pruning: every superset is inconsistent too, and
 				// inconsistent extensions are ignored by the definition.
 				return true, nil
 			}
-			res, _, err := re.CertainAnswers(q)
+			res, _, err := re.snap().certainAnswersBudget(q, b)
 			if err != nil {
 				return false, err
 			}
@@ -411,15 +434,29 @@ func (r *Reasoner) BoundedCopyingMatching(q *query.Query, k int) (bool, []Extens
 // BoundedCopyingIn decides BCP over a caller-chosen extension space; the
 // inner currency-preservation checks use the same space.
 func (r *Reasoner) BoundedCopyingIn(q *query.Query, k int, space AtomSpace) (bool, []ExtensionAtom, error) {
+	return r.boundedCopyingIn(q, k, space, osolve.Budget{})
+}
+
+// BoundedCopyingInCtx is BoundedCopyingIn bounded by the context's
+// deadline and cancellation (see CurrencyPreservingInCtx).
+func (r *Reasoner) BoundedCopyingInCtx(ctx context.Context, q *query.Query, k int, space AtomSpace) (bool, []ExtensionAtom, error) {
+	return r.boundedCopyingIn(q, k, space, osolve.BudgetFromContext(ctx))
+}
+
+func (r *Reasoner) boundedCopyingIn(q *query.Query, k int, space AtomSpace, b osolve.Budget) (bool, []ExtensionAtom, error) {
 	st := r.snap()
-	if !st.ok() {
+	ok, err := st.okBudget(b)
+	if err != nil {
+		return false, nil, err
+	}
+	if !ok {
 		return false, nil, nil
 	}
 	atoms := space(st.spec)
 	// The empty extension imports zero tuples, so per Theorem 5.3 it is a
 	// valid witness for every k ≥ 0: if the copy functions are already
 	// currency preserving for q, BCP holds — wherever CPP is true, BCP is.
-	preserving, err := st.currencyPreservingWith(q, atoms)
+	preserving, err := st.currencyPreservingWith(q, atoms, b)
 	if err != nil {
 		return false, nil, err
 	}
@@ -430,13 +467,20 @@ func (r *Reasoner) BoundedCopyingIn(q *query.Query, k int, space AtomSpace) (boo
 	var found []ExtensionAtom
 	var rec func(start, remaining int, cur *spec.Spec, changed bool) (bool, error)
 	rec = func(start, remaining int, cur *spec.Spec, changed bool) (bool, error) {
+		if err := b.Exceeded(); err != nil {
+			return false, err
+		}
 		if changed {
 			re, err := NewReasoner(cur)
 			if err != nil {
 				return false, err
 			}
-			if re.Consistent() {
-				preserving, err := re.snap().currencyPreservingWith(q, space(cur))
+			okExt, err := re.snap().okBudget(b)
+			if err != nil {
+				return false, err
+			}
+			if okExt {
+				preserving, err := re.snap().currencyPreservingWith(q, space(cur), b)
 				if err != nil {
 					return false, err
 				}
@@ -474,9 +518,9 @@ func (r *Reasoner) BoundedCopyingIn(q *query.Query, k int, space AtomSpace) (boo
 		}
 		return false, nil
 	}
-	ok, err := rec(0, k, st.spec, false)
+	hit, err := rec(0, k, st.spec, false)
 	if err != nil {
 		return false, nil, err
 	}
-	return ok, found, nil
+	return hit, found, nil
 }

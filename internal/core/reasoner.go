@@ -33,17 +33,54 @@ type engineState struct {
 	spec   *spec.Spec
 	solver *osolve.Solver
 
-	// consistentOnce memoizes Consistent at the state level. The engine
-	// already memoizes per-component verdicts; this keeps even the
-	// O(#components) memo sweep off the hot path, since CPS is asked by
-	// nearly every decision method.
-	consistentOnce sync.Once
+	// The consistency memo: the engine already memoizes per-component
+	// verdicts; this keeps even the O(#components) memo sweep off the
+	// hot path, since CPS is asked by nearly every decision method.
+	// A mutex + done flag rather than a sync.Once because budget-
+	// interrupted verdicts (okBudget) must not latch: only a completed
+	// CPS decision is memoized.
+	consistentMu   sync.Mutex
+	consistentDone atomic.Bool
 	consistent     bool
 }
 
 func (st *engineState) ok() bool {
-	st.consistentOnce.Do(func() { st.consistent = st.solver.Consistent() })
+	if st.consistentDone.Load() {
+		return st.consistent
+	}
+	st.consistentMu.Lock()
+	defer st.consistentMu.Unlock()
+	if !st.consistentDone.Load() {
+		st.consistent = st.solver.Consistent()
+		st.consistentDone.Store(true)
+	}
 	return st.consistent
+}
+
+// okBudget is ok under an effort budget. Bounded callers bypass the
+// memo lock — a deadlined request must not queue behind an unbounded
+// CPS holding it — and lean on the engine's own per-component memo
+// layer, which is budget-aware; a completed verdict is memoized here
+// opportunistically. The returned error matches osolve.ErrInterrupted
+// when the budget tripped first.
+func (st *engineState) okBudget(b osolve.Budget) (bool, error) {
+	if st.consistentDone.Load() {
+		return st.consistent, nil
+	}
+	if b.Zero() {
+		return st.ok(), nil
+	}
+	ok, err := st.solver.ConsistentBudget(b)
+	if err != nil {
+		return false, err
+	}
+	st.consistentMu.Lock()
+	if !st.consistentDone.Load() {
+		st.consistent = ok
+		st.consistentDone.Store(true)
+	}
+	st.consistentMu.Unlock()
+	return ok, nil
 }
 
 // Reasoner bundles a specification with its solver and answers the
@@ -235,7 +272,17 @@ func (r *Reasoner) CertainAnswers(q *query.Query) (*query.Result, bool, error) {
 }
 
 func (st *engineState) certainAnswers(q *query.Query) (*query.Result, bool, error) {
-	dbs, complete := st.solver.EnumerateCurrentDBs(0, q.Relations()...)
+	return st.certainAnswersBudget(q, osolve.Budget{})
+}
+
+// certainAnswersBudget is certainAnswers under an effort budget: an
+// interrupted enumeration surfaces the interruption error (matching
+// osolve.ErrInterrupted) instead of a truncated-and-wrong intersection.
+func (st *engineState) certainAnswersBudget(q *query.Query, b osolve.Budget) (*query.Result, bool, error) {
+	dbs, complete, err := st.solver.EnumerateCurrentDBsBudget(0, b, q.Relations()...)
+	if err != nil {
+		return nil, false, err
+	}
 	if !complete {
 		return nil, false, fmt.Errorf("core: current-database enumeration was truncated")
 	}

@@ -1,12 +1,15 @@
 package core
 
-// Context-threaded tracing: *Ctx variants of the decision methods that
-// record per-layer spans into the obs.Trace carried by the context —
-// engine searches report their effort (decisions, propagations,
-// conflicts, scoped-clone bytes, per-component timings) in the span
-// detail. With no trace in the context every variant is exactly its
-// plain counterpart, so untraced callers (tests, library users, the
-// benchmark harness) pay nothing.
+// Context-threaded decision methods: *Ctx variants that (a) honor the
+// context's deadline and cancellation as an engine effort budget —
+// osolve.BudgetFromContext — so a bounded request interrupts its
+// searches instead of pinning a worker, and (b) record per-layer spans
+// into the obs.Trace carried by the context, with engine searches
+// reporting their effort (decisions, propagations, conflicts,
+// scoped-clone bytes, per-component timings) in the span detail. With
+// a background context and no trace, every variant is exactly its
+// plain counterpart. An interruption surfaces as an error matching
+// osolve.ErrInterrupted: the verdict is indeterminate, never a guess.
 
 import (
 	"context"
@@ -19,32 +22,42 @@ import (
 	"currency/internal/query"
 )
 
-// ConsistentCtx is Consistent with a "engine.consistent" span. On a
-// warm reasoner the verdict is memoized and the span is near-zero —
-// visible evidence the cache did its job.
-func (r *Reasoner) ConsistentCtx(ctx context.Context) bool {
+// ConsistentCtx is Consistent bounded by the context, with an
+// "engine.consistent" span. On a warm reasoner the verdict is memoized
+// and the span is near-zero — visible evidence the cache did its job.
+func (r *Reasoner) ConsistentCtx(ctx context.Context) (bool, error) {
+	b := osolve.BudgetFromContext(ctx)
 	tr := obs.From(ctx)
 	if tr == nil {
-		return r.Consistent()
+		return r.snap().okBudget(b)
 	}
 	t0 := time.Now()
-	ok := r.Consistent()
-	tr.AddSpan("engine.consistent", t0, fmt.Sprintf("holds=%t", ok))
-	return ok
+	ok, err := r.snap().okBudget(b)
+	tr.AddSpan("engine.consistent", t0, fmt.Sprintf("holds=%t err=%v", ok, err))
+	return ok, err
 }
 
-// CertainOrderCtx is CertainOrder with one "engine.search" span per
-// required pair, carrying the pair's search effort.
+// CertainOrderCtx is CertainOrder bounded by the context; when traced,
+// one "engine.search" span per required pair carries the pair's search
+// effort.
 func (r *Reasoner) CertainOrderCtx(ctx context.Context, reqs []OrderRequirement) (bool, error) {
+	b := osolve.BudgetFromContext(ctx)
 	tr := obs.From(ctx)
-	if tr == nil {
-		return r.CertainOrder(reqs)
-	}
 	st := r.snap()
 	for _, req := range reqs {
+		if tr == nil {
+			ok, err := st.solver.CertainPairBudget(req.Rel, req.Attr, req.I, req.J, b)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+			continue
+		}
 		var qs osolve.QueryStats
 		t0 := time.Now()
-		ok, err := st.solver.CertainPairStats(req.Rel, req.Attr, req.I, req.J, &qs)
+		ok, err := st.solver.CertainPairStatsBudget(req.Rel, req.Attr, req.I, req.J, &qs, b)
 		tr.AddSpan("engine.search", t0, fmt.Sprintf("pair=%s.%s[%d<%d] %s",
 			req.Rel, req.Attr, req.I, req.J, queryStatsDetail(&qs)))
 		// Per-component searches ran sequentially after the assumption
@@ -66,28 +79,35 @@ func (r *Reasoner) CertainOrderCtx(ctx context.Context, reqs []OrderRequirement)
 	return true, nil
 }
 
-// DeterministicCtx is Deterministic with an "engine.deterministic" span
-// per relation checked.
+// DeterministicCtx is Deterministic bounded by the context, with an
+// "engine.deterministic" span per relation checked.
 func (r *Reasoner) DeterministicCtx(ctx context.Context, rel string) (bool, error) {
+	b := osolve.BudgetFromContext(ctx)
+	st := r.snap()
+	if _, found := st.spec.Relation(rel); !found {
+		return false, fmt.Errorf("core: unknown relation %s", rel)
+	}
 	tr := obs.From(ctx)
 	if tr == nil {
-		return r.Deterministic(rel)
+		return st.solver.DeterministicCurrentBudget(rel, b)
 	}
 	t0 := time.Now()
-	ok, err := r.Deterministic(rel)
+	ok, err := st.solver.DeterministicCurrentBudget(rel, b)
 	tr.AddSpan("engine.deterministic", t0, fmt.Sprintf("rel=%s holds=%t", rel, ok))
 	return ok, err
 }
 
-// CertainAnswersCtx is CertainAnswers with an "engine.enumerate" span
-// covering the current-database enumeration and query evaluation.
+// CertainAnswersCtx is CertainAnswers bounded by the context, with an
+// "engine.enumerate" span covering the current-database enumeration
+// and query evaluation.
 func (r *Reasoner) CertainAnswersCtx(ctx context.Context, q *query.Query) (*query.Result, bool, error) {
+	b := osolve.BudgetFromContext(ctx)
 	tr := obs.From(ctx)
 	if tr == nil {
-		return r.CertainAnswers(q)
+		return r.snap().certainAnswersBudget(q, b)
 	}
 	t0 := time.Now()
-	res, modEmpty, err := r.snap().certainAnswers(q)
+	res, modEmpty, err := r.snap().certainAnswersBudget(q, b)
 	rows := 0
 	if res != nil {
 		rows = len(res.Rows)

@@ -3,6 +3,7 @@ package osolve
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"currency/internal/gen"
 	"currency/internal/reductions"
@@ -70,6 +71,55 @@ func TestWarmCertainPairAllocationFree(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Errorf("warm CertainPair allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestWarmQueryAllocationFreeWithBudget pins the budget layer out of
+// the warm path's allocation budget: with every budget dimension armed
+// (deadline, conflict cap, cancel channel) a warm scoped query must
+// still allocate nothing — the probes are plain-field compares on the
+// pooled state and the interruption errors are package singletons.
+func TestWarmQueryAllocationFreeWithBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race makes sync.Pool drop items; allocation pins don't hold")
+	}
+	s := consistentWorkload(8)
+	sv, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Consistent()
+	lit, ok, err := sv.LitFor("R0", "A0", 0, 1)
+	if err != nil || !ok {
+		t.Fatalf("LitFor: %v %v", ok, err)
+	}
+	assume := []Lit{lit}
+	cancel := make(chan struct{})
+	defer close(cancel)
+	b := Budget{
+		Deadline:     time.Now().Add(time.Hour),
+		MaxConflicts: 1 << 40,
+		Cancel:       cancel,
+	}
+	if _, err := sv.SatWithBudget(assume, b); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := sv.SatWithBudget(assume, b); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm SatWithBudget allocates %.1f objects/op, want 0", avg)
+	}
+	if _, err := sv.CertainPairBudget("R0", "A0", 0, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := sv.CertainPairBudget("R0", "A0", 0, 1, b); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm CertainPairBudget allocates %.1f objects/op, want 0", avg)
 	}
 }
 

@@ -1,0 +1,173 @@
+package osolve
+
+// Effort budgets and cooperative cancellation. The paper's decision
+// problems are NP-hard (Theorems 3.1–3.5): a single adversarial
+// component can pin a search indefinitely, so every public query has a
+// *Budget variant that gives up cleanly — deadline, conflict cap, or
+// caller-side cancellation — and reports the interruption as a typed
+// error instead of a verdict. The checks ride the counters the pooled
+// states already keep: the search probes a few plain fields per
+// decision and only touches the clock (or the cancel channel) every
+// budgetCheckEvery probes, so the allocation-free warm path stays free
+// (alloc_test.go pins it with a budget armed). Interrupted searches
+// prove nothing: they never publish component memos, learned clauses,
+// or the allBaseSat fast-path flag.
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// budgetCheckEvery is how many budget probes elapse between clock /
+// cancel-channel checks. Probes happen once per decision, so with
+// warm searches deciding in the nanosecond range the deadline is
+// observed within microseconds of expiring.
+const budgetCheckEvery = 64
+
+// Budget bounds one query's search effort. The zero Budget means
+// unlimited — every field is optional and they compose.
+type Budget struct {
+	// Deadline, when non-zero, interrupts the search once the wall
+	// clock passes it.
+	Deadline time.Time
+	// MaxConflicts, when non-zero, interrupts the search once the
+	// query's state has accumulated that many propagation conflicts —
+	// a wall-clock-independent effort cap for reproducible tests.
+	MaxConflicts uint64
+	// Cancel, when non-nil, interrupts the search once the channel is
+	// closed (ctx.Done() plugs in directly).
+	Cancel <-chan struct{}
+}
+
+// Zero reports whether the budget imposes no bound at all.
+func (b Budget) Zero() bool {
+	return b.MaxConflicts == 0 && b.Cancel == nil && b.Deadline.IsZero()
+}
+
+// Exceeded polls the deadline and the cancel channel, for coarse
+// checkpoints outside the engine (the extension-space walks in core).
+// The conflict cap is engine-internal and not visible here.
+func (b Budget) Exceeded() error {
+	if !b.Deadline.IsZero() && time.Now().UnixNano() >= b.Deadline.UnixNano() {
+		return ErrDeadline
+	}
+	if b.Cancel != nil {
+		select {
+		case <-b.Cancel:
+			return ErrCancelled
+		default:
+		}
+	}
+	return nil
+}
+
+// BudgetFromContext derives a Budget from the context's deadline and
+// cancellation signal. A background context yields the zero Budget.
+func BudgetFromContext(ctx context.Context) Budget {
+	var b Budget
+	if d, ok := ctx.Deadline(); ok {
+		b.Deadline = d
+	}
+	b.Cancel = ctx.Done()
+	return b
+}
+
+// ErrInterrupted is the sentinel every budget interruption matches:
+// errors.Is(err, ErrInterrupted) holds for deadline, cancellation and
+// conflict-cap errors alike. An interrupted query is INDETERMINATE —
+// the engine proved neither the verdict nor its negation.
+var ErrInterrupted = errors.New("osolve: search interrupted")
+
+// InterruptError is the concrete interruption error. The three values
+// below are singletons so budget-exhausted returns allocate nothing.
+type InterruptError struct {
+	reason string
+}
+
+func (e *InterruptError) Error() string {
+	return "osolve: search interrupted: " + e.reason
+}
+
+// Is makes every InterruptError match the ErrInterrupted sentinel.
+func (e *InterruptError) Is(target error) bool { return target == ErrInterrupted }
+
+// Reason returns the machine-readable cause: "deadline", "cancelled"
+// or "budget" — the wire API's degradation reason.
+func (e *InterruptError) Reason() string {
+	switch e {
+	case ErrDeadline:
+		return "deadline"
+	case ErrCancelled:
+		return "cancelled"
+	default:
+		return "budget"
+	}
+}
+
+var (
+	// ErrDeadline reports a search interrupted by its Budget.Deadline.
+	ErrDeadline = &InterruptError{reason: "deadline exceeded"}
+	// ErrCancelled reports a search interrupted by Budget.Cancel.
+	ErrCancelled = &InterruptError{reason: "cancelled"}
+	// ErrConflictBudget reports a search that exhausted MaxConflicts.
+	ErrConflictBudget = &InterruptError{reason: "conflict budget exhausted"}
+)
+
+// armBudget loads the budget into the state's plain fields. getState
+// cleared them, so a zero budget leaves the probe on its three-compare
+// fast path.
+func (st *state) armBudget(b Budget) {
+	if b.Zero() {
+		return
+	}
+	if !b.Deadline.IsZero() {
+		st.bDeadline = b.Deadline.UnixNano()
+	}
+	st.bMaxConflicts = b.MaxConflicts
+	st.bCancel = b.Cancel
+	st.bCountdown = budgetCheckEvery
+}
+
+// interrupted is the per-decision budget probe: plain-field compares
+// on the common path, with the clock and the cancel channel consulted
+// once per budgetCheckEvery probes. The verdict latches in st.stop so
+// an unwinding search keeps observing the interruption.
+func (st *state) interrupted() bool {
+	if st.stop != nil {
+		return true
+	}
+	if st.bMaxConflicts != 0 && st.conflicts >= st.bMaxConflicts {
+		st.stop = ErrConflictBudget
+		return true
+	}
+	if st.bDeadline == 0 && st.bCancel == nil {
+		return false
+	}
+	if st.bCountdown--; st.bCountdown > 0 {
+		return false
+	}
+	st.bCountdown = budgetCheckEvery
+	return st.probeStop()
+}
+
+// probeStop is the expensive half of the probe: clock read and a
+// non-blocking receive on the cancel channel.
+func (st *state) probeStop() bool {
+	if st.stop != nil {
+		return true
+	}
+	if st.bDeadline != 0 && time.Now().UnixNano() >= st.bDeadline {
+		st.stop = ErrDeadline
+		return true
+	}
+	if st.bCancel != nil {
+		select {
+		case <-st.bCancel:
+			st.stop = ErrCancelled
+			return true
+		default:
+		}
+	}
+	return false
+}

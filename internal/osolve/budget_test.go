@@ -1,0 +1,185 @@
+package osolve
+
+// Budget / cancellation layer tests: the acceptance differential (a
+// betweenness-gadget query under a 1ms budget returns a typed
+// interruption instead of blocking, while the same query with no
+// budget returns the exact verdict), the interruption taxonomy
+// (deadline, cancel channel, conflict cap), and the memo-integrity
+// regression — an interrupted search must never latch a component's
+// base verdict, or every later query would inherit a wrong answer.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"currency/internal/reductions"
+)
+
+// hardBetweenness is the n=9 t=12 instance of the hardness benchmark
+// (cmd/currencybench tableHardness, same seed): chronological search
+// cannot finish it in any human timescale, the escalated CDCL solves
+// it in tens of milliseconds.
+func hardBetweenness() reductions.BetweennessInstance {
+	inst := reductions.BetweennessInstance{N: 9}
+	rng := rand.New(rand.NewSource(int64(31*9 + 12)))
+	for k := 0; k < 12; k++ {
+		p := rng.Perm(9)
+		inst.Triples = append(inst.Triples, [3]int{p[0], p[1], p[2]})
+	}
+	return inst
+}
+
+// TestBudgetDeadlineInterruptsHardSearch is the blocking half of the
+// acceptance differential: a 1ms deadline on a chronologically
+// intractable gadget must surface ErrInterrupted promptly instead of
+// pinning the caller.
+func TestBudgetDeadlineInterruptsHardSearch(t *testing.T) {
+	sv := gadgetSolver(t, hardBetweenness())
+	sv.SetCDCL(false) // chronological: cannot finish, must be interrupted
+	start := time.Now()
+	_, err := sv.ConsistentBudget(Budget{Deadline: time.Now().Add(time.Millisecond)})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("1ms deadline on a chronological hard gadget produced a verdict")
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want a match for ErrInterrupted", err)
+	}
+	var ie *InterruptError
+	if !errors.As(err, &ie) || ie.Reason() != "deadline" {
+		t.Fatalf("err = %v, want deadline interruption", err)
+	}
+	// The probe runs every budgetCheckEvery decisions; generous slack
+	// for CI machines, but nowhere near a real search of the gadget.
+	if elapsed > 2*time.Second {
+		t.Fatalf("interruption took %v, want on the order of the 1ms deadline", elapsed)
+	}
+}
+
+// TestBudgetDifferentialGadget is the exactness half: the same gadget
+// with no budget (default two-phase engine) still matches the
+// brute-force permutation oracle, and a generous budget changes
+// nothing.
+func TestBudgetDifferentialGadget(t *testing.T) {
+	inst := hardBetweenness()
+	want := inst.Solvable()
+
+	sv := gadgetSolver(t, inst)
+	if got := sv.Consistent(); got != want {
+		t.Fatalf("unbudgeted Consistent = %v, oracle = %v", got, want)
+	}
+
+	fresh := gadgetSolver(t, inst)
+	got, err := fresh.ConsistentBudget(Budget{Deadline: time.Now().Add(time.Minute)})
+	if err != nil {
+		t.Fatalf("generous budget tripped: %v", err)
+	}
+	if got != want {
+		t.Fatalf("budgeted Consistent = %v, oracle = %v", got, want)
+	}
+}
+
+// TestBudgetMaxConflicts pins the wall-clock-independent cap: the
+// gadget needs far more than the cap, so the search must stop with the
+// conflict-budget interruption.
+func TestBudgetMaxConflicts(t *testing.T) {
+	sv := gadgetSolver(t, hardBetweenness())
+	sv.SetCDCL(false)
+	_, err := sv.ConsistentBudget(Budget{MaxConflicts: 500})
+	if err == nil {
+		t.Fatal("500-conflict cap on a chronological hard gadget produced a verdict")
+	}
+	var ie *InterruptError
+	if !errors.As(err, &ie) || ie.Reason() != "budget" {
+		t.Fatalf("err = %v, want conflict-budget interruption", err)
+	}
+}
+
+// TestBudgetCancel closes the cancel channel mid-search and expects a
+// prompt cancelled interruption.
+func TestBudgetCancel(t *testing.T) {
+	sv := gadgetSolver(t, hardBetweenness())
+	sv.SetCDCL(false)
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		close(cancel)
+	}()
+	start := time.Now()
+	_, err := sv.ConsistentBudget(Budget{Cancel: cancel})
+	if err == nil {
+		t.Fatal("cancelled search produced a verdict")
+	}
+	var ie *InterruptError
+	if !errors.As(err, &ie) || ie.Reason() != "cancelled" {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestBudgetInterruptDoesNotPoisonMemo is the memo-integrity
+// regression: a conflict-capped query trips mid-search, and the SAME
+// solver must afterwards still compute the exact verdict — an
+// interrupted search latching baseSat=false (the old sync.Once shape)
+// would make every later query inherit the wrong answer.
+func TestBudgetInterruptDoesNotPoisonMemo(t *testing.T) {
+	inst := hardBetweenness()
+	want := inst.Solvable()
+	sv := gadgetSolver(t, inst)
+	if _, err := sv.ConsistentBudget(Budget{MaxConflicts: 1}); err == nil {
+		t.Fatal("1-conflict cap on the gadget produced a verdict")
+	}
+	if got := sv.Consistent(); got != want {
+		t.Fatalf("post-interrupt Consistent = %v, oracle = %v: interrupted search poisoned the memo", got, want)
+	}
+	if got := sv.Consistent(); got != want {
+		t.Fatalf("warm re-query flipped to %v", got)
+	}
+}
+
+// TestBudgetDeterministicAndEnumerate covers the remaining budgeted
+// entry points on the hard gadget: DCIP and current-database
+// enumeration must interrupt rather than block, and the truncated
+// enumeration must say complete=false.
+func TestBudgetDeterministicAndEnumerate(t *testing.T) {
+	sv := gadgetSolver(t, hardBetweenness())
+	sv.SetCDCL(false)
+	b := Budget{Deadline: time.Now().Add(time.Millisecond)}
+	if _, err := sv.DeterministicCurrentBudget("R", b); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("DeterministicCurrentBudget err = %v, want ErrInterrupted", err)
+	}
+
+	sv2 := gadgetSolver(t, hardBetweenness())
+	sv2.SetCDCL(false)
+	_, complete, err := sv2.EnumerateCurrentDBsBudget(0, Budget{Deadline: time.Now().Add(time.Millisecond)})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("EnumerateCurrentDBsBudget err = %v, want ErrInterrupted", err)
+	}
+	if complete {
+		t.Fatal("interrupted enumeration claimed completeness")
+	}
+}
+
+// TestBudgetZeroIsUnlimited pins that the zero Budget changes no
+// verdict on an ordinary workload, warm or cold.
+func TestBudgetZeroIsUnlimited(t *testing.T) {
+	s := consistentWorkload(6)
+	sv := newOrDie(t, s)
+	ok, err := sv.ConsistentBudget(Budget{})
+	if err != nil || !ok {
+		t.Fatalf("ConsistentBudget(zero) = %v, %v", ok, err)
+	}
+	lit, found, err := sv.LitFor("R0", "A0", 0, 1)
+	if err != nil || !found {
+		t.Fatalf("LitFor: %v %v", found, err)
+	}
+	want := sv.SatWith([]Lit{lit})
+	got, err := sv.SatWithBudget([]Lit{lit}, Budget{})
+	if err != nil || got != want {
+		t.Fatalf("SatWithBudget(zero) = %v, %v; SatWith = %v", got, err, want)
+	}
+}

@@ -219,6 +219,13 @@ func (sv *Solver) searchCDCL(st *state, ci int, persist bool) bool {
 	restarts, sinceRestart := 0, 0
 	limit := lubyUnit * luby(0)
 	for {
+		if st.interrupted() {
+			// Budget tripped (budget.go): restore the entry state and
+			// fail without publishing — the verdict is indeterminate
+			// and the caller reads st.stop.
+			sv.undoTo(st, entry)
+			return false
+		}
 		if !r.propagateCDCL() {
 			if r.level() == 0 {
 				sv.undoTo(st, entry)

@@ -13,6 +13,7 @@ package osolve
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // component is one connected component of the cross-block rule graph.
@@ -36,16 +37,18 @@ type component struct {
 	// instrumentation tests and benchmarks that prove query scoping.
 	searches atomic.Int64
 
-	// baseOnce memoizes the component's verdict against the base state:
-	// whether its sub-problem is satisfiable with no assumptions, and if
-	// so one completed orientation of the whole component span [lo, hi)
-	// in a single flat slice (a private copy — the search state it came
+	// baseMu guards the component's base-verdict memo: whether its
+	// sub-problem is satisfiable with no assumptions, and if so one
+	// completed orientation of the whole component span [lo, hi) in a
+	// single flat slice (a private copy — the search state it came
 	// from goes back to the pool). Long-lived solvers (the currencyd
 	// reasoner cache) answer repeated scoped queries without ever
-	// re-searching untouched components. done flips after the memo is
-	// filled, letting readers check the verdict with one atomic load
-	// instead of entering the Once.
-	baseOnce  sync.Once
+	// re-searching untouched components. done flips only after an
+	// UNINTERRUPTED search fills the memo, letting readers check the
+	// verdict with one atomic load; a mutex rather than a sync.Once
+	// because budget-interrupted searches (budget.go) must leave the
+	// memo unfilled for the next caller to compute for real.
+	baseMu    sync.Mutex
 	done      atomic.Bool
 	baseSat   bool
 	baseArena []byte
@@ -57,9 +60,29 @@ type component struct {
 	// Literals are stored span-relative, so an ApplyDelta that reuses the
 	// component with an identical block layout shares the pointer
 	// verbatim; touched components start nil, which IS the drop. The
-	// pointer is written once per solver generation (inside baseOnce) and
+	// pointer is written once per solver generation (under baseMu) and
 	// read by escalated searches, so an atomic pointer suffices.
 	learned atomic.Pointer[learnedDB]
+}
+
+// lockMemo acquires the component's memo lock on behalf of st. With a
+// deadline or cancel signal armed the wait polls the budget, so a
+// bounded query blocked behind another caller's cold search of the
+// same component gives up on time instead of queueing past its
+// deadline; otherwise it is a plain Lock. Returns false (lock NOT
+// held) when the budget tripped while waiting.
+func (c *component) lockMemo(st *state) bool {
+	if st == nil || (st.bDeadline == 0 && st.bCancel == nil) {
+		c.baseMu.Lock()
+		return true
+	}
+	for !c.baseMu.TryLock() {
+		if st.probeStop() {
+			return false
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return true
 }
 
 // buildComponents unions blocks connected by rules and distributes the

@@ -81,11 +81,23 @@ func (sv *Solver) PossibleMaxTuples(bi int) []int {
 // reports whether the enumeration was exhaustive (always true when limit
 // was not reached). An inconsistent specification yields no results.
 func (sv *Solver) EnumerateCurrentDBs(limit int, rels ...string) ([]CurrentDB, bool) {
+	dbs, complete, _ := sv.EnumerateCurrentDBsBudget(limit, Budget{}, rels...)
+	return dbs, complete
+}
+
+// EnumerateCurrentDBsBudget is EnumerateCurrentDBs under an effort
+// budget: the branch-and-search walk probes the budget at every node,
+// and a tripped budget returns the partial result set with
+// complete=false and a non-nil error matching ErrInterrupted. The
+// partial set is sound (every returned database is a real current
+// database) but not complete.
+func (sv *Solver) EnumerateCurrentDBsBudget(limit int, b Budget, rels ...string) ([]CurrentDB, bool, error) {
 	st0 := sv.stateWith(nil)
 	if st0 == nil {
-		return nil, true
+		return nil, true, nil
 	}
 	defer sv.putState(st0)
+	st0.armBudget(b)
 	include := func(rel string) bool { return true }
 	if len(rels) > 0 {
 		set := make(map[string]bool, len(rels))
@@ -138,12 +150,21 @@ func (sv *Solver) EnumerateCurrentDBs(limit int, rels ...string) ([]CurrentDB, b
 			complete = false
 			return false
 		}
+		if st.interrupted() {
+			complete = false
+			return false
+		}
 		if d == len(branch) {
 			mark := st.mark()
 			if sv.searchAll(st) {
 				db := project(CurrentDB(sv.modelFrom(st).CurrentDB()))
 				seen[db.Key()] = db
 				sv.undoTo(st, mark)
+			} else if st.stop != nil {
+				// The leaf search was interrupted, not infeasible: the
+				// enumeration is truncated, not filtered.
+				complete = false
+				return false
 			}
 			return true
 		}
@@ -190,7 +211,10 @@ func (sv *Solver) EnumerateCurrentDBs(limit int, rels ...string) ([]CurrentDB, b
 	for i, k := range keys {
 		out[i] = seen[k]
 	}
-	return out, complete
+	if st0.stop != nil {
+		return out, false, st0.stop
+	}
+	return out, complete, nil
 }
 
 // DeterministicCurrent reports whether relation rel has the same current
@@ -199,29 +223,46 @@ func (sv *Solver) EnumerateCurrentDBs(limit int, rels ...string) ([]CurrentDB, b
 // maxima agree on the attribute value. Vacuously true for inconsistent
 // specifications.
 func (sv *Solver) DeterministicCurrent(rel string) bool {
-	if !sv.Consistent() {
-		return true
+	ok, _ := sv.DeterministicCurrentBudget(rel, Budget{})
+	return ok
+}
+
+// DeterministicCurrentBudget is DeterministicCurrent under an effort
+// budget shared by the consistency check and every per-member
+// feasibility query; a non-nil error matching ErrInterrupted means the
+// verdict is indeterminate.
+func (sv *Solver) DeterministicCurrentBudget(rel string, b Budget) (bool, error) {
+	consistent, err := sv.ConsistentBudget(b)
+	if err != nil {
+		return false, err
+	}
+	if !consistent {
+		return true, nil
 	}
 	r := sv.relOf[rel]
-	for bi, b := range sv.blocks {
-		if b.Key.Rel != rel {
+	for bi, blk := range sv.blocks {
+		if blk.Key.Rel != rel {
 			continue
 		}
 		var val relation.Value
 		first := true
-		for m, ti := range b.Members {
-			if !sv.SatWith(sv.maxAssumptions(bi, m)) {
+		for m, ti := range blk.Members {
+			sat, err := sv.SatWithBudget(sv.maxAssumptions(bi, m), b)
+			if err != nil {
+				return false, err
+			}
+			if !sat {
 				continue
 			}
-			v := r.Tuples[ti][b.Key.Attr]
+			v := r.Tuples[ti][blk.Key.Attr]
 			if first {
 				val, first = v, false
 			} else if v != val {
-				return false
+				return false, nil
 			}
 		}
 	}
-	return true
+	return true, nil
 }
 
 // OneModel returns an arbitrary consistent completion, or ok=false when

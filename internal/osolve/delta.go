@@ -1127,8 +1127,9 @@ func (out *Solver) initBaseFrom(sv *Solver, ctx *patchCtx, reuse []compReuse) {
 // transferMemos pre-fills reused components' base verdicts and
 // sub-model spans from the old solver. Aligned spans are shared, not
 // copied: memos are immutable once published. Components the old solver
-// had not yet searched stay cold (their Once fires on first use as
-// usual).
+// had not yet searched stay cold (their memo fills on first use as
+// usual). The new solver is private until ApplyDelta returns, so the
+// memo fields are written directly; the done store publishes them.
 func (out *Solver) transferMemos(sv *Solver, ctx *patchCtx, reuse []compReuse, stats *PatchStats) {
 	for _, ru := range reuse {
 		oc := sv.comps[ru.oci]
@@ -1159,10 +1160,8 @@ func (out *Solver) transferMemos(sv *Solver, ctx *patchCtx, reuse []compReuse, s
 				}
 			}
 		}
-		nc.baseOnce.Do(func() {
-			nc.baseSat = oc.baseSat
-			nc.baseArena = arena
-		})
+		nc.baseSat = oc.baseSat
+		nc.baseArena = arena
 		nc.done.Store(true)
 		stats.MemoComps++
 	}

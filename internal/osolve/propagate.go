@@ -49,6 +49,17 @@ type state struct {
 	poolHits     uint64
 	poolMisses   uint64
 	qs           *QueryStats
+
+	// Budget fields, armed per lease by armBudget (budget.go) and
+	// cleared by getState. stop latches the interruption verdict once
+	// a probe trips, so the unwinding search and the public entry
+	// point both observe it; a non-nil stop means the lease's verdict
+	// is indeterminate and must not be memoized.
+	bDeadline     int64 // unix nanos; 0 = no deadline
+	bMaxConflicts uint64
+	bCancel       <-chan struct{}
+	bCountdown    int32
+	stop          *InterruptError
 }
 
 // newStatePool builds a pool of search states. States carry no
@@ -80,6 +91,8 @@ func (sv *Solver) getState() *state {
 	st.a = st.a[:sv.numLits]
 	st.trail = st.trail[:0]
 	st.q = st.q[:0]
+	st.bDeadline, st.bMaxConflicts = 0, 0
+	st.bCancel, st.bCountdown, st.stop = nil, 0, nil
 	return st
 }
 

@@ -76,19 +76,26 @@ func (sv *Solver) searchCompPersist(st *state, ci int, persist bool) bool {
 	if !aborted {
 		return ok
 	}
+	if st.stop != nil {
+		// The abort was a budget interruption, not a blown conflict
+		// budget: the verdict is indeterminate — do not escalate.
+		return false
+	}
 	return sv.searchCDCL(st, ci, persist)
 }
 
 // searchRecB is the chronological DPLL with a conflict budget: once
 // st.conflicts reaches limit it unwinds, restores the trail to entry and
-// reports aborted=true so the caller can escalate. ok is meaningful only
-// when aborted=false.
+// reports aborted=true so the caller can escalate. A caller-imposed
+// effort budget (budget.go) aborts the same way but latches st.stop,
+// which searchCompPersist reads to tell escalation from interruption.
+// ok is meaningful only when aborted=false.
 func (sv *Solver) searchRecB(st *state, ci int, entry int, limit uint64) (ok, aborted bool) {
 	id, found := sv.findUnknownIn(st, ci)
 	if !found {
 		return true, false
 	}
-	if st.conflicts >= limit {
+	if st.conflicts >= limit || st.interrupted() {
 		sv.undoTo(st, entry)
 		return false, true
 	}
@@ -146,27 +153,42 @@ func (sv *Solver) baseComp(ci int) (bool, []byte) {
 // trail is truncated and the component's span re-seeded from the base,
 // which is exactly the scoped-clone contract (stale spans outside the
 // component are never read).
+// An interrupted search (scratch's budget tripped, st.stop non-nil)
+// returns sat=false WITHOUT filling the memo: the caller must treat the
+// verdict as indeterminate, and the next uninterrupted caller computes
+// it for real.
 func (sv *Solver) baseCompWith(scratch *state, ci int) (bool, []byte) {
 	c := sv.comps[ci]
-	c.baseOnce.Do(func() {
-		st := scratch
-		if st == nil {
-			st = sv.scopedClone([]int{ci})
-			defer sv.putState(st)
-		} else {
-			st.trail = st.trail[:0]
-			st.q = st.q[:0]
-			copy(st.a[c.lo:c.hi], sv.base.a[c.lo:c.hi])
-			st.cloneBytes += uint64(c.hi - c.lo)
-		}
-		if sv.searchCompPersist(st, ci, true) {
-			c.baseSat = true
-			c.baseArena = append([]byte(nil), st.a[c.lo:c.hi]...)
-		}
-	})
-	// Publish after Do returns: the memo writes are visible to this
-	// goroutine here, and the atomic store makes them visible to any
-	// reader that observes done.
+	if c.done.Load() {
+		return c.baseSat, c.baseArena
+	}
+	if !c.lockMemo(scratch) {
+		return false, nil // budget tripped waiting for the memo lock
+	}
+	defer c.baseMu.Unlock()
+	if c.done.Load() {
+		return c.baseSat, c.baseArena
+	}
+	st := scratch
+	if st == nil {
+		st = sv.scopedClone([]int{ci})
+		defer sv.putState(st)
+	} else {
+		st.trail = st.trail[:0]
+		st.q = st.q[:0]
+		copy(st.a[c.lo:c.hi], sv.base.a[c.lo:c.hi])
+		st.cloneBytes += uint64(c.hi - c.lo)
+	}
+	sat := sv.searchCompPersist(st, ci, true)
+	if st.stop != nil {
+		return false, nil
+	}
+	if sat {
+		c.baseSat = true
+		c.baseArena = append([]byte(nil), st.a[c.lo:c.hi]...)
+	}
+	// The atomic store publishes the memo fields written above to any
+	// reader that observes done on the lock-free fast path.
 	c.done.Store(true)
 	return c.baseSat, c.baseArena
 }
@@ -180,9 +202,20 @@ func (sv *Solver) baseCompWith(scratch *state, ci int) (bool, []byte) {
 // the engine's total parallelism stays at SetWorkers no matter how many
 // cold verdicts race).
 func (sv *Solver) baseSatExcept(skip []int) bool {
+	ok, _ := sv.baseSatExceptBudget(skip, Budget{})
+	return ok
+}
+
+// baseSatExceptBudget is baseSatExcept under an effort budget: each
+// sweep worker's leased state is armed with b, and a tripped budget
+// surfaces as a non-nil *InterruptError (the bool is then false but
+// means indeterminate, not unsatisfiable). Interrupted sweeps never
+// set the allBaseSat fast-path flag and never memoize the interrupted
+// component.
+func (sv *Solver) baseSatExceptBudget(skip []int, b Budget) (bool, error) {
 	if sv.allBaseSat.Load() {
 		sv.stats.MemoHits.Add(1)
-		return true
+		return true, nil
 	}
 	var pending []int
 	for ci, c := range sv.comps {
@@ -198,7 +231,7 @@ func (sv *Solver) baseSatExcept(skip []int) bool {
 		}
 		if c.done.Load() {
 			if !c.baseSat {
-				return false
+				return false, nil
 			}
 			continue
 		}
@@ -212,7 +245,7 @@ func (sv *Solver) baseSatExcept(skip []int) bool {
 		if len(skip) == 0 {
 			sv.allBaseSat.Store(true)
 		}
-		return true
+		return true, nil
 	}
 	// Capture the semaphore once so acquire and release always pair on
 	// the same channel even if a (contract-violating) SetWorkers swaps
@@ -227,6 +260,7 @@ func (sv *Solver) baseSatExcept(skip []int) bool {
 		// semaphore for its lifetime: the semaphore (not a per-call pool)
 		// is what bounds total engine parallelism when queries race.
 		var unsat atomic.Bool
+		var stopErr atomic.Pointer[InterruptError]
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			sem <- struct{}{}
@@ -235,16 +269,21 @@ func (sv *Solver) baseSatExcept(skip []int) bool {
 				// One leased state per worker, reused across its stride
 				// (see baseCompWith).
 				st := sv.getState()
+				st.armBudget(b)
 				defer func() {
 					sv.putState(st)
 					<-sem
 					wg.Done()
 				}()
 				for idx := w; idx < len(pending); idx += workers {
-					if unsat.Load() {
+					if unsat.Load() || stopErr.Load() != nil {
 						return
 					}
 					if sat, _ := sv.baseCompWith(st, pending[idx]); !sat {
+						if st.stop != nil {
+							stopErr.CompareAndSwap(nil, st.stop)
+							return
+						}
 						unsat.Store(true)
 					}
 				}
@@ -252,7 +291,12 @@ func (sv *Solver) baseSatExcept(skip []int) bool {
 		}
 		wg.Wait()
 		if unsat.Load() {
-			return false
+			// A definite unsat verdict wins over a concurrent
+			// interruption: it is sound regardless of the budget.
+			return false, nil
+		}
+		if err := stopErr.Load(); err != nil {
+			return false, err
 		}
 	} else {
 		// The sequential path holds a semaphore slot too: the SetWorkers
@@ -261,11 +305,16 @@ func (sv *Solver) baseSatExcept(skip []int) bool {
 		// leased state serves the whole sweep (see baseCompWith).
 		sem <- struct{}{}
 		st := sv.getState()
+		st.armBudget(b)
 		for _, ci := range pending {
 			if sat, _ := sv.baseCompWith(st, ci); !sat {
+				stop := st.stop
 				sv.putState(st)
 				<-sem
-				return false
+				if stop != nil {
+					return false, stop
+				}
+				return false, nil
 			}
 		}
 		sv.putState(st)
@@ -276,7 +325,7 @@ func (sv *Solver) baseSatExcept(skip []int) bool {
 		// short-circuit on one flag load regardless of their skip list.
 		sv.allBaseSat.Store(true)
 	}
-	return true
+	return true, nil
 }
 
 // Consistent reports whether Mod(S) is non-empty.
@@ -285,6 +334,17 @@ func (sv *Solver) Consistent() bool {
 		return false
 	}
 	return sv.baseSatExcept(nil)
+}
+
+// ConsistentBudget is Consistent under an effort budget. A non-nil
+// error (matching ErrInterrupted) means the budget tripped before the
+// verdict was established — the bool is then meaningless. Memoized
+// verdicts answer without touching the budget.
+func (sv *Solver) ConsistentBudget(b Budget) (bool, error) {
+	if sv.baseConflict {
+		return false, nil
+	}
+	return sv.baseSatExceptBudget(nil, b)
 }
 
 // SatWith reports whether some consistent completion satisfies all the

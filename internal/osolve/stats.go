@@ -182,14 +182,28 @@ func (sv *Solver) flushStats(st *state) {
 // added to it (allocating a few spans — tracing is for the request
 // path, not the engine hot path). With qs nil it is exactly SatWith.
 func (sv *Solver) SatWithStats(assume []Lit, qs *QueryStats) bool {
+	ok, _ := sv.satWithBudget(assume, qs, Budget{})
+	return ok
+}
+
+// SatWithBudget is SatWith under an effort budget: a non-nil error
+// (matching ErrInterrupted) means the budget tripped mid-search and
+// the verdict is indeterminate. The zero Budget makes it exactly
+// SatWith, still allocation-free on a warm solver.
+func (sv *Solver) SatWithBudget(assume []Lit, b Budget) (bool, error) {
+	return sv.satWithBudget(assume, nil, b)
+}
+
+func (sv *Solver) satWithBudget(assume []Lit, qs *QueryStats, b Budget) (bool, error) {
 	if sv.baseConflict {
-		return false
+		return false, nil
 	}
 	var tbuf [8]int
 	touched := sv.touchedCompsInto(tbuf[:0], assume)
 	if len(touched) > 0 {
 		st := sv.scopedClone(touched)
 		st.qs = qs
+		st.armBudget(b)
 		for _, l := range assume {
 			st.q = append(st.q, sv.litID(l))
 		}
@@ -213,23 +227,51 @@ func (sv *Solver) SatWithStats(assume []Lit, qs *QueryStats) bool {
 				ok = sv.searchComp(st, ci)
 			}
 		}
+		stop := st.stop
 		sv.putState(st)
+		if stop != nil {
+			return false, stop
+		}
 		if !ok {
-			return false
+			return false, nil
 		}
 	}
-	return sv.baseSatExcept(touched)
+	return sv.baseSatExceptBudget(touched, b)
 }
 
 // CertainPairStats is CertainPair with per-query effort attribution
 // (see SatWithStats).
 func (sv *Solver) CertainPairStats(rel, attr string, i, j int, qs *QueryStats) (bool, error) {
+	return sv.certainPair(rel, attr, i, j, qs, Budget{})
+}
+
+// CertainPairBudget is CertainPair under an effort budget: a non-nil
+// error matching ErrInterrupted means the verdict is indeterminate.
+func (sv *Solver) CertainPairBudget(rel, attr string, i, j int, b Budget) (bool, error) {
+	return sv.certainPair(rel, attr, i, j, nil, b)
+}
+
+// CertainPairStatsBudget combines effort attribution with a budget —
+// the traced request path of a server running with deadlines.
+func (sv *Solver) CertainPairStatsBudget(rel, attr string, i, j int, qs *QueryStats, b Budget) (bool, error) {
+	return sv.certainPair(rel, attr, i, j, qs, b)
+}
+
+func (sv *Solver) certainPair(rel, attr string, i, j int, qs *QueryStats, b Budget) (bool, error) {
 	l, sameEntity, err := sv.LitFor(rel, attr, i, j)
 	if err != nil {
 		return false, err
 	}
 	if !sameEntity {
-		return !sv.Consistent(), nil
+		ok, err := sv.ConsistentBudget(b)
+		if err != nil {
+			return false, err
+		}
+		return !ok, nil
 	}
-	return !sv.SatWithStats([]Lit{{Block: l.Block, I: l.J, J: l.I}}, qs), nil
+	sat, err := sv.satWithBudget([]Lit{{Block: l.Block, I: l.J, J: l.I}}, qs, b)
+	if err != nil {
+		return false, err
+	}
+	return !sat, nil
 }

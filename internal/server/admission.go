@@ -1,0 +1,81 @@
+package server
+
+// Bounded admission for the expensive endpoints: the decision problems
+// are NP-hard, so under overload the honest answers are "run it", "wait
+// briefly", or "come back later" — never an unbounded internal queue.
+// Admission is a semaphore of inflight slots plus a counted wait queue:
+// a request takes a free slot immediately, waits in the queue while one
+// frees up, or is shed with 429 + Retry-After once the queue is full. A
+// queued request whose context expires before a slot frees leaves with
+// 503 — it would have blown its deadline anyway, better to say so
+// before burning a worker on it.
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is the shared gate for query- and write-class endpoints.
+// A nil *admission admits everything (protection disabled).
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+// newAdmission builds a gate with the given inflight and queue bounds.
+func newAdmission(maxInflight, maxQueue int) *admission {
+	a := &admission{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+	}
+	for i := 0; i < maxInflight; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// Admission outcomes.
+const (
+	admitted    = iota // run; call the returned release
+	shedBusy           // queue full: 429 + Retry-After
+	shedExpired        // context expired while queued: 503
+)
+
+// acquire admits the request, queues it, or sheds it. On admitted the
+// returned release func must be called exactly once when the request
+// finishes.
+func (a *admission) acquire(ctx context.Context) (func(), int) {
+	if a == nil {
+		return func() {}, admitted
+	}
+	select {
+	case <-a.slots:
+		return a.release, admitted
+	default:
+	}
+	// No free slot: join the bounded queue or shed. The counter may
+	// transiently overshoot under a stampede (increment-then-check);
+	// that sheds a request or two early, which is the right failure
+	// direction for an overload valve.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, shedBusy
+	}
+	defer a.queued.Add(-1)
+	select {
+	case <-a.slots:
+		return a.release, admitted
+	case <-ctx.Done():
+		return nil, shedExpired
+	}
+}
+
+func (a *admission) release() { a.slots <- struct{}{} }
+
+// saturated reports whether a new expensive request would be shed right
+// now (no free slot and the wait queue at capacity) — the /readyz
+// not-ready signal.
+func (a *admission) saturated() bool {
+	return a != nil && len(a.slots) == 0 && a.queued.Load() >= a.maxQueue
+}

@@ -1,0 +1,239 @@
+package server_test
+
+// Chaos e2e: armed fault points (grounding stalls, decision stalls,
+// injected panics, widened patch windows) under concurrent queriers and
+// patchers with tight deadlines and a small admission queue. The driver
+// asserts the survival contract: every request completes — with a
+// verdict, a 429 shed, or a deadline non-verdict — within a bounded
+// multiple of its deadline; the failure counters match the injected
+// faults exactly; and after the chaos stops the server still answers
+// every spec with the same verdict as a fresh, fault-free reasoner.
+// CI runs this test under -race in a dedicated step.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"currency/internal/api"
+	"currency/internal/chaos"
+	"currency/internal/core"
+	"currency/internal/parse"
+	"currency/internal/server"
+)
+
+func TestChaosE2E(t *testing.T) {
+	chaos.ResetAll()
+	t.Cleanup(chaos.ResetAll)
+
+	// Generous enough that the post-chaos exact gadget search finishes
+	// even under -race; the in-chaos hard queries carry BudgetMS=5 and
+	// trip their own, much tighter budget.
+	const queryDeadline = 3 * time.Second
+	c, _ := newTestServer(t, server.Options{
+		Workers:       4,
+		QueryDeadline: queryDeadline,
+		WriteDeadline: 3 * time.Second,
+		MaxInflight:   2,
+		MaxQueue:      1,
+		SlowQuery:     -1,
+	})
+	if _, err := c.RegisterSpec("easy", liveSource()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RegisterSpec("hard", hardGadgetSource(t)); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	// Arm the faults: every cold grounding stalls 50ms, every 5th exact
+	// decision stalls 20ms, every 13th decision request panics inside
+	// the handler, and every patch read-modify-write cycle is widened
+	// by 2ms to force version conflicts.
+	chaos.GroundStall.ArmDelay(50*time.Millisecond, 1)
+	chaos.DecideStall.ArmDelay(20*time.Millisecond, 5)
+	chaos.DecidePanic.ArmPanic(13)
+	chaos.PatchStall.ArmDelay(2*time.Millisecond, 1)
+	chaos.Enable()
+
+	var (
+		shedSeen     atomic.Uint64 // 429 responses observed
+		panicSeen    atomic.Uint64 // injected-panic 500s observed
+		deadlineSeen atomic.Uint64 // responses with Reason "deadline"
+		expiredSeen  atomic.Uint64 // 503s: deadline died in the queue
+		okSeen       atomic.Uint64
+	)
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+
+	const queriers, iters = 6, 25
+	var wg sync.WaitGroup
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var req api.DecisionRequest
+				id := "easy"
+				switch (q + i) % 4 {
+				case 0:
+					req = api.DecisionRequest{Op: api.OpConsistent, Exact: true}
+				case 1:
+					req = api.DecisionRequest{Op: api.OpConsistent, BudgetMS: 5}
+					id = "hard"
+				case 2:
+					req = api.DecisionRequest{Op: api.OpCertainOrder, Exact: true,
+						Orders: []api.OrderPair{{Rel: "F", Attr: "a", I: "f0", J: "f1"}}}
+				case 3:
+					req = api.DecisionRequest{Op: api.OpDeterministic, Relation: "F", Exact: true}
+				}
+				start := time.Now()
+				res, err := c.DecideCtx(context.Background(), id, req)
+				elapsed := time.Since(start)
+				// The survival bound: stalls and queueing included, no
+				// request may run past twice its deadline.
+				if elapsed > 2*queryDeadline {
+					fail("querier %d iter %d: %v exceeds 2x deadline %v", q, i, elapsed, queryDeadline)
+				}
+				switch {
+				case err == nil:
+					if res.Reason == "deadline" {
+						deadlineSeen.Add(1)
+					} else {
+						okSeen.Add(1)
+					}
+				case strings.Contains(err.Error(), "saturated"):
+					shedSeen.Add(1)
+				case strings.Contains(err.Error(), "chaos: injected panic"):
+					panicSeen.Add(1)
+				case strings.Contains(err.Error(), "expired in admission queue"):
+					expiredSeen.Add(1)
+				default:
+					fail("querier %d iter %d: unexpected error %v", q, i, err)
+				}
+			}
+		}(q)
+	}
+	patched := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		applied := 0
+		for i := 0; i < 10; i++ {
+			// Writes share the admission gate with queries, so the
+			// patcher is shed too under saturation; it backs off and
+			// retries by hand (every shed still counts, one for one).
+			for attempt := 0; attempt < 30; attempt++ {
+				_, err := c.PatchSpecCtx(context.Background(), "easy", api.DeltaRequest{
+					InsertTuples: []api.TupleInsert{{
+						Rel: "R", Label: fmt.Sprintf("p%d", i), Values: []any{"e", 10 + i},
+					}},
+				})
+				if err == nil {
+					applied++
+					break
+				}
+				switch {
+				case strings.Contains(err.Error(), "saturated"):
+					shedSeen.Add(1)
+				case strings.Contains(err.Error(), "expired in admission queue"):
+					expiredSeen.Add(1)
+				case strings.Contains(err.Error(), "version"):
+					// Contention: the server's bounded retry gave up.
+				default:
+					fail("patcher iter %d: unexpected error %v", i, err)
+					attempt = 30
+				}
+				time.Sleep(15 * time.Millisecond)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		patched <- applied
+	}()
+	wg.Wait()
+
+	// Counter contract: every injected fault is visible in /stats, and
+	// nothing else is. Panics fire exactly as armed; sheds and deadline
+	// interruptions match what the clients observed, one for one.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Panics != chaos.DecidePanic.Fired() {
+		t.Errorf("stats.Panics = %d, chaos fired %d", st.Panics, chaos.DecidePanic.Fired())
+	}
+	if st.Panics != panicSeen.Load() {
+		t.Errorf("stats.Panics = %d, clients saw %d injected-panic 500s", st.Panics, panicSeen.Load())
+	}
+	if st.RequestsShed != shedSeen.Load() {
+		t.Errorf("stats.RequestsShed = %d, clients saw %d 429s", st.RequestsShed, shedSeen.Load())
+	}
+	if st.QueryTimeouts != deadlineSeen.Load() {
+		t.Errorf("stats.QueryTimeouts = %d, clients saw %d deadline responses", st.QueryTimeouts, deadlineSeen.Load())
+	}
+	if okSeen.Load() == 0 {
+		t.Error("no request succeeded under chaos: faults drowned the service")
+	}
+	t.Logf("chaos: ok=%d deadline=%d shed=%d expired=%d panic=%d patchConflicts=%d",
+		okSeen.Load(), deadlineSeen.Load(), shedSeen.Load(), expiredSeen.Load(),
+		st.Panics, st.PatchConflicts)
+
+	// Counters are cumulative: a second read never goes backwards.
+	st2, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Requests < st.Requests || st2.Panics < st.Panics ||
+		st2.RequestsShed < st.RequestsShed || st2.QueryTimeouts < st.QueryTimeouts ||
+		st2.Engine.Searches < st.Engine.Searches {
+		t.Errorf("counters went backwards: %+v -> %+v", st, st2)
+	}
+
+	// Post-chaos differential: with the faults disarmed, every spec
+	// must answer exactly, and agree with a fresh reasoner built from
+	// the registry's current source — chaos must not have corrupted
+	// cached state through any interrupted or panicked path.
+	chaos.ResetAll()
+	applied := <-patched
+	for _, id := range []string{"easy", "hard"} {
+		info, err := c.GetSpec(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == "easy" && info.Version != 1+applied {
+			t.Errorf("easy spec version = %d, want 1 + %d applied patches", info.Version, applied)
+		}
+		file, err := parse.ParseFile(info.Source)
+		if err != nil {
+			t.Fatalf("spec %s: registry holds unparseable source: %v", id, err)
+		}
+		fresh, err := core.NewReasoner(file.Spec)
+		if err != nil {
+			t.Fatalf("spec %s: fresh reasoner: %v", id, err)
+		}
+		want := fresh.Consistent()
+		res, err := c.DecideCtx(context.Background(), id,
+			api.DecisionRequest{Op: api.OpConsistent, Exact: true})
+		if err != nil {
+			t.Fatalf("spec %s: post-chaos decision: %v", id, err)
+		}
+		if res.Indeterminate || res.Degraded || res.Holds == nil || *res.Holds != want {
+			t.Errorf("spec %s: post-chaos verdict %+v, want exact holds=%t", id, res, want)
+		}
+	}
+
+	// No worker, admission slot, or trace goroutine may leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle after chaos: %d > base %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -1,0 +1,376 @@
+package server_test
+
+// Overload-survival tests: the server-level budget differential (a
+// betweenness-gadget decision with a 1ms budget comes back
+// Indeterminate/Degraded instead of blocking, the same decision with
+// room to run returns the exact verdict), the sound PTIME degradation
+// path, admission-queue shedding with Retry-After and the client's
+// backoff, readiness vs liveness under drain, the bounded PATCH retry
+// loop under real contention, and the cancellation e2e (a client
+// abandoning a hard query mid-search frees the worker and leaves the
+// engine healthy). CI runs this package under -race.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"currency/internal/api"
+	"currency/internal/chaos"
+	"currency/internal/parse"
+	"currency/internal/reductions"
+	"currency/internal/server"
+)
+
+// hardBetweennessInstance is the n=9 t=12 instance of the hardness
+// benchmark (cmd/currencybench tableHardness, same seed): CDCL solves
+// it in tens of milliseconds, so a millisecond budget reliably
+// interrupts it while an unbudgeted request still finishes.
+func hardBetweennessInstance() reductions.BetweennessInstance {
+	inst := reductions.BetweennessInstance{N: 9}
+	rng := rand.New(rand.NewSource(int64(31*9 + 12)))
+	for k := 0; k < 12; k++ {
+		p := rng.Perm(9)
+		inst.Triples = append(inst.Triples, [3]int{p[0], p[1], p[2]})
+	}
+	return inst
+}
+
+// hardGadgetSource renders the gadget in the wire format.
+func hardGadgetSource(t testing.TB) string {
+	t.Helper()
+	s, err := reductions.CPSFromBetweenness(hardBetweennessInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parse.Marshal(s)
+}
+
+// easyOrderedRelation is a tiny fully-ordered relation appended to the
+// gadget source: its own component answers instantly, but any decision
+// needing global consistency must sweep the hard gadget component too.
+const easyOrderedRelation = `
+relation S(eid, a)
+instance S {
+  s0: ("x", 1)
+  s1: ("x", 2)
+  order a: s0 < s1
+}
+`
+
+func TestBudgetDifferentialOverWire(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{SlowQuery: -1})
+	if _, err := c.RegisterSpec("hard", hardGadgetSource(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 1ms budget on the cold gadget: the engine cannot finish, the
+	// request must come back quickly with an explicit non-verdict.
+	start := time.Now()
+	res, err := c.DecideCtx(context.Background(), "hard",
+		api.DecisionRequest{Op: api.OpConsistent, BudgetMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budgeted decision took %v, want on the order of the 1ms budget", elapsed)
+	}
+	if !res.Indeterminate && !res.Degraded {
+		t.Fatalf("budgeted decision returned %+v, want Indeterminate or Degraded", res)
+	}
+	if res.Reason != "deadline" {
+		t.Fatalf("Reason = %q, want deadline", res.Reason)
+	}
+	if res.Indeterminate && res.Holds != nil {
+		t.Fatalf("indeterminate result carries a verdict: %+v", res)
+	}
+
+	// The same decision with room to run returns the exact verdict.
+	want := hardBetweennessInstance().Solvable()
+	res, err = c.Consistent("hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Indeterminate || res.Degraded || res.Holds == nil || *res.Holds != want {
+		t.Fatalf("unbudgeted decision = %+v, want exact holds=%t", res, want)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueryTimeouts == 0 {
+		t.Fatal("deadline interruption did not count in queryTimeouts")
+	}
+}
+
+// TestDegradedDeterministic exercises the sound PTIME fallback: exact
+// DCIP on the easy relation needs global consistency (the hard gadget
+// component), blows its budget, and degrades to the constraint-relaxed
+// tractable verdict — true, soundly, because the relation is fully
+// ordered regardless of the constraints.
+func TestDegradedDeterministic(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{SlowQuery: -1})
+	if _, err := c.RegisterSpec("mixed", hardGadgetSource(t)+easyOrderedRelation); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.DecideCtx(context.Background(), "mixed",
+		api.DecisionRequest{Op: api.OpDeterministic, Relation: "S", BudgetMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.Holds == nil || !*res.Holds {
+		t.Fatalf("got %+v, want degraded holds=true from the relaxed PTIME fallback", res)
+	}
+	if res.Engine != api.EnginePTime || res.Reason != "deadline" {
+		t.Fatalf("got engine=%q reason=%q, want ptime/deadline", res.Engine, res.Reason)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Degraded == 0 {
+		t.Fatal("degraded decision did not count in stats")
+	}
+}
+
+func TestAdmissionShedAndRetryAfter(t *testing.T) {
+	chaos.ResetAll()
+	t.Cleanup(chaos.ResetAll)
+	c, _ := newTestServer(t, server.Options{
+		Workers: 2, MaxInflight: 1, MaxQueue: -1, SlowQuery: -1,
+	})
+	if _, err := c.RegisterSpec("s", constraintFreeSource()); err != nil {
+		t.Fatal(err)
+	}
+	chaos.DecideStall.ArmDelay(400*time.Millisecond, 1)
+	chaos.Enable()
+
+	// Occupy the single inflight slot with a stalled decision. The
+	// stall sits on the exact path, so force the exact engine.
+	hold := make(chan error, 1)
+	go func() {
+		_, err := c.DecideCtx(context.Background(), "s",
+			api.DecisionRequest{Op: api.OpConsistent, Exact: true})
+		hold <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	// While the slot is held and there is no queue, requests shed 429
+	// and readiness reports saturated; liveness stays green.
+	if c.Ready() {
+		t.Fatal("readyz reported ready while the admission gate was saturated")
+	}
+	if !c.Healthy() {
+		t.Fatal("healthz went unhealthy under load")
+	}
+	if _, err := c.Consistent("s"); err == nil || !strings.Contains(err.Error(), "saturated") {
+		t.Fatalf("expected a shed (429 saturated) error, got %v", err)
+	}
+	if err := <-hold; err != nil {
+		t.Fatalf("stalled holder failed: %v", err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestsShed == 0 {
+		t.Fatal("shed request did not count in requestsShed")
+	}
+	chaos.ResetAll()
+
+	// A retrying client rides the shed out: hold the slot again and let
+	// the backoff (honoring Retry-After) land after it frees.
+	chaos.DecideStall.ArmDelay(300*time.Millisecond, 1)
+	chaos.Enable()
+	c.SetRetry(4, 20*time.Millisecond, 2*time.Second)
+	go func() {
+		_, err := c.DecideCtx(context.Background(), "s",
+			api.DecisionRequest{Op: api.OpConsistent, Exact: true})
+		hold <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	if _, err := c.Consistent("s"); err != nil {
+		t.Fatalf("retrying client failed to ride out the shed: %v", err)
+	}
+	// The server's Retry-After: 1 floors the first backoff at a second.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retry succeeded after %v, want >= 1s (Retry-After honored)", elapsed)
+	}
+	if err := <-hold; err != nil {
+		t.Fatalf("second holder failed: %v", err)
+	}
+}
+
+func TestReadyzDrain(t *testing.T) {
+	c, srv := newTestServer(t, server.Options{})
+	if _, err := c.RegisterSpec("s", constraintFreeSource()); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ready() || !c.Healthy() {
+		t.Fatal("fresh server not ready/healthy")
+	}
+	srv.BeginShutdown()
+	if c.Ready() {
+		t.Fatal("readyz still ready after BeginShutdown")
+	}
+	if !c.Healthy() {
+		t.Fatal("healthz flipped on drain: liveness must not reflect shutdown")
+	}
+	// In-flight and follow-up requests still complete while draining —
+	// the listener closes later, under http.Server.Shutdown.
+	if _, err := c.Consistent("s"); err != nil {
+		t.Fatalf("decision failed while draining: %v", err)
+	}
+}
+
+func TestPatchContentionBoundedRetry(t *testing.T) {
+	chaos.ResetAll()
+	t.Cleanup(chaos.ResetAll)
+	c, _ := newTestServer(t, server.Options{SlowQuery: -1})
+	if _, err := c.RegisterSpec("hot", liveSource()); err != nil {
+		t.Fatal(err)
+	}
+	// Widen the read-modify-write window so unguarded patches actually
+	// collide on the version instead of winning by luck.
+	chaos.PatchStall.ArmDelay(2*time.Millisecond, 1)
+	chaos.Enable()
+
+	const writers, rounds = 6, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*rounds)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				_, err := c.PatchSpec("hot", api.DeltaRequest{
+					InsertTuples: []api.TupleInsert{{
+						Rel:    "R",
+						Label:  fmt.Sprintf("w%dr%d", w, i),
+						Values: []any{fmt.Sprintf("e%d", w), i},
+					}},
+				})
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	applied := 0
+	for err := range errs {
+		switch {
+		case err == nil:
+			applied++
+		case strings.Contains(err.Error(), "version"):
+			// The bounded retry gave up under contention: allowed, the
+			// client is told to back off and retry.
+		default:
+			t.Fatalf("unexpected patch error: %v", err)
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no unguarded patch made it through contention")
+	}
+
+	// A guarded patch against a stale base version is rejected 409 and
+	// counted.
+	if _, err := c.PatchSpec("hot", api.DeltaRequest{
+		BaseVersion: 1,
+		InsertTuples: []api.TupleInsert{{
+			Rel: "R", Label: "stale", Values: []any{"e0", 99},
+		}},
+	}); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("stale guarded patch: got %v, want version conflict", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PatchConflicts == 0 {
+		t.Fatal("patch contention left patchConflicts at zero")
+	}
+	// The spec must have absorbed exactly the applied patches.
+	info, err := c.GetSpec("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1+applied {
+		t.Fatalf("version = %d, want 1 + %d applied patches", info.Version, applied)
+	}
+}
+
+// TestCancellationFreesWorker is the cancellation e2e: a client that
+// abandons a hard query mid-search must not leave a worker pinned, and
+// the engine must stay fully usable afterward.
+func TestCancellationFreesWorker(t *testing.T) {
+	c, _ := newTestServer(t, server.Options{Workers: 2, SlowQuery: -1})
+	if _, err := c.RegisterSpec("hard", hardGadgetSource(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the grounding so the cancel lands mid-search, not
+	// mid-grounding (grounding is not cancellable; searches are).
+	if _, err := c.DecideCtx(context.Background(), "hard",
+		api.DecisionRequest{Op: api.OpConsistent, BudgetMS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ConsistentCtx(ctx, "hard")
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			// The search may have finished before the cancel landed —
+			// legal, the gadget takes tens of ms but machines vary.
+			t.Log("query finished before cancellation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled query did not return: worker pinned")
+	}
+
+	// The abandoned worker must unwind: no goroutine leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d > base %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The engine is intact: the same spec still answers exactly, and
+	// the stats endpoint (reading the shared engine sink the cancelled
+	// state flushed into) is consistent and monotonic.
+	st1, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hardBetweennessInstance().Solvable()
+	res, err := c.Consistent("hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds == nil || *res.Holds != want {
+		t.Fatalf("post-cancel verdict %+v, want exact holds=%t", res, want)
+	}
+	st2, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Engine.Searches < st1.Engine.Searches || st2.Engine.Decisions < st1.Engine.Decisions {
+		t.Fatalf("engine counters went backwards: %+v -> %+v", st1.Engine, st2.Engine)
+	}
+}

@@ -6,10 +6,13 @@ package server
 // internal/obs for the primitives.
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"currency/internal/api"
@@ -59,6 +62,17 @@ type serverMetrics struct {
 	slow         obs.Counter
 	droppedRules obs.Counter
 
+	// The overload-survival counters: requests shed by the admission
+	// queue, exact decisions interrupted by a deadline, decisions
+	// answered by the relaxed PTIME fallback, handler panics converted
+	// to 500s, and PATCH version conflicts (guarded rejections plus
+	// unguarded retry rounds).
+	shed           obs.Counter
+	timeouts       obs.Counter
+	degraded       obs.Counter
+	panics         obs.Counter
+	patchConflicts obs.Counter
+
 	// engine is the process-wide osolve counter sink: every reasoner
 	// the server grounds or patches flushes its search effort here, so
 	// the exported counters are monotonic across cache evictions.
@@ -89,6 +103,17 @@ func newServerMetrics(s *Server) *serverMetrics {
 		obs.NewCounterFunc("currencyd_patch_dropped_rules_total",
 			"Ground rules dropped by delete remaps because their tuples were deleted.",
 			m.droppedRules.Load),
+		obs.NewCounterFunc("currencyd_requests_shed_total",
+			"Requests rejected 429 because the admission queue was full.", m.shed.Load),
+		obs.NewCounterFunc("currencyd_query_timeouts_total",
+			"Exact decisions interrupted by a deadline before a verdict.", m.timeouts.Load),
+		obs.NewCounterFunc("currencyd_degraded_total",
+			"Decisions answered by the constraint-relaxed PTIME fallback.", m.degraded.Load),
+		obs.NewCounterFunc("currencyd_panics_total",
+			"Handler panics recovered into 500 responses.", m.panics.Load),
+		obs.NewCounterFunc("currencyd_patch_conflicts_total",
+			"PATCH version conflicts: guarded rejections and unguarded retry rounds.",
+			m.patchConflicts.Load),
 		// Engine search-effort counters, from the shared sink.
 		obs.NewCounterFunc("currencyd_engine_decisions_total",
 			"DPLL branching points across all engine searches.", m.engine.Decisions.Load),
@@ -150,34 +175,84 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps a handler with the observability middleware: it
-// assigns a trace ID (returned in the X-Currencyd-Trace header and
-// propagated through the request context into the reasoning layers),
+// instrument wraps a handler with the observability and protection
+// middleware: it assigns a trace ID (returned in the X-Currencyd-Trace
+// header and propagated through the request context into the reasoning
+// layers), applies the endpoint class's deadline and the admission gate
+// (shedding with 429 + Retry-After when the queue is full), converts
+// handler panics into 500s with the stack attached to the trace,
 // records the endpoint's latency histogram and request counter, offers
 // the finished trace to the slow log, and emits the structured request
 // log line (every request when a log writer is configured; slow ones
 // are additionally counted and always logged).
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	class := opClass(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTrace(endpoint)
 		w.Header().Set(api.TraceHeader, tr.ID)
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r.WithContext(obs.With(r.Context(), tr)))
-		status := sw.status
-		if status == 0 {
-			status = http.StatusOK
+		// The accounting runs deferred so shed, panicking and normal
+		// requests all land in the same counters and histograms.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.recoverPanic(sw, tr, rec)
+			}
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			d := tr.Finish(status)
+			s.metrics.requests.With(endpoint).Inc()
+			s.metrics.reqDur.With(endpoint).Observe(d)
+			slow := s.slowQuery > 0 && d >= s.slowQuery
+			if slow {
+				s.metrics.slow.Inc()
+			}
+			s.traces.Add(tr)
+			if s.reqLog != nil || slow {
+				s.logRequest(tr, r, status, d, slow)
+			}
+		}()
+		ctx := r.Context()
+		if deadline := s.deadlineFor(class); deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
 		}
-		d := tr.Finish(status)
-		s.metrics.requests.With(endpoint).Inc()
-		s.metrics.reqDur.With(endpoint).Observe(d)
-		slow := s.slowQuery > 0 && d >= s.slowQuery
-		if slow {
-			s.metrics.slow.Inc()
+		if class != classRead {
+			release, verdict := s.admit.acquire(ctx)
+			switch verdict {
+			case shedBusy:
+				s.metrics.shed.Inc()
+				sw.Header().Set("Retry-After", "1")
+				writeError(sw, http.StatusTooManyRequests,
+					"server saturated: admission queue full, retry later")
+				return
+			case shedExpired:
+				writeError(sw, http.StatusServiceUnavailable,
+					"request deadline expired in admission queue")
+				return
+			}
+			defer release()
 		}
-		s.traces.Add(tr)
-		if s.reqLog != nil || slow {
-			s.logRequest(tr, r, status, d, slow)
-		}
+		h(sw, r.WithContext(obs.With(ctx, tr)))
+	}
+}
+
+// recoverPanic converts a handler panic into a 500 with the stack
+// attached to the request trace — an adversarial spec or engine bug
+// must cost one request, not the process. Runs inside instrument's
+// deferred accounting, so the panicking request still lands in the
+// latency and request counters.
+func (s *Server) recoverPanic(w *statusWriter, tr *obs.Trace, rec any) {
+	s.metrics.panics.Inc()
+	stack := debug.Stack()
+	if len(stack) > 8<<10 {
+		stack = stack[:8<<10]
+	}
+	tr.AddSpan("panic", time.Now(), fmt.Sprintf("%v\n%s", rec, stack))
+	if w.status == 0 {
+		writeError(w, http.StatusInternalServerError, "internal error: %v", rec)
 	}
 }
 

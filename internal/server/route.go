@@ -2,14 +2,17 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
 	"currency/internal/api"
+	"currency/internal/chaos"
 	"currency/internal/core"
 	"currency/internal/obs"
+	"currency/internal/osolve"
 	"currency/internal/parse"
 	"currency/internal/query"
 	"currency/internal/relation"
@@ -25,6 +28,13 @@ import (
 // latency observation per decision problem and one routing count per
 // engine, covering batch items and programmatic calls alike.
 func (s *Server) decide(ctx context.Context, e *Entry, req *api.DecisionRequest) api.DecisionResult {
+	if req.BudgetMS > 0 {
+		// A per-request budget tightens (never extends) the server's
+		// per-op deadline: WithTimeout keeps the earlier of the two.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.BudgetMS)*time.Millisecond)
+		defer cancel()
+	}
 	t0 := time.Now()
 	res, err := s.decideErr(ctx, e, req)
 	if err != nil {
@@ -38,6 +48,11 @@ func (s *Server) decide(ctx context.Context, e *Entry, req *api.DecisionRequest)
 	}
 	if tr := obs.From(ctx); tr != nil {
 		detail := "engine=" + res.Engine
+		if res.Degraded {
+			detail += " degraded=true reason=" + res.Reason
+		} else if res.Indeterminate {
+			detail += " indeterminate=true reason=" + res.Reason
+		}
 		if res.Error != "" {
 			detail += " error=" + res.Error
 		}
@@ -177,9 +192,21 @@ func (s *Server) decideExact(ctx context.Context, e *Entry, req *api.DecisionReq
 	if err != nil {
 		return out, err
 	}
+	chaos.DecideStall.Hit()
+	// vacuous annotates a true certain-order/deterministic verdict when
+	// Mod(S) is empty. Best-effort under the remaining budget: the
+	// verdict itself stands either way, so an interrupted consistency
+	// probe just leaves the flag off.
+	vacuous := func() bool {
+		consistent, cerr := r.ConsistentCtx(ctx)
+		return cerr == nil && !consistent
+	}
 	switch req.Op {
 	case api.OpConsistent:
-		ok := r.ConsistentCtx(ctx)
+		ok, err := r.ConsistentCtx(ctx)
+		if err != nil {
+			return s.degrade(e, req, q, err)
+		}
 		out.Holds = &ok
 
 	case api.OpCertainOrder:
@@ -189,10 +216,13 @@ func (s *Server) decideExact(ctx context.Context, e *Entry, req *api.DecisionReq
 		}
 		ok, err := r.CertainOrderCtx(ctx, reqs)
 		if err != nil {
+			if errors.Is(err, osolve.ErrInterrupted) {
+				return s.degrade(e, req, q, err)
+			}
 			return out, err
 		}
 		out.Holds = &ok
-		if ok && !r.Consistent() {
+		if ok && vacuous() {
 			out.VacuouslyTrue = true
 		}
 
@@ -205,6 +235,9 @@ func (s *Server) decideExact(ctx context.Context, e *Entry, req *api.DecisionReq
 		for _, rel := range rels {
 			det, err := r.DeterministicCtx(ctx, rel)
 			if err != nil {
+				if errors.Is(err, osolve.ErrInterrupted) {
+					return s.degrade(e, req, q, err)
+				}
 				return out, err
 			}
 			if !det {
@@ -213,13 +246,16 @@ func (s *Server) decideExact(ctx context.Context, e *Entry, req *api.DecisionReq
 			}
 		}
 		out.Holds = &ok
-		if ok && !r.Consistent() {
+		if ok && vacuous() {
 			out.VacuouslyTrue = true
 		}
 
 	case api.OpCertainAnswers:
 		res, modEmpty, err := r.CertainAnswersCtx(ctx, q)
 		if err != nil {
+			if errors.Is(err, osolve.ErrInterrupted) {
+				return s.degrade(e, req, q, err)
+			}
 			return out, err
 		}
 		if modEmpty {
@@ -234,8 +270,11 @@ func (s *Server) decideExact(ctx context.Context, e *Entry, req *api.DecisionReq
 			return out, err
 		}
 		t0 := time.Now()
-		ok, err := r.CurrencyPreservingIn(q, space)
+		ok, err := r.CurrencyPreservingInCtx(ctx, q, space)
 		if err != nil {
+			if errors.Is(err, osolve.ErrInterrupted) {
+				return s.degrade(e, req, q, err)
+			}
 			return out, err
 		}
 		if tr := obs.From(ctx); tr != nil {
@@ -249,8 +288,11 @@ func (s *Server) decideExact(ctx context.Context, e *Entry, req *api.DecisionReq
 			return out, err
 		}
 		t0 := time.Now()
-		ok, atoms, err := r.BoundedCopyingIn(q, req.K, space)
+		ok, atoms, err := r.BoundedCopyingInCtx(ctx, q, req.K, space)
 		if err != nil {
+			if errors.Is(err, osolve.ErrInterrupted) {
+				return s.degrade(e, req, q, err)
+			}
 			return out, err
 		}
 		if tr := obs.From(ctx); tr != nil {
@@ -260,6 +302,95 @@ func (s *Server) decideExact(ctx context.Context, e *Entry, req *api.DecisionReq
 		for _, a := range atoms {
 			out.Witness = append(out.Witness, a.String())
 		}
+	}
+	return out, nil
+}
+
+// degrade turns a budget-interrupted exact decision into the best
+// still-sound answer. Dropping the denial constraints relaxes the
+// specification — Mod(S) ⊆ Mod(S_relaxed) — so a Section-6 polynomial
+// verdict on the relaxed spec transfers to S in exactly one direction:
+//
+//	consistent:    relaxed inconsistent ⇒ S inconsistent (Holds=false)
+//	certain-order: holds over every relaxed model ⇒ over every S model
+//	deterministic: all relaxed models agree ⇒ all S models agree
+//	certain-answers (SP only): certain over relaxed ⇒ certain over S
+//	               (the degraded answer set is a sound subset)
+//
+// When the transfer direction doesn't fire — or for CPP/BCP, whose
+// extension-space semantics have no constraint-relaxation — the result
+// is Indeterminate: no verdict, with Reason saying which budget
+// tripped. Either way the request completes instead of hanging.
+func (s *Server) degrade(e *Entry, req *api.DecisionRequest, q *query.Query, cause error) (api.DecisionResult, error) {
+	reason := "interrupted"
+	var ie *osolve.InterruptError
+	if errors.As(cause, &ie) {
+		reason = ie.Reason()
+	}
+	if reason == "deadline" {
+		s.metrics.timeouts.Inc()
+	}
+	out := api.DecisionResult{Engine: api.EngineExact, Indeterminate: true, Reason: reason}
+	relaxed := *e.File.Spec
+	relaxed.Constraints = nil
+
+	switch req.Op {
+	case api.OpConsistent:
+		if ok, err := tractable.Consistent(&relaxed); err == nil && !ok {
+			f := false
+			out = api.DecisionResult{Engine: api.EnginePTime, Degraded: true, Reason: reason, Holds: &f}
+		}
+
+	case api.OpCertainOrder:
+		reqs, err := resolveOrders(e, req.Orders)
+		if err != nil {
+			break
+		}
+		conv := make([]tractable.OrderRequirement, len(reqs))
+		for i, r := range reqs {
+			conv[i] = tractable.OrderRequirement{Rel: r.Rel, Attr: r.Attr, I: r.I, J: r.J}
+		}
+		if ok, err := tractable.CertainOrder(&relaxed, conv); err == nil && ok {
+			t := true
+			out = api.DecisionResult{Engine: api.EnginePTime, Degraded: true, Reason: reason, Holds: &t}
+		}
+
+	case api.OpDeterministic:
+		rels, err := targetRelations(e, req.Relation)
+		if err != nil {
+			break
+		}
+		all := true
+		for _, rel := range rels {
+			det, err := tractable.Deterministic(&relaxed, rel)
+			if err != nil || !det {
+				all = false
+				break
+			}
+		}
+		if all {
+			t := true
+			out = api.DecisionResult{Engine: api.EnginePTime, Degraded: true, Reason: reason, Holds: &t}
+		}
+
+	case api.OpCertainAnswers:
+		if q == nil || !query.IsSP(q) {
+			break
+		}
+		res, consistent, err := tractable.CertainAnswersSP(&relaxed, q)
+		if err != nil {
+			break
+		}
+		out = api.DecisionResult{Engine: api.EnginePTime, Degraded: true, Reason: reason}
+		if !consistent {
+			// Mod(relaxed) empty forces Mod(S) empty: vacuous, exactly.
+			out.VacuouslyTrue = true
+		} else {
+			out.Answers = marshalResult(res)
+		}
+	}
+	if out.Degraded {
+		s.metrics.degraded.Inc()
 	}
 	return out, nil
 }
@@ -281,6 +412,7 @@ func (s *Server) reasoner(ctx context.Context, e *Entry) (*core.Reasoner, error)
 	r, err := s.cache.Get(reasonerKey{id: e.ID, version: e.Version}, func() (*core.Reasoner, error) {
 		hit = false
 		g0 := time.Now()
+		chaos.GroundStall.Hit()
 		r, err := core.NewReasoner(e.File.Spec)
 		if err != nil {
 			return nil, err

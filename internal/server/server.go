@@ -52,9 +52,11 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"currency/internal/api"
+	"currency/internal/chaos"
 	"currency/internal/core"
 	"currency/internal/obs"
 	"currency/internal/parse"
@@ -78,6 +80,26 @@ type Options struct {
 	// TraceBuffer caps how many slowest traces /debug/traces keeps.
 	// 0 means 32.
 	TraceBuffer int
+	// QueryDeadline bounds each decision request (single-decision
+	// endpoints, batch envelopes, and programmatic Decide calls): the
+	// request context expires after this long, interrupting in-flight
+	// engine searches (see the Indeterminate/Degraded result fields). 0
+	// means DefaultQueryDeadline; negative disables the bound.
+	QueryDeadline time.Duration
+	// WriteDeadline bounds the write endpoints (register, patch,
+	// delete), whose cost is grounding rather than search. 0 means
+	// DefaultWriteDeadline; negative disables the bound.
+	WriteDeadline time.Duration
+	// MaxInflight bounds concurrently executing query- and write-class
+	// requests; excess requests wait in a bounded queue and are shed
+	// with 429 + Retry-After once it fills. 0 means
+	// DefaultMaxInflightFactor × Workers; negative disables admission
+	// control entirely.
+	MaxInflight int
+	// MaxQueue bounds the admission wait queue. 0 means
+	// DefaultMaxQueueFactor × MaxInflight; negative means no queue
+	// (immediate shed when every slot is busy).
+	MaxQueue int
 }
 
 // Server is the currencyd HTTP service. Create with New and mount
@@ -93,6 +115,13 @@ type Server struct {
 	slowQuery time.Duration
 	reqLog    io.Writer
 	logMu     sync.Mutex
+
+	admit         *admission
+	queryDeadline time.Duration
+	writeDeadline time.Duration
+	// draining flips at BeginShutdown: /readyz turns not-ready so load
+	// balancers stop sending traffic while in-flight requests finish.
+	draining atomic.Bool
 }
 
 // DefaultCacheSize is the reasoner-cache capacity used when
@@ -102,6 +131,23 @@ const DefaultCacheSize = 64
 // DefaultSlowQuery is the slow-request threshold used when
 // Options.SlowQuery is left zero.
 const DefaultSlowQuery = 250 * time.Millisecond
+
+// DefaultQueryDeadline bounds decision requests when
+// Options.QueryDeadline is left zero. Generous: the engine's own warm
+// path answers in microseconds; this is the backstop against adversarial
+// specs pinning a worker (the paper's hardness gadgets).
+const DefaultQueryDeadline = 30 * time.Second
+
+// DefaultWriteDeadline bounds register/patch/delete requests when
+// Options.WriteDeadline is left zero.
+const DefaultWriteDeadline = time.Minute
+
+// Admission-control defaults, as factors of Workers (MaxInflight) and
+// MaxInflight (MaxQueue).
+const (
+	DefaultMaxInflightFactor = 4
+	DefaultMaxQueueFactor    = 4
+)
 
 // New builds a server with the given options.
 func New(opts Options) *Server {
@@ -120,14 +166,40 @@ func New(opts Options) *Server {
 	if opts.SlowQuery < 0 {
 		opts.SlowQuery = 0 // explicit "never mark slow"
 	}
+	if opts.QueryDeadline == 0 {
+		opts.QueryDeadline = DefaultQueryDeadline
+	}
+	if opts.QueryDeadline < 0 {
+		opts.QueryDeadline = 0 // explicit "no deadline"
+	}
+	if opts.WriteDeadline == 0 {
+		opts.WriteDeadline = DefaultWriteDeadline
+	}
+	if opts.WriteDeadline < 0 {
+		opts.WriteDeadline = 0
+	}
+	if opts.MaxInflight == 0 {
+		opts.MaxInflight = DefaultMaxInflightFactor * opts.Workers
+	}
+	if opts.MaxQueue == 0 {
+		opts.MaxQueue = DefaultMaxQueueFactor * opts.MaxInflight
+	}
+	if opts.MaxQueue < 0 {
+		opts.MaxQueue = 0 // explicit "no wait queue"
+	}
 	s := &Server{
-		registry:  NewRegistry(),
-		cache:     NewReasonerCache(opts.CacheSize),
-		workers:   opts.Workers,
-		mux:       http.NewServeMux(),
-		traces:    obs.NewSlowLog(opts.TraceBuffer),
-		slowQuery: opts.SlowQuery,
-		reqLog:    opts.RequestLog,
+		registry:      NewRegistry(),
+		cache:         NewReasonerCache(opts.CacheSize),
+		workers:       opts.Workers,
+		mux:           http.NewServeMux(),
+		traces:        obs.NewSlowLog(opts.TraceBuffer),
+		slowQuery:     opts.SlowQuery,
+		reqLog:        opts.RequestLog,
+		queryDeadline: opts.QueryDeadline,
+		writeDeadline: opts.WriteDeadline,
+	}
+	if opts.MaxInflight > 0 {
+		s.admit = newAdmission(opts.MaxInflight, opts.MaxQueue)
 	}
 	s.metrics = newServerMetrics(s)
 	s.mux.HandleFunc("POST /specs", s.instrument("register", s.handleRegister))
@@ -149,15 +221,71 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	// Liveness: the process is up and serving. Never reflects load — a
+	// saturated server must not be restarted by its orchestrator.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	// Readiness: whether the server wants new traffic. Not-ready while
+	// shutdown is draining or the admission queue is saturated (new
+	// expensive requests would be shed).
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case s.admit.saturated():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "saturated")
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// BeginShutdown marks the server draining: /readyz answers 503 so load
+// balancers route new traffic elsewhere, while already-accepted requests
+// keep being served. Call before http.Server.Shutdown, which then waits
+// out the in-flight requests.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Endpoint classes: read-class endpoints are cheap and never gated;
+// query-class ones run engine searches under QueryDeadline; write-class
+// ones ground/patch specs under WriteDeadline. Query and write classes
+// share the admission gate.
+const (
+	classRead = iota
+	classQuery
+	classWrite
+)
+
+func opClass(endpoint string) int {
+	switch endpoint {
+	case "register", "patch_spec", "delete_spec":
+		return classWrite
+	case "list_specs", "get_spec", "stats":
+		return classRead
+	}
+	return classQuery // the decision endpoints and batch
+}
+
+func (s *Server) deadlineFor(class int) time.Duration {
+	switch class {
+	case classQuery:
+		return s.queryDeadline
+	case classWrite:
+		return s.writeDeadline
+	}
+	return 0
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -281,6 +409,7 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request, op api.O
 		return
 	}
 	req.Op = op
+	chaos.DecidePanic.Hit()
 	res := s.decide(r.Context(), e, &req)
 	if res.Error != "" {
 		writeJSON(w, http.StatusUnprocessableEntity, res)
@@ -354,6 +483,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// counts a request after its handler returns.
 		Requests:          s.metrics.requests.Sum(),
 		SlowRequests:      s.metrics.slow.Load(),
+		RequestsShed:      s.metrics.shed.Load(),
+		QueryTimeouts:     s.metrics.timeouts.Load(),
+		Degraded:          s.metrics.degraded.Load(),
+		Panics:            s.metrics.panics.Load(),
+		PatchConflicts:    s.metrics.patchConflicts.Load(),
 		PatchDroppedRules: s.metrics.droppedRules.Load(),
 		Engine: api.EngineCounters{
 			Decisions:        ec.Decisions,
@@ -395,11 +529,19 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.PatchResult{SpecInfo: specInfo(ne, false), Patch: info})
 }
 
+// maxPatchRetries caps how often an unguarded patch retries after
+// losing the registry race to a concurrent update. The cap turns a
+// potential livelock under sustained contention into a 409 the client's
+// backoff can spread out; every lost race is counted in
+// currencyd_patch_conflicts_total.
+const maxPatchRetries = 3
+
 // patchCurrent resolves the current entry and applies the delta. A
 // version conflict is surfaced only to guarded requests (BaseVersion
 // set); unguarded patches losing a registry race retry against the new
 // current version — the caller asked for "apply to whatever is
-// current", not for optimistic concurrency.
+// current", not for optimistic concurrency — but only maxPatchRetries
+// times before giving the contention back to the caller as a 409.
 func (s *Server) patchCurrent(ctx context.Context, id string, req *api.DeltaRequest) (*Entry, api.PatchInfo, error) {
 	for attempt := 0; ; attempt++ {
 		e, ok := s.registry.Get(id)
@@ -407,11 +549,16 @@ func (s *Server) patchCurrent(ctx context.Context, id string, req *api.DeltaRequ
 			return nil, api.PatchInfo{}, fmt.Errorf("no spec %q", id)
 		}
 		if req.BaseVersion != 0 && req.BaseVersion != e.Version {
+			s.metrics.patchConflicts.Inc()
 			return nil, api.PatchInfo{}, fmt.Errorf("%w: spec %q is at version %d, patch based on %d",
 				ErrVersionConflict, id, e.Version, req.BaseVersion)
 		}
+		chaos.PatchStall.Hit()
 		ne, info, err := s.patch(ctx, e, req)
-		if err == nil || req.BaseVersion != 0 || !errors.Is(err, ErrVersionConflict) || attempt >= 3 {
+		if err != nil && errors.Is(err, ErrVersionConflict) {
+			s.metrics.patchConflicts.Inc()
+		}
+		if err == nil || req.BaseVersion != 0 || !errors.Is(err, ErrVersionConflict) || attempt >= maxPatchRetries {
 			return ne, info, err
 		}
 	}
@@ -497,11 +644,18 @@ func (s *Server) PatchSpec(id string, req api.DeltaRequest) (*Entry, api.PatchIn
 // Decide programmatically runs one decision, sharing the HTTP path's
 // routing and cache.
 func (s *Server) Decide(id string, req api.DecisionRequest) (api.DecisionResult, error) {
+	return s.DecideCtx(context.Background(), id, req)
+}
+
+// DecideCtx is Decide under a caller context: its deadline and
+// cancellation bound the engine searches exactly like an HTTP request's
+// deadline does.
+func (s *Server) DecideCtx(ctx context.Context, id string, req api.DecisionRequest) (api.DecisionResult, error) {
 	e, ok := s.registry.Get(id)
 	if !ok {
 		return api.DecisionResult{}, fmt.Errorf("no spec %q", id)
 	}
-	res := s.decide(context.Background(), e, &req)
+	res := s.decide(ctx, e, &req)
 	if res.Error != "" {
 		return res, fmt.Errorf("%s", res.Error)
 	}
