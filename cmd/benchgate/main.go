@@ -66,6 +66,21 @@ func (r row) key() (string, bool) {
 			}
 		}
 		return k, true
+	case "cluster":
+		// One row per (experiment, ring shape): forwarding keyed by node
+		// count, replication and patch-throughput additionally by the
+		// replication factor.
+		exp, _ := r["experiment"].(string)
+		if exp == "" {
+			return "", false
+		}
+		k := fmt.Sprintf("%s/%s", table, exp)
+		for _, dim := range []string{"nodes", "replicas"} {
+			if v, ok := r.num(dim); ok {
+				k += fmt.Sprintf("/%s=%d", dim, int(v))
+			}
+		}
+		return k, true
 	}
 	return "", false
 }
@@ -100,8 +115,8 @@ func main() {
 	fresh := flag.String("fresh", "", "freshly measured rows (JSON lines)")
 	threshold := flag.Float64("threshold", 0.25, "allowed relative regression (0.25 = +25%)")
 	metricsFlag := flag.String("metrics",
-		"warm_cop_ns,cold_ground_ns,cold_seq_ns,decisions_per_query,hardness_solve_ns,learned_clauses",
-		"comma-separated metrics to gate (rows lacking a metric skip it)")
+		"warm_cop_ns,cold_ground_ns,cold_seq_ns,decisions_per_query,hardness_solve_ns,learned_clauses,forwarded_query_ns",
+		"comma-separated metrics to gate (rows lacking a metric skip it; latency-style lower-is-better only — patches_per_sec is reported, not gated)")
 	flag.Parse()
 	if *fresh == "" {
 		log.Fatal("benchgate: -fresh is required")

@@ -27,15 +27,22 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"sync"
 	"time"
 
 	"currency"
+	"currency/internal/client"
+	"currency/internal/cluster"
 	"currency/internal/core"
 	"currency/internal/gen"
 	"currency/internal/osolve"
 	"currency/internal/paperdb"
+	"currency/internal/parse"
 	"currency/internal/reductions"
+	"currency/internal/server"
 	"currency/internal/tractable"
 )
 
@@ -662,6 +669,222 @@ func tableHardness() {
 	}
 }
 
+// benchSwap lets the cluster listeners exist before the servers they
+// route to: the ring needs every node's URL, the servers need the ring.
+type benchSwap struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *benchSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	h.ServeHTTP(w, r)
+}
+
+// benchCluster is an in-process currencyd ring for the cluster table:
+// real HTTP between nodes (httptest listeners), real forwarding and
+// replication, one process.
+type benchCluster struct {
+	ring     *cluster.Ring
+	servers  []*server.Server
+	clients  []*client.Client
+	tss      []*httptest.Server
+	byNodeID map[string]int
+}
+
+func bootBenchCluster(n, replicas int) *benchCluster {
+	bc := &benchCluster{byNodeID: make(map[string]int, n)}
+	swaps := make([]*benchSwap, n)
+	nodes := make([]cluster.Node, n)
+	for i := 0; i < n; i++ {
+		swaps[i] = &benchSwap{}
+		ts := httptest.NewServer(swaps[i])
+		bc.tss = append(bc.tss, ts)
+		nodes[i] = cluster.Node{ID: fmt.Sprintf("n%d", i), Addr: ts.URL}
+		bc.byNodeID[nodes[i].ID] = i
+	}
+	ring, err := cluster.New(nodes, replicas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bc.ring = ring
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Options{
+			CacheSize: 16, Workers: 4, SlowQuery: -1,
+			Cluster: &server.ClusterOptions{
+				Self: nodes[i].ID, Nodes: nodes, Replicas: replicas,
+			},
+		})
+		bc.servers = append(bc.servers, srv)
+		bc.clients = append(bc.clients, client.New(bc.tss[i].URL, nil))
+		swaps[i].mu.Lock()
+		swaps[i].h = srv.Handler()
+		swaps[i].mu.Unlock()
+	}
+	return bc
+}
+
+func (bc *benchCluster) close() {
+	for _, s := range bc.servers {
+		s.Close()
+	}
+	for _, ts := range bc.tss {
+		ts.Close()
+	}
+}
+
+// waitReplicated polls until every follower of spec reports version v.
+func (bc *benchCluster) waitReplicated(spec string, v int) {
+	deadline := time.Now().Add(10 * time.Second)
+	for _, f := range bc.ring.Followers(spec) {
+		c := bc.clients[bc.byNodeID[f.ID]]
+		for {
+			st, err := c.ClusterStatus()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if st.Versions[spec] >= v {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("follower %s stuck below v%d for %s", f.ID, v, spec)
+			}
+		}
+	}
+}
+
+// tableCluster measures the sharding layer on an in-process 3-node ring:
+// the forwarding hop a misrouted query pays versus answering at the
+// owner, the owner-to-follower replication lag of one streamed delta,
+// and sequential patch throughput at the owner as the replication
+// fan-out grows. All traffic crosses real HTTP listeners; the rows
+// extend BENCH_solver.json (columns: local_query_ns, forwarded_query_ns,
+// forward_overhead_ns, replication_lag_ns, patches_per_sec).
+func tableCluster() {
+	header("Cluster — forwarding, replication lag, patch throughput")
+	prose("3-node in-process ring over httptest listeners; owner computed by rendezvous hash\n")
+	const nodes = 3
+	const id = "bench"
+	spec := hardWorkload(8)
+
+	// Forwarding: per-query latency at the owner vs at a non-holder node
+	// (which proxies one hop to the owner). Warm both paths first so the
+	// difference is the hop, not a cold grounding.
+	bc := bootBenchCluster(nodes, 0)
+	owner := bc.byNodeID[bc.ring.Owner(id).ID]
+	nonHolder := -1
+	for i := range bc.clients {
+		if !bc.ring.IsHolder(id, bc.ring.Nodes()[i].ID) {
+			nonHolder = bc.byNodeID[bc.ring.Nodes()[i].ID]
+			break
+		}
+	}
+	if _, err := bc.clients[owner].RegisterSpec(id, parse.Marshal(spec)); err != nil {
+		log.Fatal(err)
+	}
+	const queries = 50
+	queryLoop := func(c *client.Client) func() {
+		return func() {
+			for q := 0; q < queries; q++ {
+				if _, err := c.Consistent(id); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	queryLoop(bc.clients[owner])()     // warm the owner's reasoner
+	queryLoop(bc.clients[nonHolder])() // warm the forwarding path
+	local := timed(queryLoop(bc.clients[owner])) / queries
+	forwarded := timed(queryLoop(bc.clients[nonHolder])) / queries
+	emit(map[string]any{
+		"table": "cluster", "experiment": "forwarding", "nodes": nodes,
+		"local_query_ns":      local.Nanoseconds(),
+		"forwarded_query_ns":  forwarded.Nanoseconds(),
+		"forward_overhead_ns": (forwarded - local).Nanoseconds(),
+	}, "forwarding: local %v, forwarded %v, hop overhead %v\n",
+		local, forwarded, forwarded-local)
+	bc.close()
+
+	// Replication lag: patch at the owner, then spin until the follower's
+	// version vector catches up. The patch response already includes the
+	// owner's apply, so the measured window is enqueue → stream → replica
+	// delta apply, averaged over a short patch stream.
+	bc = bootBenchCluster(nodes, 1)
+	owner = bc.byNodeID[bc.ring.Owner(id).ID]
+	cur := spec
+	if _, err := bc.clients[owner].RegisterSpec(id, parse.Marshal(cur)); err != nil {
+		log.Fatal(err)
+	}
+	bc.waitReplicated(id, 1)
+	rng := rand.New(rand.NewSource(77))
+	const lagPatches = 8
+	var lagSum time.Duration
+	version := 1
+	for i := 0; i < lagPatches; i++ {
+		d := gen.RandomDelta(rng, cur, gen.DeltaConfig{Inserts: 1, Orders: 1})
+		wire := gen.WireDelta(cur, d)
+		next, _, err := d.Apply(cur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := bc.clients[owner].PatchSpec(id, wire); err != nil {
+			log.Fatal(err)
+		}
+		version++
+		start := time.Now()
+		bc.waitReplicated(id, version)
+		lagSum += time.Since(start)
+		cur = next
+	}
+	lag := lagSum / lagPatches
+	emit(map[string]any{
+		"table": "cluster", "experiment": "replication", "nodes": nodes,
+		"replicas": 1, "replication_lag_ns": lag.Nanoseconds(),
+	}, "replication: owner→follower delta lag %v (mean of %d patches)\n", lag, lagPatches)
+	bc.close()
+
+	// Patch throughput at the owner as the replication fan-out grows:
+	// replication is asynchronous, so the cost visible here is the
+	// owner's own apply plus frame fan-out, never a follower's apply.
+	for _, replicas := range []int{0, 1, 2} {
+		bc = bootBenchCluster(nodes, replicas)
+		owner = bc.byNodeID[bc.ring.Owner(id).ID]
+		cur = spec
+		if _, err := bc.clients[owner].RegisterSpec(id, parse.Marshal(cur)); err != nil {
+			log.Fatal(err)
+		}
+		bc.waitReplicated(id, 1)
+		const patches = 16
+		version = 1
+		start := time.Now()
+		for i := 0; i < patches; i++ {
+			d := gen.RandomDelta(rng, cur, gen.DeltaConfig{Inserts: 1})
+			wire := gen.WireDelta(cur, d)
+			next, _, err := d.Apply(cur)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := bc.clients[owner].PatchSpec(id, wire); err != nil {
+				log.Fatal(err)
+			}
+			version++
+			cur = next
+		}
+		elapsed := time.Since(start)
+		bc.waitReplicated(id, version)
+		perSec := float64(patches) / elapsed.Seconds()
+		emit(map[string]any{
+			"table": "cluster", "experiment": "patch-throughput", "nodes": nodes,
+			"replicas": replicas, "patches": patches,
+			"patches_per_sec": perSec,
+		}, "patch throughput: %.0f patches/sec with %d follower applier(s)\n",
+			perSec, replicas)
+		bc.close()
+	}
+}
+
 func figures() {
 	header("Figures — worked examples and gadget instances")
 	s0 := paperdb.SpecS0()
@@ -736,7 +959,7 @@ func figures() {
 
 func main() {
 	log.SetFlags(0)
-	table := flag.String("table", "all", "which experiments: II, III, figures, solver, incremental, hardness, all")
+	table := flag.String("table", "all", "which experiments: II, III, figures, solver, incremental, hardness, cluster, all")
 	flag.BoolVar(&jsonMode, "json", false, "emit one JSON object per experiment row")
 	flag.Parse()
 	prose("currencybench — reproducing the evaluation of \"Determining the Currency of Data\"\n")
@@ -753,6 +976,8 @@ func main() {
 		tableIncremental()
 	case "hardness":
 		tableHardness()
+	case "cluster":
+		tableCluster()
 	default:
 		tableII()
 		tableIII()
@@ -760,5 +985,6 @@ func main() {
 		tableSolver()
 		tableIncremental()
 		tableHardness()
+		tableCluster()
 	}
 }

@@ -15,7 +15,17 @@
 //	          [-slow-query 250ms] [-request-log path|stderr] [-trace-buffer 32]
 //	          [-query-deadline 30s] [-write-deadline 1m]
 //	          [-max-inflight N] [-max-queue N] [-drain-grace 15s]
+//	          [-node-id a -peers a=host1:8411,b=host2:8411 [-replicas 1]]
 //	          [spec.cd ...]
+//
+// Clustering: -peers declares the full node ring (id=addr pairs,
+// including this node) and -node-id which member this process is. Every
+// node must be started with the identical -peers list and -replicas
+// factor — spec ownership is computed independently on each node by
+// rendezvous hashing over that membership. Misrouted requests are
+// forwarded to the owning node; writes are replicated to -replicas
+// follower copies per spec as streamed deltas (see the README's
+// "Clustering" section).
 //
 // Observability: GET /metrics serves Prometheus text metrics (endpoint
 // and decision latency histograms, engine search counters, cache and
@@ -62,6 +72,7 @@ import (
 	"syscall"
 	"time"
 
+	"currency/internal/cluster"
 	"currency/internal/server"
 )
 
@@ -80,7 +91,31 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing expensive requests (0 = 4×workers, <0 disables admission control)")
 	maxQueue := flag.Int("max-queue", 0, "max requests waiting for an inflight slot before shedding 429s (0 = 4×max-inflight, <0 = no queue)")
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "how long shutdown waits for in-flight requests after SIGTERM")
+	nodeID := flag.String("node-id", "", "this node's ring identity (requires -peers)")
+	peers := flag.String("peers", "", `full cluster membership as id=addr pairs, e.g. "a=host1:8411,b=host2:8411" (must include -node-id; identical on every node)`)
+	replicas := flag.Int("replicas", 1, "follower copies per spec when clustered (clamped to nodes-1)")
 	flag.Parse()
+
+	// Cluster membership is validated up front so a typo in -peers is a
+	// startup error with a usable message, not a panic out of server.New.
+	var clusterOpts *server.ClusterOptions
+	if *peers != "" || *nodeID != "" {
+		if *peers == "" || *nodeID == "" {
+			log.Fatal("clustering needs both -node-id and -peers")
+		}
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			log.Fatalf("-peers: %v", err)
+		}
+		ring, err := cluster.New(nodes, *replicas)
+		if err != nil {
+			log.Fatalf("-peers: %v", err)
+		}
+		if _, ok := ring.Node(*nodeID); !ok {
+			log.Fatalf("-node-id %q is not in -peers", *nodeID)
+		}
+		clusterOpts = &server.ClusterOptions{Self: *nodeID, Nodes: nodes, Replicas: *replicas}
+	}
 
 	// Production profiling: pprof lives on its own listener (never the
 	// service address), off by default, and only ever bound when asked.
@@ -143,7 +178,13 @@ func main() {
 		WriteDeadline: wd,
 		MaxInflight:   *maxInflight,
 		MaxQueue:      *maxQueue,
+		Cluster:       clusterOpts,
 	})
+	defer srv.Close()
+	if clusterOpts != nil {
+		log.Printf("cluster node %q in a %d-node ring, %d replicas per spec",
+			clusterOpts.Self, len(clusterOpts.Nodes), clusterOpts.Replicas)
+	}
 
 	// Positional arguments are spec files preloaded into the registry,
 	// registered under their basename without extension.

@@ -308,6 +308,9 @@ type Stats struct {
 	PatchDroppedRules uint64 `json:"patchDroppedRules"`
 	// Engine is the cumulative engine search effort.
 	Engine EngineCounters `json:"engine"`
+	// Cluster carries the cluster-layer counters (forwarding and
+	// replication); nil on single-node servers.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // SpanInfo is one per-layer step of a traced request.

@@ -1,0 +1,210 @@
+package api
+
+// Cluster wire types: ring membership exchanged between nodes and
+// operators, the replication frames an owner streams to its followers,
+// and the cluster-level batch envelope that fans decisions across spec
+// owners. Like the rest of the package these types are shared by
+// internal/server and internal/client so the two sides cannot drift;
+// the strict decoders at the bottom are the single entry point for
+// bytes arriving off the wire (and the surface FuzzClusterDecode
+// hammers).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ForwardHeader marks a request already forwarded once by a cluster
+// peer. A node receiving it serves locally no matter what its ring says
+// — one hop maximum, so a membership disagreement degrades to a wrong
+// answer owner-side instead of a forwarding loop.
+const ForwardHeader = "X-Currencyd-Forwarded"
+
+// NodeInfo is one ring member on the wire.
+type NodeInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// RingConfig is the cluster membership and replication factor: the
+// payload of GET /cluster/status and the -ring file format of currencyd.
+// Every node of a cluster must run with an identical RingConfig —
+// ownership is computed independently from it on each node.
+type RingConfig struct {
+	Nodes []NodeInfo `json:"nodes"`
+	// Replicas is the number of follower copies per spec (the owner is
+	// not counted), clamped to len(Nodes)-1.
+	Replicas int `json:"replicas"`
+}
+
+// ReplicationFrame is one owner-to-follower replication message, POSTed
+// to /cluster/replicate. Exactly one of three shapes:
+//
+//   - delta: Delta set, 1 <= FromVersion < ToVersion — the follower at
+//     FromVersion applies the streamed delta through its incremental
+//     patch path (no re-grounding) and lands on ToVersion;
+//   - full: Source set, ToVersion >= 1 — a complete canonical spec,
+//     used to seed a new replica and to re-sync after a version gap;
+//   - delete: Delete true — the spec was deleted on the owner.
+type ReplicationFrame struct {
+	SpecID string `json:"specId"`
+	// Origin is the sending owner's node ID, for logs and loop checks.
+	Origin      string        `json:"origin,omitempty"`
+	FromVersion int           `json:"fromVersion,omitempty"`
+	ToVersion   int           `json:"toVersion,omitempty"`
+	Delta       *DeltaRequest `json:"delta,omitempty"`
+	Source      string        `json:"source,omitempty"`
+	Delete      bool          `json:"delete,omitempty"`
+}
+
+// ReplicationAck is the follower's answer to a replication frame.
+type ReplicationAck struct {
+	// Version is the follower's version for the spec after handling the
+	// frame (0 when it holds no copy).
+	Version int `json:"version"`
+	// NeedFull asks the owner to re-sync with a full frame: the
+	// follower's version did not match the frame's FromVersion (missed
+	// frames, fresh follower, or rejoin after a drop).
+	NeedFull bool `json:"needFull,omitempty"`
+}
+
+// ClusterStatus is the response of GET /cluster/status: the node's
+// identity, the ring it computes ownership from, and its version
+// vector — one entry per locally held spec copy. Peers and harnesses
+// compare version vectors to measure replication lag and detect
+// convergence.
+type ClusterStatus struct {
+	Self NodeInfo   `json:"self"`
+	Ring RingConfig `json:"ring"`
+	// Versions maps locally held spec IDs to their registered version.
+	Versions map[string]int `json:"versions"`
+	Stats    ClusterStats   `json:"stats"`
+}
+
+// ClusterDecision is one entry of a cluster batch: a decision request
+// plus the spec it targets (cluster batches span specs, hence owners).
+type ClusterDecision struct {
+	Spec string `json:"spec"`
+	DecisionRequest
+}
+
+// ClusterBatchRequest fans a list of decisions across the cluster: the
+// receiving node groups requests by owner, runs its own share locally,
+// forwards the rest to their owners in parallel, and reassembles the
+// results in request order.
+type ClusterBatchRequest struct {
+	Requests []ClusterDecision `json:"requests"`
+}
+
+// ClusterBatchResponse carries one result per request, in order.
+// Per-request failures (unknown spec, unreachable owner) are reported
+// in-line via DecisionResult.Error.
+type ClusterBatchResponse struct {
+	Results []DecisionResult `json:"results"`
+}
+
+// ClusterStats are the cluster-layer counters of one node, surfaced in
+// GET /stats (Stats.Cluster) and GET /cluster/status.
+type ClusterStats struct {
+	NodeID string `json:"nodeId"`
+	// Forwarded counts requests this node proxied to a spec's owner;
+	// ForwardErrors the proxy attempts that failed (peer unreachable or
+	// the forwarding deadline expired).
+	Forwarded     uint64 `json:"forwarded"`
+	ForwardErrors uint64 `json:"forwardErrors"`
+	// Owner-side replication: delta and full frames acknowledged by
+	// followers, failed sends, and re-syncs (full frames pushed because
+	// a follower NACKed a version gap or a frame was dropped).
+	ReplDeltasSent uint64 `json:"replDeltasSent"`
+	ReplFullsSent  uint64 `json:"replFullsSent"`
+	ReplErrors     uint64 `json:"replErrors"`
+	ReplResyncs    uint64 `json:"replResyncs"`
+	// Follower-side replication: frames applied through the incremental
+	// delta path vs installed from a full frame, and NACKs returned for
+	// version gaps. ReplicaDeltasApplied advancing while the spec's
+	// reasoner stays cached is the proof that replicas ride the cheap
+	// ApplyDelta path instead of re-grounding.
+	ReplicaDeltasApplied uint64 `json:"replicaDeltasApplied"`
+	ReplicaFullsApplied  uint64 `json:"replicaFullsApplied"`
+	ReplicaNacks         uint64 `json:"replicaNacks"`
+}
+
+// strictDecode unmarshals with unknown fields rejected, the shared
+// first step of the wire decoders.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Trailing garbage after the value is a framing error, not data.
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// DecodeReplicationFrame parses and validates a replication frame. It
+// never panics on hostile bytes, and every accepted frame re-encodes to
+// an equivalent frame (the FuzzClusterDecode invariants).
+func DecodeReplicationFrame(data []byte) (*ReplicationFrame, error) {
+	var f ReplicationFrame
+	if err := strictDecode(data, &f); err != nil {
+		return nil, err
+	}
+	if f.SpecID == "" {
+		return nil, fmt.Errorf("replication frame without specId")
+	}
+	if f.FromVersion < 0 || f.ToVersion < 0 {
+		return nil, fmt.Errorf("replication frame with negative version")
+	}
+	shapes := 0
+	if f.Delta != nil {
+		shapes++
+		if f.FromVersion < 1 || f.ToVersion <= f.FromVersion {
+			return nil, fmt.Errorf("delta frame needs 1 <= fromVersion < toVersion, got %d -> %d",
+				f.FromVersion, f.ToVersion)
+		}
+	}
+	if f.Source != "" {
+		shapes++
+		if f.ToVersion < 1 {
+			return nil, fmt.Errorf("full frame needs toVersion >= 1, got %d", f.ToVersion)
+		}
+	}
+	if f.Delete {
+		shapes++
+	}
+	if shapes != 1 {
+		return nil, fmt.Errorf("replication frame must be exactly one of delta, full or delete")
+	}
+	return &f, nil
+}
+
+// DecodeRingConfig parses and validates a ring configuration: at least
+// one node, unique non-empty node IDs, non-empty addresses, and a
+// non-negative replication factor.
+func DecodeRingConfig(data []byte) (*RingConfig, error) {
+	var rc RingConfig
+	if err := strictDecode(data, &rc); err != nil {
+		return nil, err
+	}
+	if len(rc.Nodes) == 0 {
+		return nil, fmt.Errorf("ring config without nodes")
+	}
+	if rc.Replicas < 0 {
+		return nil, fmt.Errorf("ring config with negative replicas")
+	}
+	seen := make(map[string]bool, len(rc.Nodes))
+	for _, n := range rc.Nodes {
+		if n.ID == "" || n.Addr == "" {
+			return nil, fmt.Errorf("ring node needs id and addr, got %+v", n)
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("duplicate ring node id %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	return &rc, nil
+}

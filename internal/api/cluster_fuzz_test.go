@@ -1,0 +1,87 @@
+package api_test
+
+// FuzzClusterDecode hammers the cluster wire decoders — the replication
+// frames followers accept from peers (DecodeReplicationFrame) and the
+// ring membership operators feed to every node (DecodeRingConfig) —
+// with hostile bytes. Two invariants, checked for every input:
+//
+//  1. decoding never panics, whatever the bytes (the decoders are the
+//     single entry point for peer-supplied data, running outside any
+//     panic-recovery middleware on the replication hot path);
+//  2. every ACCEPTED value survives a re-encode/re-decode round trip
+//     unchanged — what a node validates is exactly what it would gossip
+//     onward, so validation cannot be bypassed by one hop of re-framing.
+//
+// The seed corpus under testdata/fuzz/FuzzClusterDecode covers each
+// accepted frame shape plus the malformed ones the validators must
+// reject: shape ambiguity (delta+full), version gaps, duplicate node
+// IDs, unknown fields, trailing garbage, deep nesting. CI runs this for
+// 15s per push next to FuzzWireDecode.
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"currency/internal/api"
+)
+
+func FuzzClusterDecode(f *testing.F) {
+	seeds := []string{
+		// Accepted shapes: one per frame kind, one healthy ring.
+		`{"specId":"s","origin":"a","fromVersion":1,"toVersion":2,"delta":{"insertTuples":[{"rel":"R","label":"t2","values":["e",3]}]}}`,
+		`{"specId":"s","toVersion":5,"source":"relation R(eid, a)"}`,
+		`{"specId":"s","delete":true}`,
+		`{"nodes":[{"id":"a","addr":"http://h1:8411"},{"id":"b","addr":"http://h2:8411"}],"replicas":1}`,
+		// Rejected shapes the validators must catch, not crash on.
+		`{"specId":"s","fromVersion":2,"toVersion":2,"delta":{}}`,
+		`{"specId":"s","toVersion":1,"source":"x","delete":true}`,
+		`{"specId":"","delete":true}`,
+		`{"specId":"s","fromVersion":-1,"toVersion":2,"delta":{}}`,
+		`{"nodes":[{"id":"a","addr":"x"},{"id":"a","addr":"y"}],"replicas":1}`,
+		`{"nodes":[],"replicas":0}`,
+		`{"nodes":[{"id":"a","addr":"x"}],"replicas":-1}`,
+		`{"specId":"s","delete":true,"bogus":1}`,
+		`{"specId":"s","delete":true}trailing`,
+		`{"specId":"s","toVersion":1e308,"source":"x"}`,
+		`[[[[[[[[[[[[[[[[[[[[`,
+		`{`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		data := []byte(body)
+
+		// Invariant 1 is implicit: any panic fails the fuzz run.
+		if frame, err := api.DecodeReplicationFrame(data); err == nil {
+			// Invariant 2: accepted frames round-trip exactly.
+			enc, err := json.Marshal(frame)
+			if err != nil {
+				t.Fatalf("accepted frame does not re-encode: %v (%q)", err, body)
+			}
+			again, err := api.DecodeReplicationFrame(enc)
+			if err != nil {
+				t.Fatalf("re-encoded frame rejected: %v (%q -> %q)", err, body, enc)
+			}
+			if !reflect.DeepEqual(frame, again) {
+				t.Fatalf("frame round trip drifted:\n first %+v\nsecond %+v", frame, again)
+			}
+		}
+
+		if rc, err := api.DecodeRingConfig(data); err == nil {
+			enc, err := json.Marshal(rc)
+			if err != nil {
+				t.Fatalf("accepted ring config does not re-encode: %v (%q)", err, body)
+			}
+			again, err := api.DecodeRingConfig(enc)
+			if err != nil {
+				t.Fatalf("re-encoded ring config rejected: %v (%q -> %q)", err, body, enc)
+			}
+			if !reflect.DeepEqual(rc, again) {
+				t.Fatalf("ring config round trip drifted:\n first %+v\nsecond %+v", rc, again)
+			}
+		}
+	})
+}

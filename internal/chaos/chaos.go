@@ -37,6 +37,7 @@ const (
 	modeOff int32 = iota
 	modeDelay
 	modePanic
+	modeFail
 )
 
 // Point is one named fault site. All fields are atomics: production
@@ -61,15 +62,29 @@ type Point struct {
 //	              recovery middleware must convert to a 500.
 //	PatchStall  — inside the PATCH read-modify-write window, widening
 //	              the version-conflict race.
+//
+// The cluster layer adds node-level points:
+//
+//	ReplStall    — on the owner, before a replication frame is sent to a
+//	               follower: a stalled replication stream.
+//	ReplDrop     — on a follower, as a replication frame arrives: the
+//	               follower rejects it (fail mode), simulating a dropped
+//	               follower; disarming models the rejoin.
+//	ForwardStall — before a misrouted request is proxied to its owner:
+//	               a slow or partitioned forwarding hop.
 var (
-	GroundStall = &Point{Name: "ground-stall"}
-	DecideStall = &Point{Name: "decide-stall"}
-	DecidePanic = &Point{Name: "decide-panic"}
-	PatchStall  = &Point{Name: "patch-stall"}
+	GroundStall  = &Point{Name: "ground-stall"}
+	DecideStall  = &Point{Name: "decide-stall"}
+	DecidePanic  = &Point{Name: "decide-panic"}
+	PatchStall   = &Point{Name: "patch-stall"}
+	ReplStall    = &Point{Name: "repl-stall"}
+	ReplDrop     = &Point{Name: "repl-drop"}
+	ForwardStall = &Point{Name: "forward-stall"}
 )
 
 // points lists every registered point, for ResetAll.
-var points = []*Point{GroundStall, DecideStall, DecidePanic, PatchStall}
+var points = []*Point{GroundStall, DecideStall, DecidePanic, PatchStall,
+	ReplStall, ReplDrop, ForwardStall}
 
 // ResetAll disarms and zeroes every point and disables the registry.
 func ResetAll() {
@@ -89,6 +104,11 @@ func (p *Point) ArmDelay(d time.Duration, n uint64) {
 // ArmPanic makes the point panic on every nth hit (n<=1 means every
 // hit).
 func (p *Point) ArmPanic(n uint64) { p.arm(modePanic, n) }
+
+// ArmFail makes Hit report true on every nth hit (n<=1 means every
+// hit): the host code is expected to fail its operation — reject a
+// replication frame, drop a connection — when Hit fires.
+func (p *Point) ArmFail(n uint64) { p.arm(modeFail, n) }
 
 func (p *Point) arm(mode int32, n uint64) {
 	if n < 1 {
@@ -116,18 +136,21 @@ func (p *Point) Hits() uint64 { return p.hits.Load() }
 // Hit is the production-side probe: a no-op (one atomic load) unless the
 // registry is enabled and the point armed, in which case every Nth hit
 // injects the configured fault. Panic faults carry the point name so the
-// recovery middleware's trace identifies the injection.
-func (p *Point) Hit() {
+// recovery middleware's trace identifies the injection. The return value
+// is true only when a fail-mode fault fired: the host code must then fail
+// the guarded operation itself (delay and panic faults return false —
+// they inject their effect directly).
+func (p *Point) Hit() bool {
 	if !enabled.Load() {
-		return
+		return false
 	}
 	mode := p.mode.Load()
 	if mode == modeOff {
-		return
+		return false
 	}
 	n := p.hits.Add(1)
 	if every := uint64(p.every.Load()); every > 1 && n%every != 0 {
-		return
+		return false
 	}
 	p.fired.Add(1)
 	switch mode {
@@ -135,5 +158,8 @@ func (p *Point) Hit() {
 		time.Sleep(time.Duration(p.delay.Load()))
 	case modePanic:
 		panic(fmt.Sprintf("chaos: injected panic at %s", p.Name))
+	case modeFail:
+		return true
 	}
+	return false
 }

@@ -78,6 +78,23 @@ func TestRetryHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+func TestRetryHonorsMeasuredRetryAfter(t *testing.T) {
+	// The server's Retry-After is a measured drain estimate, not a
+	// constant: a deeper backlog advertises a larger value and the
+	// client must wait that long, not its own (much shorter) schedule.
+	ts, _ := shedThenServe(1, http.StatusTooManyRequests, "2")
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	c.SetRetry(2, time.Millisecond, 5*time.Millisecond)
+	start := time.Now()
+	if _, err := c.Consistent("s"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Fatalf("retried after %v, want >= 2s per the measured Retry-After", elapsed)
+	}
+}
+
 func TestRetrySleepInterruptible(t *testing.T) {
 	ts, _ := shedThenServe(100, http.StatusTooManyRequests, "30")
 	defer ts.Close()

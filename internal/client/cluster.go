@@ -1,0 +1,224 @@
+package client
+
+// Ring-aware cluster client: routes each spec-addressed call to the
+// node that owns the spec (computed with the exact placement function
+// the servers use, internal/cluster), so the common case costs zero
+// forwarding hops. Routing is an optimization, never a correctness
+// requirement — any node forwards a misrouted request to the owner —
+// so when the preferred node is unreachable the client simply falls
+// through to the next node of the ring and lets the server-side
+// forwarding layer take over.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"currency/internal/api"
+	"currency/internal/cluster"
+)
+
+// ClusterClient talks to a currencyd ring.
+type ClusterClient struct {
+	ring    *cluster.Ring
+	clients map[string]*Client
+}
+
+// NewCluster builds a ring-aware client over the given membership. The
+// nodes and replication factor must match the servers' ring — routing
+// degrades to server-side forwarding when they do not, it never breaks.
+// hc may be nil to use http.DefaultClient.
+func NewCluster(nodes []cluster.Node, replicas int, hc *http.Client) (*ClusterClient, error) {
+	ring, err := cluster.New(nodes, replicas)
+	if err != nil {
+		return nil, err
+	}
+	cc := &ClusterClient{ring: ring, clients: make(map[string]*Client, ring.Len())}
+	for _, n := range ring.Nodes() {
+		cc.clients[n.ID] = New(n.Addr, hc)
+	}
+	return cc, nil
+}
+
+// SetRetry applies the shed-response retry policy (see Client.SetRetry)
+// to every per-node client.
+func (cc *ClusterClient) SetRetry(max int, base, ceil time.Duration) {
+	for _, c := range cc.clients {
+		c.SetRetry(max, base, ceil)
+	}
+}
+
+// NodeClient returns the single-node client for one ring member, for
+// node-addressed calls like Stats or Metrics.
+func (cc *ClusterClient) NodeClient(id string) (*Client, bool) {
+	c, ok := cc.clients[id]
+	return c, ok
+}
+
+// route returns the per-node clients to try for spec, in preference
+// order: the owner, then its followers (which can answer reads from
+// their replica and forward anything else), then the rest of the ring.
+func (cc *ClusterClient) route(spec string) []*Client {
+	order := make([]*Client, 0, cc.ring.Len())
+	seen := make(map[string]bool, cc.ring.Len())
+	for _, n := range cc.ring.Holders(spec) {
+		order = append(order, cc.clients[n.ID])
+		seen[n.ID] = true
+	}
+	for _, n := range cc.ring.Nodes() {
+		if !seen[n.ID] {
+			order = append(order, cc.clients[n.ID])
+		}
+	}
+	return order
+}
+
+// transportFailed reports whether an error is a transport-level failure
+// (node unreachable) rather than an application response — only those
+// are worth retrying against a different node, which forwards to the
+// owner anyway.
+func transportFailed(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// try runs f against each routed client until one produces an
+// application-level answer (success or a real HTTP response); only
+// transport failures fall through to the next node.
+func (cc *ClusterClient) try(spec string, f func(*Client) error) error {
+	var lastErr error
+	for _, c := range cc.route(spec) {
+		err := f(c)
+		if err == nil || !transportFailed(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("cluster: no reachable node for spec %q: %w", spec, lastErr)
+}
+
+// RegisterSpec registers source under id on the owning node. The ID is
+// required here (unlike Client.RegisterSpec): routing needs it, and a
+// server-assigned ID would come from whatever node happened to answer.
+func (cc *ClusterClient) RegisterSpec(id, source string) (api.SpecInfo, error) {
+	var info api.SpecInfo
+	if id == "" {
+		return info, fmt.Errorf("cluster: RegisterSpec needs an explicit spec id to route by")
+	}
+	err := cc.try(id, func(c *Client) error {
+		var e error
+		info, e = c.RegisterSpec(id, source)
+		return e
+	})
+	return info, err
+}
+
+// GetSpec fetches a spec from its owner (falling back across the ring).
+func (cc *ClusterClient) GetSpec(id string) (api.SpecInfo, error) {
+	var info api.SpecInfo
+	err := cc.try(id, func(c *Client) error {
+		var e error
+		info, e = c.GetSpec(id)
+		return e
+	})
+	return info, err
+}
+
+// DeleteSpec removes a spec cluster-wide (the owner replicates the
+// deletion to its followers).
+func (cc *ClusterClient) DeleteSpec(id string) error {
+	return cc.try(id, func(c *Client) error { return c.DeleteSpec(id) })
+}
+
+// PatchSpec applies a delta on the owning node.
+func (cc *ClusterClient) PatchSpec(id string, req api.DeltaRequest) (api.PatchResult, error) {
+	return cc.PatchSpecCtx(context.Background(), id, req)
+}
+
+// PatchSpecCtx is PatchSpec under a caller context.
+func (cc *ClusterClient) PatchSpecCtx(ctx context.Context, id string, req api.DeltaRequest) (api.PatchResult, error) {
+	var res api.PatchResult
+	err := cc.try(id, func(c *Client) error {
+		var e error
+		res, e = c.PatchSpecCtx(ctx, id, req)
+		return e
+	})
+	return res, err
+}
+
+// DecideCtx posts one decision to the spec's owner, falling back across
+// the ring on transport failure.
+func (cc *ClusterClient) DecideCtx(ctx context.Context, id string, req api.DecisionRequest) (api.DecisionResult, error) {
+	var res api.DecisionResult
+	err := cc.try(id, func(c *Client) error {
+		var e error
+		res, e = c.DecideCtx(ctx, id, req)
+		return e
+	})
+	return res, err
+}
+
+// Decide is DecideCtx with a background context.
+func (cc *ClusterClient) Decide(id string, req api.DecisionRequest) (api.DecisionResult, error) {
+	return cc.DecideCtx(context.Background(), id, req)
+}
+
+// Batch fans single-spec decisions to the spec's owner.
+func (cc *ClusterClient) Batch(id string, reqs []api.DecisionRequest) ([]api.DecisionResult, error) {
+	var out []api.DecisionResult
+	err := cc.try(id, func(c *Client) error {
+		var e error
+		out, e = c.Batch(id, reqs)
+		return e
+	})
+	return out, err
+}
+
+// ClusterBatch fans a multi-spec decision list across the ring via any
+// reachable node's POST /cluster/batch (the receiving node scatters by
+// owner and gathers in request order).
+func (cc *ClusterClient) ClusterBatch(reqs []api.ClusterDecision) ([]api.DecisionResult, error) {
+	return cc.ClusterBatchCtx(context.Background(), reqs)
+}
+
+// ClusterBatchCtx is ClusterBatch under a caller context.
+func (cc *ClusterClient) ClusterBatchCtx(ctx context.Context, reqs []api.ClusterDecision) ([]api.DecisionResult, error) {
+	var lastErr error
+	for _, n := range cc.ring.Nodes() {
+		out, err := cc.clients[n.ID].ClusterBatchCtx(ctx, reqs)
+		if err == nil || !transportFailed(err) {
+			return out, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("cluster: no reachable node for cluster batch: %w", lastErr)
+}
+
+// Status fetches one node's cluster status (identity, ring, version
+// vector, replication counters).
+func (cc *ClusterClient) Status(nodeID string) (api.ClusterStatus, error) {
+	c, ok := cc.clients[nodeID]
+	if !ok {
+		return api.ClusterStatus{}, fmt.Errorf("cluster: unknown node %q", nodeID)
+	}
+	return c.ClusterStatus()
+}
+
+// ClusterStatus fetches GET /cluster/status from one node.
+func (c *Client) ClusterStatus() (api.ClusterStatus, error) {
+	var st api.ClusterStatus
+	err := c.do(context.Background(), http.MethodGet, "/cluster/status", nil, &st)
+	return st, err
+}
+
+// ClusterBatchCtx posts a multi-spec decision list to one node's POST
+// /cluster/batch; the node scatters the requests to their owners and
+// gathers the results in request order.
+func (c *Client) ClusterBatchCtx(ctx context.Context, reqs []api.ClusterDecision) ([]api.DecisionResult, error) {
+	var resp api.ClusterBatchResponse
+	err := c.do(ctx, http.MethodPost, "/cluster/batch", api.ClusterBatchRequest{Requests: reqs}, &resp)
+	return resp.Results, err
+}

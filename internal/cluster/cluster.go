@@ -1,0 +1,166 @@
+// Package cluster is the node-ring membership and ownership layer of a
+// sharded currencyd deployment. A Ring is a static set of nodes plus a
+// replication factor; spec ownership is assigned by rendezvous hashing
+// (highest-random-weight): every node independently scores each (spec,
+// node) pair with a 64-bit hash and the owner is the highest-scoring
+// node, the followers the next R. Rendezvous hashing gives the two
+// properties a forwarding layer needs with no coordination at all:
+// every node computes the same owner from the same membership list, and
+// removing a node reassigns only the specs it held.
+//
+// The package is pure stdlib and imports nothing of the engine, so the
+// server, the client, and command-line tools can all share the exact
+// same placement function — a client that routes by ring and a server
+// that checks ownership by ring can never disagree.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Node is one member of the ring: a stable identity plus the base URL
+// peers use to reach it (e.g. "http://10.0.0.7:8411").
+type Node struct {
+	ID   string
+	Addr string
+}
+
+// Ring is an immutable membership snapshot with a replication factor.
+// All methods are safe for concurrent use.
+type Ring struct {
+	nodes    []Node // sorted by ID for deterministic iteration
+	byID     map[string]Node
+	replicas int
+}
+
+// New builds a ring over the given nodes with the given replication
+// factor: each spec is held by its owner plus min(replicas, len(nodes)-1)
+// followers. Node IDs must be unique and non-empty.
+func New(nodes []Node, replicas int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if replicas < 0 {
+		replicas = 0
+	}
+	if max := len(nodes) - 1; replicas > max {
+		replicas = max
+	}
+	r := &Ring{
+		nodes:    append([]Node(nil), nodes...),
+		byID:     make(map[string]Node, len(nodes)),
+		replicas: replicas,
+	}
+	for _, n := range r.nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("cluster: node with empty id (addr %q)", n.Addr)
+		}
+		if _, dup := r.byID[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		r.byID[n.ID] = n
+	}
+	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i].ID < r.nodes[j].ID })
+	return r, nil
+}
+
+// Nodes returns the membership, sorted by node ID. The caller must not
+// mutate the returned slice.
+func (r *Ring) Nodes() []Node { return r.nodes }
+
+// Replicas returns the effective replication factor (followers per spec).
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Node resolves a member by ID.
+func (r *Ring) Node(id string) (Node, bool) {
+	n, ok := r.byID[id]
+	return n, ok
+}
+
+// score is the rendezvous weight of placing spec on node: a 64-bit
+// FNV-1a over the node ID, a separator and the spec ID, pushed through
+// a murmur3-style finalizer. The separator keeps ("ab","c") and
+// ("a","bc") from colliding; the finalizer matters — raw FNV has weak
+// avalanche on short structured keys like sequential spec names, which
+// shows up directly as multi-x placement skew across the ring.
+func score(spec, nodeID string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(nodeID))
+	h.Write([]byte{0})
+	h.Write([]byte(spec))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Holders returns the nodes holding spec, owner first, then the
+// followers in descending rendezvous score. Every node computes the
+// same list from the same membership.
+func (r *Ring) Holders(spec string) []Node {
+	ranked := make([]Node, len(r.nodes))
+	copy(ranked, r.nodes)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := score(spec, ranked[i].ID), score(spec, ranked[j].ID)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].ID < ranked[j].ID // hash tie: deterministic order
+	})
+	return ranked[:1+r.replicas]
+}
+
+// Owner returns the node owning spec: the single writer and the
+// forwarding target for misrouted requests.
+func (r *Ring) Owner(spec string) Node { return r.Holders(spec)[0] }
+
+// Followers returns the replica-holding nodes for spec, excluding the
+// owner.
+func (r *Ring) Followers(spec string) []Node { return r.Holders(spec)[1:] }
+
+// IsOwner reports whether node owns spec.
+func (r *Ring) IsOwner(spec, node string) bool { return r.Owner(spec).ID == node }
+
+// IsHolder reports whether node holds spec (as owner or follower).
+func (r *Ring) IsHolder(spec, node string) bool {
+	for _, n := range r.Holders(spec) {
+		if n.ID == node {
+			return true
+		}
+	}
+	return false
+}
+
+// ParsePeers parses the -peers flag format: a comma-separated list of
+// id=addr pairs ("a=http://h1:8411,b=http://h2:8411"). Addresses
+// without a scheme get "http://" prefixed.
+func ParsePeers(s string) ([]Node, error) {
+	var nodes []Node
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=addr)", part)
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		nodes = append(nodes, Node{ID: id, Addr: strings.TrimRight(addr, "/")})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return nodes, nil
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ring(t *testing.T, n, replicas int) *Ring {
+	t.Helper()
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: fmt.Sprintf("n%d", i), Addr: fmt.Sprintf("http://h%d", i)}
+	}
+	r, err := New(nodes, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestOwnershipDeterministicAcrossNodeOrder(t *testing.T) {
+	// Two rings with the same membership in different declaration order
+	// must place every spec identically — that is the whole contract.
+	a, err := New([]Node{{ID: "a", Addr: "u1"}, {ID: "b", Addr: "u2"}, {ID: "c", Addr: "u3"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]Node{{ID: "c", Addr: "u3"}, {ID: "a", Addr: "u1"}, {ID: "b", Addr: "u2"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		spec := fmt.Sprintf("spec-%d", i)
+		ha, hb := a.Holders(spec), b.Holders(spec)
+		if len(ha) != 2 || len(hb) != 2 {
+			t.Fatalf("spec %s: holders %d/%d, want 2", spec, len(ha), len(hb))
+		}
+		for j := range ha {
+			if ha[j].ID != hb[j].ID {
+				t.Fatalf("spec %s: rings disagree: %v vs %v", spec, ha, hb)
+			}
+		}
+	}
+}
+
+func TestHoldersDisjointAndOwnerFirst(t *testing.T) {
+	r := ring(t, 5, 2)
+	for i := 0; i < 100; i++ {
+		spec := fmt.Sprintf("s%d", i)
+		h := r.Holders(spec)
+		if len(h) != 3 {
+			t.Fatalf("spec %s: %d holders, want 3", spec, len(h))
+		}
+		seen := map[string]bool{}
+		for _, n := range h {
+			if seen[n.ID] {
+				t.Fatalf("spec %s: duplicate holder %s", spec, n.ID)
+			}
+			seen[n.ID] = true
+		}
+		if h[0].ID != r.Owner(spec).ID {
+			t.Fatalf("spec %s: Holders[0]=%s, Owner=%s", spec, h[0].ID, r.Owner(spec).ID)
+		}
+		if !r.IsOwner(spec, h[0].ID) || !r.IsHolder(spec, h[1].ID) || !r.IsHolder(spec, h[2].ID) {
+			t.Fatalf("spec %s: role predicates disagree with Holders", spec)
+		}
+		for _, f := range r.Followers(spec) {
+			if r.IsOwner(spec, f.ID) {
+				t.Fatalf("spec %s: follower %s claims ownership", spec, f.ID)
+			}
+		}
+	}
+}
+
+func TestPlacementRoughlyBalanced(t *testing.T) {
+	r := ring(t, 4, 0)
+	counts := map[string]int{}
+	const specs = 4000
+	for i := 0; i < specs; i++ {
+		counts[r.Owner(fmt.Sprintf("spec-%d", i)).ID]++
+	}
+	// Rendezvous hashing is uniform in expectation; allow a wide band so
+	// the test pins gross skew (a broken hash), not statistical noise.
+	for id, c := range counts {
+		if c < specs/4/2 || c > specs/4*2 {
+			t.Fatalf("node %s owns %d of %d specs: placement skewed %v", id, c, specs, counts)
+		}
+	}
+}
+
+func TestReplicasClampedToRingSize(t *testing.T) {
+	r := ring(t, 3, 7)
+	if r.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want clamp to 2 on a 3-node ring", r.Replicas())
+	}
+	if got := len(r.Holders("x")); got != 3 {
+		t.Fatalf("holders = %d, want every node", got)
+	}
+	if r1 := ring(t, 1, 3); r1.Replicas() != 0 || len(r1.Holders("x")) != 1 {
+		t.Fatal("single-node ring must clamp to zero followers")
+	}
+}
+
+func TestNewRejectsBadMembership(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := New([]Node{{ID: "a"}, {ID: "a"}}, 0); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := New([]Node{{ID: "", Addr: "u"}}, 0); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := ParsePeers("a=http://h1:8411, b=h2:8412 ,c=https://h3/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Node{
+		{ID: "a", Addr: "http://h1:8411"},
+		{ID: "b", Addr: "http://h2:8412"},
+		{ID: "c", Addr: "https://h3"},
+	}
+	if len(nodes) != len(want) {
+		t.Fatalf("got %v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("peer %d: got %+v, want %+v", i, nodes[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "a", "=u", "a="} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}

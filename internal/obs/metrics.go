@@ -216,6 +216,32 @@ func (v *HistogramVec) write(w io.Writer) {
 	}
 }
 
+// NamedHistogram exposes a single (label-free) Histogram as a
+// registrable metric family.
+type NamedHistogram struct {
+	name, help string
+	*Histogram
+}
+
+// NewNamedHistogram builds a label-free histogram family (nil bounds
+// mean DefBuckets).
+func NewNamedHistogram(name, help string, bounds []float64) *NamedHistogram {
+	return &NamedHistogram{name: name, help: help, Histogram: NewHistogram(bounds)}
+}
+
+func (h *NamedHistogram) write(w io.Writer) {
+	header(w, h.name, h.help, "histogram")
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(float64(h.sumNS.Load())/1e9))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+}
+
 // CounterFunc exposes an externally maintained monotonic counter (an
 // existing atomic elsewhere in the process) under a metric name.
 type CounterFunc struct {

@@ -79,3 +79,13 @@ func (a *admission) release() { a.slots <- struct{}{} }
 func (a *admission) saturated() bool {
 	return a != nil && len(a.slots) == 0 && a.queued.Load() >= a.maxQueue
 }
+
+// depth reports the gate's instantaneous load — busy inflight slots and
+// queued waiters — the inputs of the shed responses' measured
+// Retry-After drain estimate. Nil-safe.
+func (a *admission) depth() (busy, queued int) {
+	if a == nil {
+		return 0, 0
+	}
+	return cap(a.slots) - len(a.slots), int(a.queued.Load())
+}

@@ -1,0 +1,264 @@
+package server_test
+
+// Cluster chaos e2e: node-level fault points — stalled replication
+// streams, delayed forwarding hops, a follower rejecting frames, and a
+// follower dropped off the network entirely — under concurrent queriers
+// and a forwarded patch stream. The contract mirrors the single-node
+// chaos test, lifted to the ring: every request completes within a
+// bounded multiple of its deadline; the injected replication faults are
+// visible counter-exactly in the owner's error counters; and once the
+// chaos stops, every node reconverges to the owner's version and serves
+// the fault-free oracle verdict. CI runs this under -race alongside
+// TestChaosE2E.
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"currency/internal/api"
+	"currency/internal/chaos"
+	"currency/internal/core"
+	"currency/internal/gen"
+	"currency/internal/parse"
+	"currency/internal/server"
+)
+
+func TestClusterChaosE2E(t *testing.T) {
+	chaos.ResetAll()
+	t.Cleanup(chaos.ResetAll)
+
+	const queryDeadline = 3 * time.Second
+	tc := newTestCluster(t, 3, 1, server.Options{
+		CacheSize:     8,
+		Workers:       4,
+		QueryDeadline: queryDeadline,
+		WriteDeadline: 3 * time.Second,
+		SlowQuery:     -1,
+	})
+	const id = "stormy"
+	cur := gen.Random(gen.Config{
+		Seed: 23, Relations: 2, Entities: 5, TuplesPerEntity: 3,
+		Attrs: 2, Domain: 3, OrderDensity: 0.3, Constraints: 1,
+	})
+
+	ownerIdx := tc.ownerIdx(id)
+	followers := tc.followerIdxs(id)
+	if len(followers) != 1 {
+		t.Fatalf("replicas=1 must give one follower, got %v", followers)
+	}
+	follower := followers[0]
+
+	// Arm the node-level faults BEFORE any traffic, so the fault
+	// accounting below can be exact: every forwarding hop stalls 10ms,
+	// every replication send stalls 5ms, and every 2nd replication frame
+	// arriving at a follower is rejected (a flapping follower — the
+	// owner must heal each rejection with a re-sync).
+	chaos.ForwardStall.ArmDelay(10*time.Millisecond, 1)
+	chaos.ReplStall.ArmDelay(5*time.Millisecond, 1)
+	chaos.ReplDrop.ArmFail(2)
+	chaos.Enable()
+
+	// Register via a non-owner: forwarded under the stall.
+	if _, err := tc.clients[(ownerIdx+1)%3].RegisterSpec(id, parse.Marshal(cur)); err != nil {
+		t.Fatal(err)
+	}
+	tc.waitVersion(t, follower, id, 1)
+	if _, err := tc.clients[follower].Consistent(id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queriers at every node race the chaos. During the phase-B network
+	// drop, requests to the downed follower fail at its listener with
+	// "node down" — tolerated; anything else is a real failure.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for n := range tc.clients {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := tc.clients[n]
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				start := time.Now()
+				res, err := c.Consistent(id)
+				if elapsed := time.Since(start); elapsed > 2*queryDeadline {
+					t.Errorf("querier at n%d: %v exceeds 2x deadline %v", n, elapsed, queryDeadline)
+					return
+				}
+				switch {
+				case err == nil:
+					if res.Holds == nil {
+						t.Errorf("querier at n%d: no verdict: %+v", n, res)
+						return
+					}
+				case strings.Contains(err.Error(), "HTTP 502"),
+					strings.Contains(err.Error(), "forward to owner"):
+					// The dropped node's listener, or a forward raced into it.
+				default:
+					t.Errorf("querier at n%d: %v", n, err)
+					return
+				}
+			}
+		}(n)
+	}
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(done); wg.Wait() }) }
+	t.Cleanup(stop)
+
+	// Phase A — flapping follower: a patch stream through rotating nodes
+	// while every 2nd replication frame is rejected. Replication must
+	// still converge (NACK/error → needSync → re-sync retry), and every
+	// injected rejection must surface as exactly one owner-side error.
+	rng := rand.New(rand.NewSource(29))
+	version := 1
+	for step := 0; step < 6; step++ {
+		d := gen.RandomDelta(rng, cur, gen.DeltaConfig{Inserts: 1, Orders: 1})
+		if _, err := tc.clients[step%3].PatchSpec(id, gen.WireDelta(cur, d)); err != nil {
+			t.Fatalf("phase A step %d: patch: %v", step, err)
+		}
+		version++
+		next, _, err := d.Apply(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	tc.waitVersion(t, follower, id, version)
+
+	// Quiesce the replication queues: poll until the drop counter and
+	// the owner's error counter agree and stop moving (an in-flight
+	// re-sync can still be bouncing off the flap right after version
+	// convergence). Then the accounting is exact: each ReplDrop firing
+	// rejected one frame with a 503, which the owner counted as exactly
+	// one replication error.
+	var dropsFired, replErrors uint64
+	quiet := 0
+	quiesce := time.Now().Add(5 * time.Second)
+	for quiet < 2 && time.Now().Before(quiesce) {
+		ost, err := tc.clients[ownerIdx].Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired := chaos.ReplDrop.Fired()
+		if fired == dropsFired && ost.Cluster.ReplErrors == replErrors && fired == replErrors {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		dropsFired, replErrors = fired, ost.Cluster.ReplErrors
+		time.Sleep(50 * time.Millisecond)
+	}
+	if dropsFired == 0 {
+		t.Fatal("phase A injected no replication drops — the fault never armed")
+	}
+	if replErrors != dropsFired {
+		t.Errorf("owner ReplErrors = %d, chaos dropped %d frames (must match exactly)",
+			replErrors, dropsFired)
+	}
+	fstA, err := tc.clients[follower].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fstA.Cluster.ReplicaNacks + replErrors; got == 0 {
+		t.Error("flapping follower healed without any NACK/re-sync/error — faults were invisible")
+	}
+
+	// Phase B — follower off the network: its listener answers 502 to
+	// everything, patches keep landing at the owner, and on rejoin the
+	// follower must converge through the owner's re-sync retry (a full
+	// frame — the version gap makes the delta path impossible).
+	chaos.ReplDrop.Reset() // network drop replaces the flap
+	tc.swaps[follower].set(nil)
+	for step := 0; step < 3; step++ {
+		d := gen.RandomDelta(rng, cur, gen.DeltaConfig{Inserts: 1})
+		if _, err := tc.clients[ownerIdx].PatchSpec(id, gen.WireDelta(cur, d)); err != nil {
+			t.Fatalf("phase B step %d: patch: %v", step, err)
+		}
+		version++
+		next, _, err := d.Apply(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	// Before letting the follower rejoin, wait until the owner has
+	// actually bounced a frame off the downed node. Replication frames
+	// are queued FIFO per follower, so rejoining too early would hand
+	// the queued phase-B deltas to the follower in order — a convergence
+	// that never exercised the drop. Once the first delta frame has
+	// failed, the follower's version gap makes a full frame the only way
+	// back.
+	bounce := time.Now().Add(5 * time.Second)
+	for {
+		ost, err := tc.clients[ownerIdx].Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ost.Cluster.ReplErrors > replErrors {
+			break
+		}
+		if time.Now().After(bounce) {
+			t.Fatal("phase B: owner never bounced a frame off the downed follower")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fullsBeforeRejoin := fstA.Cluster.ReplicaFullsApplied
+	tc.swaps[follower].set(tc.servers[follower].Handler())
+	tc.waitVersion(t, follower, id, version)
+
+	stop()
+
+	// Capture the forwarding accounting while the stall is still armed:
+	// ResetAll zeroes the chaos counters, and the post-chaos verdict
+	// checks below may legitimately forward a few more (unstalled) hops.
+	stallsFired := chaos.ForwardStall.Fired()
+	var forwarded uint64
+	for n := range tc.clients {
+		st, err := tc.clients[n].Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		forwarded += st.Cluster.Forwarded
+	}
+	if forwarded != stallsFired {
+		t.Errorf("cluster-wide forwarded = %d, forward stalls fired = %d (must match exactly)",
+			forwarded, stallsFired)
+	}
+
+	chaos.ResetAll()
+
+	// Post-chaos: the rejoined follower converged via a full re-sync,
+	// and every node answers the final version with the verdict of a
+	// fresh fault-free reasoner.
+	fstB, err := tc.clients[follower].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fstB.Cluster.ReplicaFullsApplied <= fullsBeforeRejoin {
+		t.Errorf("rejoined follower applied no full frame (fulls %d -> %d): how did it converge?",
+			fullsBeforeRejoin, fstB.Cluster.ReplicaFullsApplied)
+	}
+	fresh, err := core.NewReasoner(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Consistent()
+	for n := range tc.clients {
+		res, err := tc.clients[n].DecideCtx(context.Background(), id,
+			api.DecisionRequest{Op: api.OpConsistent, Exact: true})
+		if err != nil {
+			t.Fatalf("node n%d: post-chaos decision: %v", n, err)
+		}
+		if res.SpecVersion != version || res.Holds == nil || *res.Holds != want {
+			t.Errorf("node n%d: post-chaos verdict %+v, want v%d holds=%v", n, res, version, want)
+		}
+	}
+}

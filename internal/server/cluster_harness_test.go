@@ -1,0 +1,500 @@
+package server_test
+
+// Multi-node e2e harness: N complete currencyd nodes booted in one
+// process around httptest listeners, wired into one ring. The flagship
+// test extends TestEndToEndPatchStreamUnderLoad to the cluster: a PATCH
+// stream driven at the spec's owner while concurrent queriers hammer
+// every node (owner, follower serving its replica, non-holder
+// forwarding), asserting at every version that each node's served
+// verdict equals a reasoner grounded from scratch on the identically
+// evolved specification — and that followers advanced by applying the
+// streamed deltas incrementally, not by re-grounding. CI runs this
+// package under -race, so the harness also races the forwarding and
+// replication paths against the registry/cache swap paths.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"currency/internal/api"
+	"currency/internal/client"
+	"currency/internal/cluster"
+	"currency/internal/core"
+	"currency/internal/gen"
+	"currency/internal/parse"
+	"currency/internal/server"
+	"currency/internal/spec"
+)
+
+// handlerSwap lets the httptest listeners exist before the servers they
+// front: the ring needs every node's URL, and each server needs the
+// ring. Swapping the handler to nil also models a node dropping off the
+// network for the chaos test.
+type handlerSwap struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (hs *handlerSwap) set(h http.Handler) {
+	hs.mu.Lock()
+	hs.h = h
+	hs.mu.Unlock()
+}
+
+func (hs *handlerSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	hs.mu.RLock()
+	h := hs.h
+	hs.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "node down", http.StatusBadGateway)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// testCluster is an in-process ring of n currencyd nodes.
+type testCluster struct {
+	nodes   []cluster.Node
+	ring    *cluster.Ring
+	servers []*server.Server
+	clients []*client.Client
+	swaps   []*handlerSwap
+}
+
+// newTestCluster boots n nodes sharing one ring with the given
+// replication factor; every node runs the same server options.
+func newTestCluster(t testing.TB, n, replicas int, opts server.Options) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < n; i++ {
+		sw := &handlerSwap{}
+		ts := httptest.NewServer(sw)
+		t.Cleanup(ts.Close)
+		tc.swaps = append(tc.swaps, sw)
+		tc.nodes = append(tc.nodes, cluster.Node{ID: fmt.Sprintf("n%d", i), Addr: ts.URL})
+	}
+	ring, err := cluster.New(tc.nodes, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.ring = ring
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Cluster = &server.ClusterOptions{
+			Self: tc.nodes[i].ID, Nodes: tc.nodes, Replicas: replicas,
+		}
+		srv := server.New(o)
+		t.Cleanup(srv.Close)
+		tc.swaps[i].set(srv.Handler())
+		tc.servers = append(tc.servers, srv)
+		tc.clients = append(tc.clients, client.New(tc.nodes[i].Addr, nil))
+	}
+	return tc
+}
+
+// ownerIdx returns the node index owning spec.
+func (tc *testCluster) ownerIdx(spec string) int {
+	return tc.idx(tc.ring.Owner(spec).ID)
+}
+
+// followerIdxs returns the node indexes following spec.
+func (tc *testCluster) followerIdxs(spec string) []int {
+	var out []int
+	for _, n := range tc.ring.Followers(spec) {
+		out = append(out, tc.idx(n.ID))
+	}
+	return out
+}
+
+// nonHolderIdx returns a node index holding no copy of spec, -1 if the
+// replication factor covers the whole ring.
+func (tc *testCluster) nonHolderIdx(spec string) int {
+	for i, n := range tc.nodes {
+		if !tc.ring.IsHolder(spec, n.ID) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (tc *testCluster) idx(nodeID string) int {
+	for i, n := range tc.nodes {
+		if n.ID == nodeID {
+			return i
+		}
+	}
+	return -1
+}
+
+// waitVersion polls one node's cluster status until its version vector
+// carries spec at version — the replication-convergence barrier.
+func (tc *testCluster) waitVersion(t testing.TB, node int, spec string, version int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := tc.clients[node].ClusterStatus()
+		if err == nil && st.Versions[spec] == version {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node n%d never converged to %s v%d (status %+v, err %v)",
+				node, spec, version, st.Versions, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestClusterEndToEndPatchStreamUnderLoad(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, server.Options{CacheSize: 8, Workers: 4})
+	const id = "live"
+	cfg := gen.Config{
+		Seed: 11, Relations: 2, Entities: 6, TuplesPerEntity: 3,
+		Attrs: 2, Domain: 3, OrderDensity: 0.3, Constraints: 2, Copies: 1, CopyDensity: 0.5,
+	}
+	cur := gen.Random(cfg)
+
+	// Register through a NON-owner node: the registration itself must
+	// forward to the owner, and the hop must show in the counters.
+	ownerIdx := tc.ownerIdx(id)
+	regIdx := (ownerIdx + 1) % len(tc.nodes)
+	if _, err := tc.clients[regIdx].RegisterSpec(id, parse.Marshal(cur)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tc.clients[regIdx].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil || st.Cluster.Forwarded == 0 {
+		t.Fatalf("registering via non-owner n%d forwarded nothing: %+v", regIdx, st.Cluster)
+	}
+
+	// Replication barrier: every follower holds v1; the non-holder none.
+	followers := tc.followerIdxs(id)
+	for _, f := range followers {
+		tc.waitVersion(t, f, id, 1)
+	}
+	if nh := tc.nonHolderIdx(id); nh >= 0 {
+		cs, err := tc.clients[nh].ClusterStatus()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, holds := cs.Versions[id]; holds {
+			t.Errorf("non-holder n%d holds a replica of %s", nh, id)
+		}
+	}
+
+	// Warm every holder's reasoner cache at v1 so the replicated deltas
+	// can take the incremental patch path instead of re-grounding.
+	for _, n := range append([]int{ownerIdx}, followers...) {
+		if _, err := tc.clients[n].Consistent(id); err != nil {
+			t.Fatalf("warming node n%d: %v", n, err)
+		}
+	}
+
+	// Shared verdict books: the driver records the from-scratch oracle
+	// verdict per version; queriers record what any node served for any
+	// version. Two nodes disagreeing on one version is a correctness
+	// failure no matter when it is observed.
+	var mu sync.Mutex
+	oracle := map[int]bool{}
+	observed := map[int]bool{}
+	record := func(version int, holds bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := observed[version]; ok && prev != holds {
+			t.Errorf("version %d served both verdicts %v and %v", version, prev, holds)
+			return
+		}
+		observed[version] = holds
+	}
+
+	// Queriers at every node: the owner answers from its own registry,
+	// followers from their (eventually consistent) replicas, the
+	// non-holder by forwarding — all racing the patch stream.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for n := range tc.clients {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := tc.clients[n]
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				res, err := c.Consistent(id)
+				if err != nil {
+					t.Errorf("querier at n%d: %v", n, err)
+					return
+				}
+				if res.Holds == nil {
+					t.Errorf("querier at n%d: no verdict: %+v", n, res)
+					return
+				}
+				record(res.SpecVersion, *res.Holds)
+			}
+		}(n)
+	}
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(done); wg.Wait() }) }
+	t.Cleanup(stop)
+
+	// checkVersion drives every node to the given version (polling out
+	// the replication lag) and compares its served verdicts — consistency
+	// plus a certain-order sweep — against a from-scratch reasoner on the
+	// locally evolved spec.
+	checkVersion := func(version int, s *spec.Spec) {
+		t.Helper()
+		fresh, err := core.NewReasoner(s)
+		if err != nil {
+			t.Fatalf("version %d: fresh reasoner: %v", version, err)
+		}
+		want := fresh.Consistent()
+		mu.Lock()
+		oracle[version] = want
+		mu.Unlock()
+		for n := range tc.clients {
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				res, err := tc.clients[n].Consistent(id)
+				if err != nil {
+					t.Fatalf("version %d node n%d: consistent: %v", version, n, err)
+				}
+				if res.SpecVersion == version {
+					if res.Holds == nil || *res.Holds != want {
+						t.Fatalf("version %d node n%d: served consistent=%v, from-scratch=%v",
+							version, n, res.Holds, want)
+					}
+					break
+				}
+				if res.SpecVersion > version {
+					t.Fatalf("version %d node n%d: answered from future version %d",
+						version, n, res.SpecVersion)
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("version %d node n%d: stuck at version %d", version, n, res.SpecVersion)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		// Certain-order sweep, alternating nodes so replicas answer too.
+		n := 0
+		for _, r := range s.Relations {
+			name := r.Schema.Name
+			for _, g := range r.Entities() {
+				if len(g.Members) < 2 {
+					continue
+				}
+				ai := r.Schema.NonEIDIndexes()[0]
+				attr := r.Schema.Attrs[ai]
+				i, j := g.Members[0], g.Members[1]
+				wantOrd, err := fresh.CertainOrder([]core.OrderRequirement{
+					{Rel: name, Attr: attr, I: i, J: j},
+				})
+				if err != nil {
+					t.Fatalf("version %d: fresh certain order: %v", version, err)
+				}
+				res, err := tc.clients[n%len(tc.clients)].CertainOrder(id, []api.OrderPair{{
+					Rel: name, Attr: attr, I: strconv.Itoa(i), J: strconv.Itoa(j),
+				}})
+				if err != nil {
+					t.Fatalf("version %d node n%d: certain order: %v", version, n%len(tc.clients), err)
+				}
+				if res.Holds == nil || *res.Holds != wantOrd {
+					t.Fatalf("version %d node n%d: certain(%s.%s %d≺%d): served=%v, from-scratch=%v",
+						version, n%len(tc.clients), name, attr, i, j, res.Holds, wantOrd)
+				}
+				n++
+				break // one entity pair per relation keeps the sweep bounded
+			}
+		}
+	}
+
+	checkVersion(1, cur)
+	rng := rand.New(rand.NewSource(13))
+	version := 1
+	for step := 0; step < 8; step++ {
+		d := gen.RandomDelta(rng, cur, gen.DeltaConfig{
+			Inserts: 2, NewEntity: 0.3, Deletes: 2, Orders: 1,
+			PConstraint: 0.3, PCopyDrop: 0.2,
+		})
+		// The patch is sent to a rotating node: only the owner applies
+		// it, everyone else must forward it there.
+		res, err := tc.clients[step%len(tc.clients)].PatchSpec(id, gen.WireDelta(cur, d))
+		if err != nil {
+			t.Fatalf("step %d: patch: %v", step, err)
+		}
+		version++
+		if res.Version != version {
+			t.Fatalf("step %d: patched to version %d, want %d", step, res.Version, version)
+		}
+		next, _, err := d.Apply(cur)
+		if err != nil {
+			t.Fatalf("step %d: local apply diverged from the server's: %v", step, err)
+		}
+		cur = next
+		checkVersion(version, cur)
+	}
+	stop()
+
+	// Every verdict any querier observed at any node must match the
+	// oracle for that version.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(observed) == 0 {
+		t.Fatal("queriers observed nothing")
+	}
+	for v, holds := range observed {
+		want, ok := oracle[v]
+		if !ok {
+			t.Errorf("queriers observed unknown version %d", v)
+			continue
+		}
+		if holds != want {
+			t.Errorf("version %d: queriers saw %v, oracle says %v", v, holds, want)
+		}
+	}
+
+	// The replication counters must prove the delta path: the owner
+	// streamed deltas, and every follower applied at least one through
+	// the incremental patch pipeline (CachePatched) rather than
+	// re-grounding.
+	ost, err := tc.clients[ownerIdx].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ost.Cluster == nil || ost.Cluster.ReplDeltasSent == 0 {
+		t.Errorf("owner n%d streamed no delta frames: %+v", ownerIdx, ost.Cluster)
+	}
+	for _, f := range followers {
+		fst, err := tc.clients[f].Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fst.Cluster == nil || fst.Cluster.ReplicaDeltasApplied == 0 {
+			t.Errorf("follower n%d applied no delta frames: %+v", f, fst.Cluster)
+		}
+		if fst.CachePatched == 0 {
+			t.Errorf("follower n%d never patched its cached reasoner (re-grounded %d times instead)",
+				f, fst.CacheRegrounded)
+		}
+	}
+
+	// Final convergence: every holder's version vector agrees.
+	for _, n := range append([]int{ownerIdx}, followers...) {
+		tc.waitVersion(t, n, id, version)
+	}
+}
+
+// TestClusterSinglePatchReplicatesIncrementally is the quiesced,
+// counter-exact variant: with replication settled and every replica's
+// reasoner warm, ONE patch at the owner must reach each follower as
+// exactly one delta frame and be applied through the incremental path —
+// one ReplicaDeltasApplied, one CachePatched, zero full installs, zero
+// re-grounds.
+func TestClusterSinglePatchReplicatesIncrementally(t *testing.T) {
+	tc := newTestCluster(t, 3, 2, server.Options{CacheSize: 8, Workers: 2})
+	const id = "incr"
+	cfg := gen.Config{
+		Seed: 7, Relations: 1, Entities: 4, TuplesPerEntity: 3,
+		Attrs: 2, Domain: 3, OrderDensity: 0.4, Constraints: 1,
+	}
+	cur := gen.Random(cfg)
+
+	ownerIdx := tc.ownerIdx(id)
+	if _, err := tc.clients[ownerIdx].RegisterSpec(id, parse.Marshal(cur)); err != nil {
+		t.Fatal(err)
+	}
+	followers := tc.followerIdxs(id)
+	if len(followers) != 2 {
+		t.Fatalf("replicas=2 on 3 nodes must give 2 followers, got %v", followers)
+	}
+	for _, f := range followers {
+		tc.waitVersion(t, f, id, 1)
+		// Ground and cache the replica's reasoner at v1.
+		if _, err := tc.clients[f].Consistent(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := make(map[int]api.Stats)
+	for _, f := range followers {
+		st, err := tc.clients[f].Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[f] = st
+	}
+
+	d := gen.RandomDelta(rand.New(rand.NewSource(3)), cur, gen.DeltaConfig{Inserts: 1})
+	if _, err := tc.clients[ownerIdx].PatchSpec(id, gen.WireDelta(cur, d)); err != nil {
+		t.Fatal(err)
+	}
+	next, _, err := d.Apply(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur = next
+
+	for _, f := range followers {
+		tc.waitVersion(t, f, id, 2)
+		st, err := tc.clients[f].Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := before[f]
+		if got, want := st.Cluster.ReplicaDeltasApplied, b.Cluster.ReplicaDeltasApplied+1; got != want {
+			t.Errorf("follower n%d: ReplicaDeltasApplied = %d, want %d", f, got, want)
+		}
+		if got, want := st.Cluster.ReplicaFullsApplied, b.Cluster.ReplicaFullsApplied; got != want {
+			t.Errorf("follower n%d: ReplicaFullsApplied = %d, want %d (no full re-sync expected)", f, got, want)
+		}
+		if got, want := st.CachePatched, b.CachePatched+1; got != want {
+			t.Errorf("follower n%d: CachePatched = %d, want %d (delta must patch, not re-ground)", f, got, want)
+		}
+		if got, want := st.CacheRegrounded, b.CacheRegrounded; got != want {
+			t.Errorf("follower n%d: CacheRegrounded = %d, want %d", f, got, want)
+		}
+	}
+
+	// The owner's send counters must agree: one delta frame per follower
+	// (acks land just after the follower's version flips, so poll).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ost, err := tc.clients[ownerIdx].Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ost.Cluster.ReplDeltasSent == uint64(len(followers)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("owner ReplDeltasSent = %d, want %d", ost.Cluster.ReplDeltasSent, len(followers))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// And the verdicts at v2 agree with a fresh reasoner everywhere.
+	fresh, err := core.NewReasoner(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Consistent()
+	for n := range tc.clients {
+		res, err := tc.clients[n].Consistent(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SpecVersion != 2 || res.Holds == nil || *res.Holds != want {
+			t.Errorf("node n%d: post-patch verdict %+v, want v2 holds=%v", n, res, want)
+		}
+	}
+}

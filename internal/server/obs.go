@@ -13,6 +13,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"currency/internal/api"
@@ -28,7 +29,7 @@ var endpointLabels = []string{
 	"register", "list_specs", "get_spec", "patch_spec", "delete_spec",
 	string(api.OpConsistent), string(api.OpCertainOrder), string(api.OpDeterministic),
 	string(api.OpCertainAnswers), string(api.OpCurrencyPreserving), string(api.OpBoundedCopying),
-	"batch", "stats",
+	"batch", "stats", "replicate", "cluster_status", "cluster_batch",
 }
 
 // opLabels label the decision histogram.
@@ -73,6 +74,24 @@ type serverMetrics struct {
 	panics         obs.Counter
 	patchConflicts obs.Counter
 
+	// Cluster-layer counters (all zero on a single-node server).
+	// Forwarding: requests proxied to a spec's owner, and failed proxies.
+	forwarded     obs.Counter
+	forwardErrors obs.Counter
+	// Owner-side replication: acknowledged delta and full frames, failed
+	// sends, and NACK-triggered re-syncs.
+	replDeltas  obs.Counter
+	replFulls   obs.Counter
+	replErrors  obs.Counter
+	replResyncs obs.Counter
+	// Follower-side replication: frames applied incrementally vs
+	// installed from full source, and version-gap NACKs returned.
+	replicaDeltas obs.Counter
+	replicaFulls  obs.Counter
+	replicaNacks  obs.Counter
+	// replLag measures owner-side enqueue-to-ack latency per frame.
+	replLag *obs.NamedHistogram
+
 	// engine is the process-wide osolve counter sink: every reasoner
 	// the server grounds or patches flushes its search effort here, so
 	// the exported counters are monotonic across cache evictions.
@@ -96,6 +115,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 		patchDur: obs.NewHistogramVec("currencyd_patch_stage_duration_seconds",
 			"Patch-pipeline stage latency: delta_apply (spec COW), remap (incremental engine patch), reground (cold rebuild).",
 			"stage", stageLabels, nil),
+		replLag: obs.NewNamedHistogram("currencyd_replication_lag_seconds",
+			"Owner-side replication lag: frame enqueue to follower ack.", nil),
 	}
 	m.registry.Register(m.requests, m.reqDur, m.decDur, m.decided, m.patchDur,
 		obs.NewCounterFunc("currencyd_slow_requests_total",
@@ -114,6 +135,30 @@ func newServerMetrics(s *Server) *serverMetrics {
 		obs.NewCounterFunc("currencyd_patch_conflicts_total",
 			"PATCH version conflicts: guarded rejections and unguarded retry rounds.",
 			m.patchConflicts.Load),
+		// Cluster forwarding and replication counters.
+		obs.NewCounterFunc("currencyd_cluster_forwarded_total",
+			"Requests proxied to a spec's owner node.", m.forwarded.Load),
+		obs.NewCounterFunc("currencyd_cluster_forward_errors_total",
+			"Forward proxies that failed (owner unreachable or deadline expired).",
+			m.forwardErrors.Load),
+		obs.NewCounterFunc("currencyd_replication_deltas_sent_total",
+			"Delta replication frames acknowledged by followers.", m.replDeltas.Load),
+		obs.NewCounterFunc("currencyd_replication_fulls_sent_total",
+			"Full replication frames acknowledged by followers.", m.replFulls.Load),
+		obs.NewCounterFunc("currencyd_replication_errors_total",
+			"Replication sends that failed (follower unreachable or rejecting).",
+			m.replErrors.Load),
+		obs.NewCounterFunc("currencyd_replication_resyncs_total",
+			"Full re-syncs triggered by follower version-gap NACKs.", m.replResyncs.Load),
+		obs.NewCounterFunc("currencyd_replica_deltas_applied_total",
+			"Replication frames applied through the incremental delta path.",
+			m.replicaDeltas.Load),
+		obs.NewCounterFunc("currencyd_replica_fulls_applied_total",
+			"Replication frames installed from full canonical source.",
+			m.replicaFulls.Load),
+		obs.NewCounterFunc("currencyd_replica_nacks_total",
+			"Version-gap NACKs returned to owners.", m.replicaNacks.Load),
+		m.replLag,
 		// Engine search-effort counters, from the shared sink.
 		obs.NewCounterFunc("currencyd_engine_decisions_total",
 			"DPLL branching points across all engine searches.", m.engine.Decisions.Load),
@@ -224,11 +269,12 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			switch verdict {
 			case shedBusy:
 				s.metrics.shed.Inc()
-				sw.Header().Set("Retry-After", "1")
+				sw.Header().Set("Retry-After", s.retryAfterSecs())
 				writeError(sw, http.StatusTooManyRequests,
 					"server saturated: admission queue full, retry later")
 				return
 			case shedExpired:
+				sw.Header().Set("Retry-After", s.retryAfterSecs())
 				writeError(sw, http.StatusServiceUnavailable,
 					"request deadline expired in admission queue")
 				return
@@ -237,6 +283,40 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		h(sw, r.WithContext(obs.With(ctx, tr)))
 	}
+}
+
+// retryAfterSecs estimates how long a shed client should back off: the
+// expected drain time of the work already ahead of it. The estimate is
+// (inflight + queued + 1 requests) × the observed mean latency of the
+// gated (non-read) endpoints, spread over the admission parallelism,
+// rounded up to whole seconds and clamped to [1, 30] — so an idle or
+// freshly started server still answers the floor of 1 second, and a
+// deeply backed-up one never tells clients to vanish for minutes.
+func (s *Server) retryAfterSecs() string {
+	var n uint64
+	var sum time.Duration
+	for _, l := range endpointLabels {
+		if opClass(l) == classRead {
+			continue
+		}
+		h := s.metrics.reqDur.With(l)
+		n += h.Count()
+		sum += h.Sum()
+	}
+	secs := int64(1)
+	if n > 0 && s.maxInflight > 0 {
+		mean := sum / time.Duration(n)
+		busy, queued := s.admit.depth()
+		est := time.Duration(busy+queued+1) * mean / time.Duration(s.maxInflight)
+		secs = int64((est + time.Second - 1) / time.Second)
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // recoverPanic converts a handler panic into a 500 with the stack

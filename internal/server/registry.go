@@ -107,6 +107,77 @@ func (g *Registry) PatchEntry(id string, base int, f *parse.File) (*Entry, error
 	return e, nil
 }
 
+// InstallReplica publishes a full replicated copy of a spec at exactly
+// the owner-assigned version. Stale frames (version <= the registered
+// one) are ignored and the current entry returned — replication may
+// deliver a full sync that a faster delta already superseded. Unlike
+// Put, versions come from the owner, so the per-id monotonic counter is
+// raised to match instead of bumped.
+func (g *Registry) InstallReplica(id, source string, version int) (*Entry, error) {
+	if version < 1 {
+		return nil, fmt.Errorf("replica install for %q at version %d", id, version)
+	}
+	f, err := parse.ParseFile(source)
+	if err != nil {
+		return nil, err
+	}
+	canonical := parse.Marshal(f.Spec, f.Queries...)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cur, ok := g.entries[id]; ok && cur.Version >= version {
+		return cur, nil
+	}
+	if g.versions[id] < version {
+		g.versions[id] = version
+	}
+	e := &Entry{ID: id, Version: version, Source: canonical, File: f}
+	g.entries[id] = e
+	return e, nil
+}
+
+// PatchReplicaEntry publishes a patched replica at the owner-assigned
+// version if the registered version still equals base — the follower
+// counterpart of PatchEntry, which must land on the owner's version
+// number rather than bump its own.
+func (g *Registry) PatchReplicaEntry(id string, base, version int, f *parse.File) (*Entry, error) {
+	if version <= base {
+		return nil, fmt.Errorf("replica patch for %q must advance the version: %d -> %d", id, base, version)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur, ok := g.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("no spec %q", id)
+	}
+	if cur.Version != base {
+		return nil, fmt.Errorf("%w: replica %q is at version %d, frame based on %d",
+			ErrVersionConflict, id, cur.Version, base)
+	}
+	if g.versions[id] < version {
+		g.versions[id] = version
+	}
+	e := &Entry{
+		ID:      id,
+		Version: version,
+		Source:  parse.Marshal(f.Spec, f.Queries...),
+		File:    f,
+	}
+	g.entries[id] = e
+	return e, nil
+}
+
+// Versions returns the registry's version vector: every registered spec
+// id mapped to its current version.
+func (g *Registry) Versions() map[string]int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]int, len(g.entries))
+	for id, e := range g.entries {
+		out[id] = e.Version
+	}
+	return out
+}
+
 // Get returns the current entry for id.
 func (g *Registry) Get(id string) (*Entry, bool) {
 	g.mu.RLock()

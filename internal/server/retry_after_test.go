@@ -1,0 +1,148 @@
+package server
+
+// White-box tests for the measured Retry-After drain estimate: a shed
+// response's backoff hint is (inflight + queued + 1) × the observed mean
+// latency of the gated endpoints ÷ the admission parallelism, rounded up
+// to seconds and clamped to [1, 30] — not a constant. The companion
+// client-side test (internal/client) pins that the client backoff obeys
+// whatever number lands in the header; together they close the loop:
+// shed clients come back when a slot is actually likely to be free.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// primeLatency seeds the request-duration histogram of a gated endpoint
+// with n observations of d, fixing the measured mean the estimate uses.
+func primeLatency(s *Server, endpoint string, n int, d time.Duration) {
+	h := s.metrics.reqDur.With(endpoint)
+	for i := 0; i < n; i++ {
+		h.Observe(d)
+	}
+}
+
+// saturate occupies every inflight slot and parks queued waiters in the
+// admission queue, returning a drain func. It polls until the gate
+// reports exactly the requested depth.
+func saturate(t *testing.T, s *Server, queued int) (drain func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var releases []func()
+	for {
+		rel, verdict := s.admit.acquire(ctx)
+		if verdict != admitted {
+			t.Fatalf("slot-filling acquire shed with verdict %d", verdict)
+		}
+		releases = append(releases, rel)
+		if busy, _ := s.admit.depth(); busy == s.maxInflight {
+			break
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rel, verdict := s.admit.acquire(ctx); verdict == admitted {
+				rel()
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, q := s.admit.depth(); q == queued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission queue never reached the requested depth")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return func() {
+		cancel() // queued waiters leave via shedExpired
+		for _, rel := range releases {
+			rel()
+		}
+		wg.Wait()
+	}
+}
+
+func TestRetryAfterMeasuresDrainEstimate(t *testing.T) {
+	s := New(Options{CacheSize: 4, Workers: 2, SlowQuery: -1,
+		MaxInflight: 2, MaxQueue: 4})
+
+	// A fresh server has no latency observations: the floor answers.
+	if got := s.retryAfterSecs(); got != "1" {
+		t.Fatalf("idle estimate = %q, want the 1s floor", got)
+	}
+
+	// Mean gated latency 3s, gate at 2 busy + 3 queued, parallelism 2:
+	// (2+3+1) × 3s / 2 = 9s of work ahead of a shed request.
+	primeLatency(s, "consistent", 4, 3*time.Second)
+	drain := saturate(t, s, 3)
+	if got := s.retryAfterSecs(); got != "9" {
+		t.Errorf("estimate = %q, want 9 ((2 busy + 3 queued + 1) x 3s mean / 2 slots)", got)
+	}
+	drain()
+
+	// Read-class traffic must not skew the estimate: list/get/stats are
+	// never gated, so their latencies say nothing about drain time.
+	primeLatency(s, "list_specs", 1000, time.Hour)
+	drain = saturate(t, s, 3)
+	if got := s.retryAfterSecs(); got != "9" {
+		t.Errorf("estimate after read-class noise = %q, want 9 (reads excluded)", got)
+	}
+	drain()
+
+	// A deeply backed-up gate clamps at 30s, never telling clients to
+	// vanish for minutes.
+	primeLatency(s, "patch_spec", 100, time.Minute)
+	drain = saturate(t, s, 4)
+	defer drain()
+	if got := s.retryAfterSecs(); got != "30" {
+		t.Errorf("backed-up estimate = %q, want the 30s clamp", got)
+	}
+}
+
+func TestRetryAfterOnShedResponses(t *testing.T) {
+	s := New(Options{CacheSize: 4, Workers: 2, SlowQuery: -1,
+		MaxInflight: 2, MaxQueue: 1})
+	if _, err := s.Register("s", `
+relation R(eid, a)
+instance R {
+  t0: ("e", 1)
+  t1: ("e", 2)
+  order a: t0 < t1
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// 2s mean, 2 busy + 1 queued, 2 slots: (2+1+1) × 2s / 2 = 4s.
+	primeLatency(s, "consistent", 10, 2*time.Second)
+	drain := saturate(t, s, 1)
+	defer drain()
+
+	resp, err := http.Post(ts.URL+"/specs/s/consistent", "application/json",
+		strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "4" {
+		t.Errorf("shed Retry-After = %q, want the measured 4 ((2+1+1) x 2s / 2)", got)
+	}
+}

@@ -100,6 +100,13 @@ type Options struct {
 	// DefaultMaxQueueFactor × MaxInflight; negative means no queue
 	// (immediate shed when every slot is busy).
 	MaxQueue int
+	// Cluster, when non-nil, makes this server one node of a currencyd
+	// ring: spec ownership is sharded by rendezvous hash, misrouted
+	// requests are forwarded to their owner, and writes are replicated
+	// to follower nodes (see cluster.go). Invalid cluster options make
+	// New panic — validate membership with cluster.New first when the
+	// configuration comes from user input.
+	Cluster *ClusterOptions
 }
 
 // Server is the currencyd HTTP service. Create with New and mount
@@ -117,8 +124,10 @@ type Server struct {
 	logMu     sync.Mutex
 
 	admit         *admission
+	maxInflight   int
 	queryDeadline time.Duration
 	writeDeadline time.Duration
+	cluster       *clusterState
 	// draining flips at BeginShutdown: /readyz turns not-ready so load
 	// balancers stop sending traffic while in-flight requests finish.
 	draining atomic.Bool
@@ -200,8 +209,16 @@ func New(opts Options) *Server {
 	}
 	if opts.MaxInflight > 0 {
 		s.admit = newAdmission(opts.MaxInflight, opts.MaxQueue)
+		s.maxInflight = opts.MaxInflight
 	}
 	s.metrics = newServerMetrics(s)
+	if opts.Cluster != nil {
+		cs, err := newClusterState(s, opts.Cluster)
+		if err != nil {
+			panic(fmt.Sprintf("server: invalid cluster options: %v", err))
+		}
+		s.cluster = cs
+	}
 	s.mux.HandleFunc("POST /specs", s.instrument("register", s.handleRegister))
 	s.mux.HandleFunc("GET /specs", s.instrument("list_specs", s.handleList))
 	s.mux.HandleFunc("GET /specs/{id}", s.instrument("get_spec", s.handleGet))
@@ -218,6 +235,12 @@ func New(opts Options) *Server {
 			}))
 	}
 	s.mux.HandleFunc("POST /specs/{id}/batch", s.instrument("batch", s.handleBatch))
+	// Cluster endpoints. Always mounted: status and replicate answer 404
+	// on a non-member, and a cluster batch against a single node runs
+	// every request locally.
+	s.mux.HandleFunc("GET /cluster/status", s.instrument("cluster_status", s.handleClusterStatus))
+	s.mux.HandleFunc("POST /cluster/replicate", s.instrument("replicate", s.handleReplicate))
+	s.mux.HandleFunc("POST /cluster/batch", s.instrument("cluster_batch", s.handleClusterBatch))
 	s.mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -271,10 +294,10 @@ func opClass(endpoint string) int {
 	switch endpoint {
 	case "register", "patch_spec", "delete_spec":
 		return classWrite
-	case "list_specs", "get_spec", "stats":
+	case "list_specs", "get_spec", "stats", "cluster_status", "replicate":
 		return classRead
 	}
-	return classQuery // the decision endpoints and batch
+	return classQuery // the decision endpoints and batches
 }
 
 func (s *Server) deadlineFor(class int) time.Duration {
@@ -353,7 +376,19 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "register needs a source specification")
 		return
 	}
-	e, err := s.registry.Put(req.ID, req.Source)
+	// Cluster routing: an empty ID is assigned here (cluster-unique, so
+	// ownership is computable before registration), then the request is
+	// forwarded to the spec's owner unless this node is it.
+	if cs := s.cluster; cs != nil && r.Header.Get(api.ForwardHeader) == "" {
+		if req.ID == "" {
+			req.ID = cs.assignID()
+		}
+		if !cs.ring.IsOwner(req.ID, cs.self.ID) {
+			cs.forwardJSON(w, r, cs.ring.Owner(req.ID), &req)
+			return
+		}
+	}
+	e, err := s.register(req.ID, req.Source)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -374,6 +409,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if s.forwardSpec(w, r, r.PathValue("id"), false) {
+		return
+	}
 	e, ok := s.entryFor(w, r)
 	if !ok {
 		return
@@ -383,17 +421,26 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.forwardSpec(w, r, id, true) {
+		return
+	}
 	if !s.registry.Delete(id) {
 		writeError(w, http.StatusNotFound, "no spec %q", id)
 		return
 	}
 	s.cache.InvalidateSpec(id)
+	if s.cluster != nil {
+		s.cluster.replicateDelete(id)
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleDecision serves the single-decision endpoints. The op comes from
 // the route; a body is optional for parameterless problems.
 func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request, op api.Op) {
+	if s.forwardSpec(w, r, r.PathValue("id"), false) {
+		return
+	}
 	e, ok := s.entryFor(w, r)
 	if !ok {
 		return
@@ -422,6 +469,9 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request, op api.O
 // request order, and per-request failures are reported in-line so one bad
 // request cannot fail the envelope.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.forwardSpec(w, r, r.PathValue("id"), false) {
+		return
+	}
 	e, ok := s.entryFor(w, r)
 	if !ok {
 		return
@@ -499,6 +549,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			PoolMisses:       ec.PoolMisses,
 			MemoHits:         ec.MemoHits,
 		},
+		Cluster: s.clusterStats(),
 	})
 }
 
@@ -508,6 +559,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // reasoner (when one exists) instead of evicting it.
 func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.forwardSpec(w, r, id, true) {
+		return
+	}
 	var req api.DeltaRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -557,6 +611,9 @@ func (s *Server) patchCurrent(ctx context.Context, id string, req *api.DeltaRequ
 		ne, info, err := s.patch(ctx, e, req)
 		if err != nil && errors.Is(err, ErrVersionConflict) {
 			s.metrics.patchConflicts.Inc()
+		}
+		if err == nil && s.cluster != nil {
+			s.cluster.replicateDelta(ne, req)
 		}
 		if err == nil || req.BaseVersion != 0 || !errors.Is(err, ErrVersionConflict) || attempt >= maxPatchRetries {
 			return ne, info, err
@@ -629,10 +686,35 @@ func (s *Server) patch(ctx context.Context, e *Entry, req *api.DeltaRequest) (*E
 	return ne, info, nil
 }
 
+// register is the shared registration path of the HTTP handler and the
+// programmatic Register: the registry put, followed by replication to
+// the spec's followers when this node owns it. A non-owner cluster node
+// registering programmatically keeps the spec local only (the HTTP path
+// forwards to the owner first; programmatic callers are trusted to know
+// which node they are on).
+func (s *Server) register(id, source string) (*Entry, error) {
+	e, err := s.registry.Put(id, source)
+	if err != nil {
+		return nil, err
+	}
+	if s.cluster != nil {
+		s.cluster.replicateRegister(e)
+	}
+	return e, nil
+}
+
 // Register programmatically registers a spec, for embedding the server in
 // tests and tools without HTTP round-trips.
 func (s *Server) Register(id, source string) (*Entry, error) {
-	return s.registry.Put(id, source)
+	return s.register(id, source)
+}
+
+// Close stops the cluster replication workers. A no-op on a single-node
+// server; the HTTP handler itself holds no resources.
+func (s *Server) Close() {
+	if s.cluster != nil {
+		s.cluster.close()
+	}
 }
 
 // PatchSpec programmatically applies a wire delta, sharing the HTTP
